@@ -1,0 +1,1 @@
+"""Benchmark package (a package so `pytest` resolves cross-file imports)."""

@@ -1,0 +1,14 @@
+"""Benchmarks: Figures 1 and 2 (spec compilation and solution enumeration)."""
+
+from benchmarks.conftest import once
+from repro.experiments.figures import figure1, figure2
+
+
+def test_figure1_parse_and_compile(benchmark):
+    result = benchmark(figure1)
+    assert result.primary_vars == 16
+
+
+def test_figure2_enumeration(benchmark):
+    solutions = once(benchmark, figure2, 4)
+    assert len(solutions) == 5  # the paper's Figure 2

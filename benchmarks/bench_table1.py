@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 (subject properties and model counts)."""
+
+from benchmarks.conftest import once
+from repro.experiments.table1 import table1
+
+
+def test_table1_counts(benchmark, bench_config):
+    rows = once(benchmark, table1, bench_config)
+    assert len(rows) == len(bench_config.properties)
+    for row in rows:
+        # The no-symmetry-breaking exact count must equal the closed form —
+        # the same consistency the published table exhibits.
+        assert row.valid_nosymbr_exact == row.closed_form
+        assert row.valid_symbr_alloy == row.valid_symbr_exact
+
+
+def test_table1_paper_scopes_analytic(benchmark, bench_config):
+    rows = once(benchmark, table1, bench_config, paper_scopes=True)
+    published = {
+        "PartialOrder": 8_321_472,
+        "Function": 16_777_216,
+        "Reflexive": 1_048_576,
+        "Antisymmetric": 1_889_568,
+    }
+    for row in rows:
+        assert row.closed_form == published[row.property_name]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 2 (six models × splits, symmetry broken)."""
+
+from benchmarks.conftest import once
+from repro.experiments.classification import classification_table
+
+
+def test_table2_classification_grid(benchmark, bench_config):
+    rows = once(
+        benchmark,
+        classification_table,
+        bench_config,
+        property_name="PartialOrder",
+        symmetry_breaking=True,
+        ratios=(0.75, 0.25),
+    )
+    assert len(rows) == 12
+    # RQ1 at reduced scope: every model clears 0.8 accuracy at 75:25.
+    for row in rows:
+        if row.ratio == "75:25":
+            assert row.counts.accuracy >= 0.80

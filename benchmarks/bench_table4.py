@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 4 (six models × splits, symmetries intact)."""
+
+from benchmarks.conftest import once
+from repro.experiments.classification import classification_table
+
+
+def test_table4_classification_grid(benchmark, bench_config):
+    rows = once(
+        benchmark,
+        classification_table,
+        bench_config,
+        property_name="PartialOrder",
+        symmetry_breaking=False,
+        ratios=(0.75, 0.25),
+    )
+    assert len(rows) == 12
+    for row in rows:
+        assert 0.0 <= row.counts.f1 <= 1.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 6 (train with symbr, evaluate on full space).
+
+RQ4 scenario (1): symmetries absent from training but present in the
+evaluation space — the worst case in the paper, where even recall drops.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments.generalization import generalization_table
+
+
+def test_table6_symmetry_mismatch(benchmark, bench_config):
+    rows = once(benchmark, generalization_table, 6, bench_config)
+    by_name = {r.property_name: r for r in rows}
+    # Trained on lex-min representatives only, the tree misses permuted
+    # positives: whole-space recall falls below the test-set recall.
+    sparse = by_name["PartialOrder"]
+    assert sparse.phi_recall <= sparse.test_recall + 1e-9

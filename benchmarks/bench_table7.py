@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 7 (train without symbr, evaluate in the
+symmetry-reduced space) — RQ4 scenario (2)."""
+
+from benchmarks.conftest import once
+from repro.experiments.generalization import generalization_table
+
+
+def test_table7_symmetry_mismatch(benchmark, bench_config):
+    rows = once(benchmark, generalization_table, 7, bench_config)
+    by_name = {r.property_name: r for r in rows}
+    # Richer training (with symmetric copies) keeps recall high in the
+    # reduced space — Table 7's minimum recall stays at ~0.99 in the paper.
+    assert by_name["Reflexive"].phi_recall >= 0.9
+    assert len(rows) == len(bench_config.properties)

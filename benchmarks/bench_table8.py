@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 8 (DiffMC between two decision trees)."""
+
+from benchmarks.conftest import once
+from repro.experiments.table8 import table8
+
+
+def test_table8_diffmc(benchmark, bench_config):
+    rows = once(benchmark, table8, bench_config)
+    assert len(rows) == len(bench_config.properties)
+    for row in rows:
+        result = row.result
+        # Partition invariant and the paper's observation that two trees
+        # trained on the same data are nearly identical semantically.
+        assert result.tt + result.tf + result.ft + result.ff == 2**16
+        assert result.diff <= 0.30

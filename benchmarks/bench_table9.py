@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 9 (class-ratio sweep, traditional vs MCML)."""
+
+from benchmarks.conftest import once
+from repro.experiments.table9 import table9
+
+
+def test_table9_class_ratios(benchmark, bench_config):
+    rows = once(benchmark, table9, bench_config)
+    assert [r.ratio for r in rows][0] == "99:1"
+    # Traditional precision stays flattering at every ratio while MCML
+    # exposes the skew-trained model (the published Table 9 trend).
+    most_skewed = rows[0]
+    balanced = next(r for r in rows if r.ratio == "50:50")
+    assert most_skewed.traditional_precision >= 0.9
+    assert most_skewed.mcml_precision < balanced.mcml_precision + 1e-9

@@ -1,0 +1,64 @@
+"""The Alloy workflow of the paper's Section 3, end to end.
+
+Parses the Figure 1 specification with the built-in Alloy-subset front end,
+compiles the `E4: run Equivalence for exactly 4 S` command to CNF with
+partial symmetry breaking, enumerates all solutions with the CDCL solver
+(reproducing Figure 2's five equivalence relations), and estimates /
+computes the model count with both counting back-ends — the §3 ApproxMC /
+ProjMC walk-through at a laptop-sized scope.
+
+Run:  python examples/alloy_workflow.py
+"""
+
+from repro.counting import ApproxMCCounter, ExactCounter
+from repro.experiments.render import render_matrix
+from repro.sat import enumerate_models
+from repro.spec import SymmetryBreaking, translate
+from repro.spec.parser import parse
+
+SPEC = """
+sig S { r: set S } // r is a binary relation of type SxS
+pred Reflexive() { all s: S | s->s in r }
+pred Symmetric() {
+  all s, t: S | s->t in r implies t->s in r }
+pred Transitive() { all s, t, u: S |
+  s->t in r and t->u in r implies s->u in r }
+pred Equivalence() {
+  Reflexive and Symmetric and Transitive }
+E4: run Equivalence for exactly 4 S
+"""
+
+
+def main() -> None:
+    spec = parse(SPEC)
+    command = spec.runs[0]
+    print(f"parsed sig {spec.sig_name!r} with predicates: {', '.join(spec.predicates)}")
+    print(f"executing command {command.label}: run {command.predicate} "
+          f"for exactly {command.scope} {spec.sig_name}")
+
+    problem = translate(
+        spec.formula(command.predicate),
+        command.scope,
+        symmetry=SymmetryBreaking("adjacent"),
+    )
+    stats = problem.stats()
+    print(
+        f"compiled to CNF: {stats['primary_vars']} primary vars, "
+        f"{stats['total_vars']} total vars, {stats['clauses']} clauses"
+    )
+
+    print("\nenumerating all solutions (Figure 2):")
+    order = problem.primary_vars
+    for index, model in enumerate(enumerate_models(problem.cnf), start=1):
+        bits = [1 if model[v] else 0 for v in order]
+        print(f"\nsolution {index}:")
+        print(render_matrix(bits, command.scope))
+
+    exact = ExactCounter().count(problem.cnf)
+    estimate = ApproxMCCounter(seed=0).count(problem.cnf)
+    print(f"\nexact model count (ProjMC stand-in):     {exact}")
+    print(f"approximate count (ApproxMC stand-in):   {estimate}")
+
+
+if __name__ == "__main__":
+    main()

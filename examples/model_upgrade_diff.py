@@ -1,0 +1,49 @@
+"""Should a deployed model be replaced by a compressed one?
+
+The paper's closing discussion: "if a trained model in a deployed system is
+to be upgraded... model counting could be a metric that informs the
+decision."  DiffMC answers it rigorously, with no test set and no ground
+truth: count, over the entire input space, the states on which the two
+models disagree.
+
+Here a full decision tree for `PreOrder` is compared against two candidate
+replacements — a moderately pruned tree and an aggressively pruned stump —
+and the semantic diff makes the call obvious.
+
+Run:  python examples/model_upgrade_diff.py
+"""
+
+from repro.core import DiffMC
+from repro.data import generate_dataset
+from repro.ml import DecisionTreeClassifier
+from repro.spec import get_property
+
+SCOPE = 4
+PROPERTY = get_property("PreOrder")
+
+
+def main() -> None:
+    dataset = generate_dataset(PROPERTY, SCOPE, rng=0)
+    train, _ = dataset.split(0.75, rng=0)
+    X, y = train.X.astype(float), train.y
+
+    deployed = DecisionTreeClassifier().fit(X, y)
+    pruned = DecisionTreeClassifier(max_depth=8, min_samples_leaf=3).fit(X, y)
+    stump = DecisionTreeClassifier(max_depth=2).fit(X, y)
+
+    print(f"deployed model: {deployed.n_leaves()} leaves")
+    diff = DiffMC()
+    for name, candidate in [("pruned (depth<=8)", pruned), ("stump (depth<=2)", stump)]:
+        result = diff.evaluate(deployed, candidate)
+        print(f"\ncandidate {name}: {candidate.n_leaves()} leaves")
+        print(
+            f"  TT={result.tt}  TF={result.tf}  FT={result.ft}  FF={result.ff}"
+            f"  (of 2^{result.num_inputs} inputs)"
+        )
+        print(f"  semantic diff: {100 * result.diff:.3f}%  similarity: {100 * result.sim:.3f}%")
+        verdict = "safe swap" if result.diff < 0.01 else "behavioural change - audit first"
+        print(f"  verdict: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (`pip install -e .`) cannot build an editable
+wheel.  This shim lets pip fall back to ``setup.py develop``:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Model counting back-ends.
+
+MCML reduces every whole-input-space metric to model counting.  The paper
+uses two external tools; we implement both families natively, plus two more
+back-ends used for validation and ablation:
+
+* :mod:`repro.counting.exact` — exact counting in the ProjMC/sharpSAT
+  tradition: DPLL search with unit propagation, connected-component
+  decomposition and component caching.  This is the default backend.
+* :mod:`repro.counting.approxmc` — ApproxMC2-style (ε, δ) approximate
+  counting with random XOR hash constraints and bounded cell enumeration.
+* :mod:`repro.counting.brute` — numpy-vectorised exhaustive counting for
+  small variable counts; the ground truth for differential tests.
+* :mod:`repro.counting.bdd` — reduced OBDD compilation counter, mirroring
+  the "compilation" alternative discussed in the paper's related work.
+* :mod:`repro.counting.oracles` — closed-form combinatorial counts for the
+  16 relational properties (Bell numbers, labeled posets, …), used to check
+  Table 1 at paper scopes without running a counter.
+"""
+
+from repro.counting.approxmc import ApproxMCCounter, approx_count
+from repro.counting.bdd import BDDCounter, bdd_count
+from repro.counting.brute import brute_force_count, brute_force_models
+from repro.counting.exact import ExactCounter, exact_count
+from repro.counting.oracles import closed_form_count
+from repro.counting.vector import FormulaBruteCounter, count_formula
+
+__all__ = [
+    "ApproxMCCounter",
+    "BDDCounter",
+    "ExactCounter",
+    "FormulaBruteCounter",
+    "approx_count",
+    "bdd_count",
+    "brute_force_count",
+    "brute_force_models",
+    "closed_form_count",
+    "count_formula",
+    "exact_count",
+]

@@ -1,0 +1,196 @@
+"""Approximate model counting (ApproxMC-style backend).
+
+Implements the hashing-based (ε, δ) counting algorithm of
+Chakraborty–Meel–Vardi as engineered in ApproxMC2/4 (the tool the paper
+calls):
+
+1. pick ``m`` random XOR constraints over the projection variables — each
+   constraint includes every projection variable independently with
+   probability ½ plus a random parity bit — partitioning the solution space
+   into ~``2^m`` cells;
+2. enumerate the cell containing up to ``thresh`` solutions (projected
+   AllSAT with a cutoff);
+3. find the ``m`` at which the cell size falls below ``thresh`` (galloping
+   search seeded by the previous round's ``m``);
+4. report ``cell_size × 2^m``, taking the median over ``t`` rounds.
+
+The (ε, δ) guarantee is inherited from the published analysis:
+``thresh = 1 + 9.84·(1 + ε/(1+ε))·(1 + 1/ε)²`` and a number of rounds that
+grows with ``log(1/δ)``.  XOR constraints are CNF-encoded with a chain of
+biconditionally defined parity auxiliaries, preserving the unique-extension
+invariant, and cells are enumerated projected on the primary variables so the
+auxiliaries never influence counts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.logic.cnf import CNF
+from repro.sat.enumerate import count_models
+
+
+@dataclass(frozen=True)
+class XorConstraint:
+    """A parity constraint ``xor(variables) = rhs``."""
+
+    variables: tuple[int, ...]
+    rhs: bool
+
+    def holds(self, assignment: dict[int, bool]) -> bool:
+        parity = False
+        for v in self.variables:
+            parity ^= assignment[v]
+        return parity == self.rhs
+
+
+def random_xor(projection: Sequence[int], rng: random.Random) -> XorConstraint:
+    """Draw one hash constraint: each variable with probability ½, random rhs."""
+    chosen = tuple(v for v in projection if rng.random() < 0.5)
+    return XorConstraint(chosen, rng.random() < 0.5)
+
+
+def encode_xor(cnf: CNF, constraint: XorConstraint) -> None:
+    """Append the CNF encoding of ``constraint`` to ``cnf`` in place.
+
+    Uses a linear chain: ``c₁ = x₁``, ``cᵢ = cᵢ₋₁ ⊕ xᵢ``, asserting the final
+    chain variable equal to the parity bit.  Each ⊕ definition is four
+    clauses; auxiliaries are biconditional so unique extension is preserved.
+    """
+    variables = constraint.variables
+    if not variables:
+        if constraint.rhs:
+            # xor() = 0, so requiring rhs=1 is unsatisfiable.
+            fresh = cnf.new_var()
+            cnf.add_clause((fresh,))
+            cnf.add_clause((-fresh,))
+        return
+    prev = variables[0]
+    for v in variables[1:]:
+        parity = cnf.new_var()
+        # parity ↔ prev ⊕ v
+        cnf.add_clause((-parity, prev, v))
+        cnf.add_clause((-parity, -prev, -v))
+        cnf.add_clause((parity, prev, -v))
+        cnf.add_clause((parity, -prev, v))
+        prev = parity
+    cnf.add_clause((prev,) if constraint.rhs else (-prev,))
+
+
+def compute_threshold(epsilon: float) -> int:
+    """Cell-size pivot from the ApproxMC analysis."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return int(1 + 9.84 * (1 + epsilon / (1 + epsilon)) * (1 + 1 / epsilon) ** 2)
+
+
+def compute_rounds(delta: float) -> int:
+    """Number of median rounds for confidence 1 − δ (odd, ≥ 1).
+
+    Uses the standard Chernoff-style bound ``t = ⌈17·log₂(3/δ)⌉`` from the
+    ApproxMC papers, capped for practicality on a pure-Python stack; callers
+    wanting the full published guarantee can pass ``rounds`` explicitly.
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    t = math.ceil(17 * math.log2(3 / delta))
+    t = min(t, 21)
+    return t if t % 2 == 1 else t + 1
+
+
+class ApproxMCCounter:
+    """(ε, δ) approximate projected model counter."""
+
+    name = "approxmc"
+
+    def __init__(
+        self,
+        epsilon: float = 0.8,
+        delta: float = 0.2,
+        seed: int | None = 0,
+        rounds: int | None = None,
+    ) -> None:
+        self.epsilon = epsilon
+        self.delta = delta
+        self.threshold = compute_threshold(epsilon)
+        self.rounds = rounds if rounds is not None else compute_rounds(delta)
+        self._rng = random.Random(seed)
+
+    def count(self, cnf: CNF) -> int:
+        """Approximate number of projected models."""
+        projection = sorted(cnf.projected_vars())
+        # Quick exit: fewer than `threshold` solutions are counted exactly.
+        exact_small = count_models(cnf, projection=projection, limit=self.threshold)
+        if exact_small < self.threshold:
+            return exact_small
+
+        estimates: list[int] = []
+        prev_m = 0
+        for _ in range(self.rounds):
+            estimate, prev_m = self._one_round(cnf, projection, prev_m)
+            if estimate is not None:
+                estimates.append(estimate)
+        if not estimates:
+            raise RuntimeError("all ApproxMC rounds failed to converge")
+        estimates.sort()
+        return estimates[len(estimates) // 2]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _cell_size(
+        self, cnf: CNF, projection: Sequence[int], xors: Sequence[XorConstraint], m: int
+    ) -> int:
+        """Solutions in the cell carved by the first ``m`` hashes, capped."""
+        hashed = cnf.copy()
+        for constraint in xors[:m]:
+            encode_xor(hashed, constraint)
+        return count_models(hashed, projection=projection, limit=self.threshold)
+
+    def _one_round(
+        self, cnf: CNF, projection: Sequence[int], prev_m: int
+    ) -> tuple[int | None, int]:
+        """One ApproxMCCore invocation: returns (estimate or None, final m)."""
+        max_m = len(projection)
+        xors = [random_xor(projection, self._rng) for _ in range(max_m)]
+
+        def small_enough(m: int) -> tuple[bool, int]:
+            size = self._cell_size(cnf, projection, xors, m)
+            return size < self.threshold, size
+
+        # Galloping search for the frontier m*: cell(m*) < thresh ≤ cell(m*-1).
+        m = min(max(prev_m, 1), max_m)
+        ok, size = small_enough(m)
+        if ok:
+            # Walk down until the cell saturates again.
+            while m > 1:
+                ok_below, size_below = small_enough(m - 1)
+                if ok_below:
+                    m -= 1
+                    size = size_below
+                else:
+                    break
+            if m == 1:
+                ok1, size1 = small_enough(1)
+                if ok1:
+                    size = size1
+            return size * (1 << m), m
+        # Walk up until the cell becomes small.
+        while m < max_m:
+            m += 1
+            ok, size = small_enough(m)
+            if ok:
+                return size * (1 << m), m
+        return None, prev_m
+
+
+def approx_count(
+    cnf: CNF,
+    epsilon: float = 0.8,
+    delta: float = 0.2,
+    seed: int | None = 0,
+) -> int:
+    """One-shot approximate projected model count."""
+    return ApproxMCCounter(epsilon=epsilon, delta=delta, seed=seed).count(cnf)

@@ -1,0 +1,247 @@
+"""Exact model counting (ProjMC-style backend).
+
+The counter is a DPLL-style #SAT procedure in the sharpSAT lineage:
+
+* unit propagation with failure detection;
+* decomposition of the residual formula into connected components (on the
+  clause/variable incidence graph), counted independently and multiplied;
+* component caching keyed on the normalised residual clauses;
+* branching on the most-occurring variable.
+
+Projection.  The paper's counting problems are *projected*: only the ``n²``
+primary variables (the relation bits) are counted, while CNF translation may
+introduce auxiliary variables.  Every encoding in this project defines its
+auxiliaries biconditionally, so each projected assignment extends to exactly
+one total model and plain #SAT equals projected #SAT (DESIGN.md §5.2); CNF
+objects carry an ``aux_unique`` flag recording that guarantee.  When the flag
+is absent (counting someone else's CNF), the counter falls back to a slower
+but unconditionally correct projected DPLL that branches only on projection
+variables and asks a CDCL oracle whether the auxiliary remainder is
+satisfiable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from collections.abc import Iterable, Sequence
+
+from repro.logic.cnf import CNF, Clause
+from repro.sat.solver import SatResult, Solver
+
+
+class CounterBudgetExceeded(Exception):
+    """Raised when the counter exceeds its node budget (acts as a timeout)."""
+
+
+class ExactCounter:
+    """Exact (projected) model counter.
+
+    Parameters
+    ----------
+    max_nodes:
+        Budget on search nodes; ``CounterBudgetExceeded`` is raised when
+        exhausted.  This substitutes for the paper's 5000-second timeout.
+    """
+
+    name = "exact"
+
+    def __init__(self, max_nodes: int = 5_000_000) -> None:
+        self.max_nodes = max_nodes
+        self._nodes = 0
+        self._cache: dict[frozenset[Clause], int] = {}
+
+    # -- public API ---------------------------------------------------------------
+
+    def count(self, cnf: CNF) -> int:
+        """Number of models of ``cnf`` projected onto ``cnf.projected_vars()``."""
+        self._nodes = 0
+        self._cache = {}
+        if any(len(clause) == 0 for clause in cnf.clauses):
+            return 0  # an empty clause is unsatisfiable
+        projection = cnf.projected_vars()
+        if cnf.counts_without_projection():
+            clause_vars = cnf.variables()
+            free = len(projection - clause_vars)
+            clauses = [tuple(c) for c in cnf.clauses]
+            return (1 << free) * self._sharp(clauses)
+        return _projected_dpll(cnf, self.max_nodes)
+
+    # -- unprojected #SAT with component caching ------------------------------------
+
+    def _sharp(self, clauses: list[Clause]) -> int:
+        """#models over exactly the variables occurring in ``clauses``."""
+        if not clauses:
+            return 1
+        key = frozenset(clauses)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self._nodes += 1
+        if self._nodes > self.max_nodes:
+            raise CounterBudgetExceeded(f"exceeded {self.max_nodes} nodes")
+
+        simplified = _propagate_units(clauses)
+        if simplified is None:
+            self._cache[key] = 0
+            return 0
+        residual, eliminated = simplified
+        # Variables fixed by propagation contribute a single assignment each;
+        # variables that *disappeared* without being fixed are free.
+        vanished = _vars_of(clauses) - _vars_of(residual) - eliminated
+        multiplier = 1 << len(vanished)
+
+        total = multiplier
+        if residual:
+            total = multiplier
+            product = 1
+            for component in _components(residual):
+                product *= self._count_component(component)
+                if product == 0:
+                    break
+            total *= product
+        self._cache[key] = total
+        return total
+
+    def _count_component(self, clauses: list[Clause]) -> int:
+        key = frozenset(clauses)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        var = _most_frequent_var(clauses)
+        total = 0
+        for polarity in (var, -var):
+            branch = _assign(clauses, polarity)
+            if branch is None:
+                continue
+            residual_vars = _vars_of(clauses) - {var}
+            branch_vars = _vars_of(branch)
+            free = len(residual_vars - branch_vars)
+            total += (1 << free) * self._sharp(branch)
+        self._cache[key] = total
+        return total
+
+
+def exact_count(cnf: CNF, max_nodes: int = 5_000_000) -> int:
+    """One-shot exact projected model count."""
+    return ExactCounter(max_nodes=max_nodes).count(cnf)
+
+
+# -- clause-level helpers --------------------------------------------------------------
+
+
+def _vars_of(clauses: Iterable[Clause]) -> set[int]:
+    return {abs(l) for clause in clauses for l in clause}
+
+
+def _assign(clauses: Sequence[Clause], literal: int) -> list[Clause] | None:
+    """Residual clauses after asserting ``literal``; None on an empty clause."""
+    out: list[Clause] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            shrunk = tuple(l for l in clause if l != -literal)
+            if not shrunk:
+                return None
+            out.append(shrunk)
+        else:
+            out.append(clause)
+    return out
+
+
+def _propagate_units(
+    clauses: Sequence[Clause],
+) -> tuple[list[Clause], set[int]] | None:
+    """Exhaustive unit propagation.
+
+    Returns (residual clauses, set of variables fixed by propagation), or
+    ``None`` on conflict.
+    """
+    work = list(clauses)
+    fixed: set[int] = set()
+    while True:
+        unit = next((c[0] for c in work if len(c) == 1), None)
+        if unit is None:
+            return work, fixed
+        if abs(unit) in fixed:
+            # Both polarities as units → conflict (the other polarity would
+            # have been eliminated otherwise).
+            return None
+        fixed.add(abs(unit))
+        next_work = _assign(work, unit)
+        if next_work is None:
+            return None
+        work = next_work
+
+
+def _components(clauses: Sequence[Clause]) -> list[list[Clause]]:
+    """Partition clauses into connected components by shared variables."""
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for clause in clauses:
+        variables = [abs(l) for l in clause]
+        for v in variables:
+            parent.setdefault(v, v)
+        for v in variables[1:]:
+            union(variables[0], v)
+
+    groups: dict[int, list[Clause]] = {}
+    for clause in clauses:
+        root = find(abs(clause[0]))
+        groups.setdefault(root, []).append(clause)
+    return list(groups.values())
+
+
+def _most_frequent_var(clauses: Sequence[Clause]) -> int:
+    counts: _Counter[int] = _Counter()
+    for clause in clauses:
+        for l in clause:
+            counts[abs(l)] += 1
+    return counts.most_common(1)[0][0]
+
+
+# -- unconditionally correct projected counting ------------------------------------------
+
+
+def _projected_dpll(cnf: CNF, max_nodes: int) -> int:
+    """Projected counting without the unique-extension assumption.
+
+    Branches over projection variables only; once the projection is fully
+    assigned the auxiliary remainder is checked for satisfiability with the
+    CDCL solver.  Exponential in the projection size — this is the fallback
+    for externally supplied CNFs, not the hot path.
+    """
+    projection = sorted(cnf.projected_vars())
+    solver = Solver(cnf.num_vars)
+    for clause in cnf.clauses:
+        solver.add_clause(clause)
+
+    nodes = 0
+
+    def go(index: int, assumptions: list[int]) -> int:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise CounterBudgetExceeded(f"exceeded {max_nodes} nodes")
+        result = solver.solve(assumptions=assumptions)
+        if result is not SatResult.SAT:
+            return 0
+        if index == len(projection):
+            return 1
+        var = projection[index]
+        return go(index + 1, assumptions + [var]) + go(
+            index + 1, assumptions + [-var]
+        )
+
+    return go(0, [])

@@ -1,0 +1,93 @@
+"""Tables 2 and 4: test-set performance of all six models across splits.
+
+Table 2 uses datasets generated with (partial) symmetry breaking, Table 4
+without; both show one property (PartialOrder in the paper, configurable
+here) across training:test ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import MCMLPipeline
+from repro.experiments.config import ExperimentConfig, PRINTED_RATIOS
+from repro.experiments.render import render_table
+from repro.ml.metrics import ConfusionCounts
+from repro.spec.properties import get_property
+from repro.spec.symmetry import SymmetryBreaking
+
+
+@dataclass(frozen=True)
+class ClassificationRow:
+    ratio: str  # e.g. "75:25"
+    model: str
+    counts: ConfusionCounts
+
+    @property
+    def metrics(self) -> tuple[float, float, float, float]:
+        c = self.counts
+        return (c.accuracy, c.precision, c.recall, c.f1)
+
+
+def _ratio_label(train_fraction: float) -> str:
+    train = round(train_fraction * 100)
+    return f"{train}:{100 - train}"
+
+
+def classification_table(
+    config: ExperimentConfig | None = None,
+    property_name: str = "PartialOrder",
+    symmetry_breaking: bool = True,
+    ratios: tuple[float, ...] = PRINTED_RATIOS,
+    models: tuple[str, ...] = ("DT", "RFT", "GBDT", "ABT", "SVM", "MLP"),
+) -> list[ClassificationRow]:
+    """Compute Table 2 (``symmetry_breaking=True``) or Table 4 (False)."""
+    config = config or ExperimentConfig()
+    prop = get_property(property_name)
+    # Classification tables involve no model counting, so they can afford a
+    # larger scope than the whole-space tables — more positives means the
+    # 1:99 split still trains on a usable sample, as in the paper.
+    scope = config.scope if config.scope is not None else max(prop.repro_scope, 5)
+    symmetry = SymmetryBreaking("adjacent") if symmetry_breaking else None
+
+    pipeline = MCMLPipeline(seed=config.seed)
+    dataset = pipeline.make_dataset(
+        prop, scope, symmetry=symmetry, max_positives=config.max_positives
+    )
+
+    rows: list[ClassificationRow] = []
+    for train_fraction in ratios:
+        for model_name in models:
+            result = pipeline.run(
+                prop,
+                scope,
+                model_name=model_name,
+                train_fraction=train_fraction,
+                dataset=dataset,
+                whole_space=False,
+                **config.model_params.get(model_name, {}),
+            )
+            rows.append(
+                ClassificationRow(
+                    ratio=_ratio_label(train_fraction),
+                    model=model_name,
+                    counts=result.test_counts,
+                )
+            )
+    return rows
+
+
+def render(rows: list[ClassificationRow], symmetry_breaking: bool = True) -> str:
+    which = "Table 2" if symmetry_breaking else "Table 4"
+    mode = "with" if symmetry_breaking else "without"
+    body = [
+        [r.ratio, r.model, *r.metrics]
+        for r in rows
+    ]
+    return render_table(
+        ["Ratio", "Model", "Accuracy", "Precision", "Recall", "F1-score"],
+        body,
+        title=f"{which}: classification results on the test set ({mode} symmetry breaking)",
+    )

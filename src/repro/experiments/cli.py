@@ -1,0 +1,134 @@
+"""Command-line entry point: ``mcml <artifact> [options]``.
+
+Examples::
+
+    mcml figure2
+    mcml table1
+    mcml table1 --paper-scopes          # analytic verification at paper scopes
+    mcml table3 --properties Reflexive PartialOrder --scope 4
+    mcml table9
+    mcml all                            # every artifact, reduced scopes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import classification, figures, generalization
+from repro.experiments import table1 as table1_mod
+from repro.experiments import table8 as table8_mod
+from repro.experiments import table9 as table9_mod
+from repro.experiments.config import ExperimentConfig
+from repro.spec.properties import property_names
+
+ARTIFACTS = (
+    "table1", "table2", "table3", "table4", "table5",
+    "table6", "table7", "table8", "table9", "figure1", "figure2", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mcml",
+        description="Regenerate the tables and figures of the MCML paper (PLDI 2020).",
+    )
+    parser.add_argument("artifact", choices=ARTIFACTS, help="which artifact to regenerate")
+    parser.add_argument(
+        "--properties",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help=f"subset of properties (default: all 16); choices: {', '.join(property_names())}",
+    )
+    parser.add_argument(
+        "--scope", type=int, default=None, help="override the scope for every property"
+    )
+    parser.add_argument(
+        "--counter",
+        choices=("exact", "approx", "brute"),
+        default="exact",
+        help="model-counting backend for whole-space metrics (default: exact)",
+    )
+    parser.add_argument(
+        "--accmc-mode",
+        choices=("product", "derived"),
+        default="derived",
+        help="AccMC construction (product = the paper's four counting problems)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--train-fraction", type=float, default=0.10,
+        help="training fraction for the generalization tables (default 0.10)",
+    )
+    parser.add_argument(
+        "--max-positives", type=int, default=5000,
+        help="cap on bounded-exhaustive positive sets (default 5000)",
+    )
+    parser.add_argument(
+        "--paper-scopes", action="store_true",
+        help="table1 only: report at paper scopes using closed forms",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    kwargs = dict(
+        scope=args.scope,
+        counter=args.counter,
+        accmc_mode=args.accmc_mode,
+        seed=args.seed,
+        train_fraction=args.train_fraction,
+        max_positives=args.max_positives,
+    )
+    if args.properties:
+        kwargs["properties"] = tuple(args.properties)
+    return ExperimentConfig(**kwargs)
+
+
+def run_artifact(artifact: str, config: ExperimentConfig, paper_scopes: bool = False) -> str:
+    if artifact == "table1":
+        return table1_mod.render(table1_mod.table1(config, paper_scopes=paper_scopes))
+    if artifact in ("table2", "table4"):
+        symbr = artifact == "table2"
+        rows = classification.classification_table(config, symmetry_breaking=symbr)
+        return classification.render(rows, symmetry_breaking=symbr)
+    if artifact in ("table3", "table5", "table6", "table7"):
+        number = int(artifact[-1])
+        return generalization.render(
+            generalization.generalization_table(number, config), number
+        )
+    if artifact == "table8":
+        return table8_mod.render(table8_mod.table8(config))
+    if artifact == "table9":
+        return table9_mod.render(table9_mod.table9(config))
+    if artifact == "figure1":
+        result = figures.figure1()
+        return (
+            "Figure 1: Alloy specification\n"
+            + result.source
+            + f"\nparsed predicates: {', '.join(result.predicates)}"
+            + f"\ncommand {result.run_label}: scope {result.run_scope} -> CNF with "
+            + f"{result.primary_vars} primary vars, {result.total_vars} total vars, "
+            + f"{result.clauses} clauses"
+        )
+    if artifact == "figure2":
+        solutions = figures.figure2()
+        return figures.render_figure2(solutions)
+    raise ValueError(f"unknown artifact {artifact!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    artifacts = (
+        [a for a in ARTIFACTS if a != "all"] if args.artifact == "all" else [args.artifact]
+    )
+    for artifact in artifacts:
+        print(run_artifact(artifact, config, paper_scopes=args.paper_scopes))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Experiment configuration and shared factories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.counting import ApproxMCCounter, ExactCounter, FormulaBruteCounter
+from repro.spec.properties import PROPERTIES, Property, get_property
+
+#: Fast out-of-the-box-ish model settings for the experiment grids.  The
+#: library defaults mirror scikit-learn exactly; these trim iteration counts
+#: so a full table finishes in minutes of pure Python (the relative ordering
+#: of models — the thing the tables show — is unaffected; see
+#: EXPERIMENTS.md).
+EXPERIMENT_MODEL_PARAMS: dict[str, dict] = {
+    "DT": {},
+    "RFT": {"n_estimators": 30},
+    "GBDT": {"n_estimators": 40},
+    "ABT": {"n_estimators": 30, "base_max_depth": 2},
+    "SVM": {"max_iter": 300},
+    "MLP": {"max_iter": 80},
+}
+
+#: The paper's five training fractions.
+PAPER_RATIOS = (0.75, 0.50, 0.25, 0.10, 0.01)
+
+#: The three ratios printed in Tables 2 and 4.
+PRINTED_RATIOS = (0.75, 0.25, 0.01)
+
+
+def make_counter(name: str, seed: int = 0):
+    """Counting backend by name: ``exact`` | ``approx`` | ``brute``."""
+    if name == "exact":
+        return ExactCounter()
+    if name == "approx":
+        return ApproxMCCounter(seed=seed)
+    if name == "brute":
+        return FormulaBruteCounter()
+    raise ValueError(f"unknown counter {name!r} (use exact, approx, or brute)")
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all drivers.
+
+    ``scope`` overrides every property's scope when set; otherwise each
+    property uses its reduced default (``Property.repro_scope``).
+    ``max_positives`` caps bounded-exhaustive sets so dense properties
+    (Reflexive has 4096 positives at scope 4) do not dominate runtime.
+    """
+
+    properties: tuple[str, ...] = tuple(p.name for p in PROPERTIES)
+    scope: int | None = None
+    counter: str = "exact"
+    accmc_mode: str = "derived"
+    seed: int = 0
+    train_fraction: float = 0.10
+    max_positives: int | None = 5000
+    model_params: dict[str, dict] = field(
+        default_factory=lambda: {k: dict(v) for k, v in EXPERIMENT_MODEL_PARAMS.items()}
+    )
+
+    def scope_for(self, prop: Property) -> int:
+        return self.scope if self.scope is not None else prop.repro_scope
+
+    def selected_properties(self) -> list[Property]:
+        return [get_property(name) for name in self.properties]
+
+    def build_counter(self):
+        return make_counter(self.counter, seed=self.seed)

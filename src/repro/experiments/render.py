@@ -1,0 +1,55 @@
+"""Plain-text table rendering in the style of the paper's tables."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def sci(value: int | float) -> str:
+    """Scientific notation as printed in Table 8 (e.g. ``7.86E+05``)."""
+    if value == 0:
+        return "0"
+    return f"{float(value):.2E}"
+
+
+def fmt(value, decimals: int = 4) -> str:
+    """Uniform cell formatting: floats to fixed decimals, rest as str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    decimals: int = 4,
+) -> str:
+    """Monospace table with aligned columns."""
+    cells = [[fmt(v, decimals) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_matrix(bits: Sequence[int], n: int) -> str:
+    """An adjacency matrix as an ASCII grid (for Figure 2)."""
+    lines = []
+    for i in range(n):
+        row = "".join("1" if bits[i * n + j] else "." for j in range(n))
+        lines.append(row)
+    return "\n".join(lines)

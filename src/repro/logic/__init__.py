@@ -1,0 +1,56 @@
+"""Propositional-logic substrate.
+
+This package provides the boolean building blocks every other subsystem rests
+on:
+
+* :mod:`repro.logic.formula` — a boolean formula AST (``Var``, ``Not``,
+  ``And``, ``Or``, ``Implies``, ``Iff`` plus constants) with evaluation,
+  negation-normal-form conversion and structural simplification.
+* :mod:`repro.logic.cnf` — a CNF container with DIMACS-style integer
+  literals, DIMACS text I/O, semantic evaluation and simple preprocessing.
+* :mod:`repro.logic.tseitin` — the Tseitin transform.  All auxiliary
+  variables are *biconditionally* defined so that every assignment of the
+  original variables extends to exactly one model of the transformed
+  formula; this is the invariant that lets the model counters treat
+  ``#SAT`` and projected ``#SAT`` interchangeably (see DESIGN.md §5.2).
+"""
+
+from repro.logic.cnf import CNF, Clause
+from repro.logic.formula import (
+    And,
+    FALSE,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    all_of,
+    any_of,
+    exactly_one,
+    at_most_one,
+    at_least_one,
+)
+from repro.logic.tseitin import tseitin_cnf, direct_cnf
+
+__all__ = [
+    "And",
+    "CNF",
+    "Clause",
+    "FALSE",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Not",
+    "Or",
+    "TRUE",
+    "Var",
+    "all_of",
+    "any_of",
+    "at_least_one",
+    "at_most_one",
+    "direct_cnf",
+    "exactly_one",
+    "tseitin_cnf",
+]

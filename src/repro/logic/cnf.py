@@ -1,0 +1,277 @@
+"""CNF formulas with DIMACS-style integer literals.
+
+A literal is a non-zero int: ``v`` for the positive literal of variable ``v``
+and ``-v`` for the negative one.  A clause is a tuple of literals, a CNF is a
+list of clauses plus bookkeeping:
+
+* ``num_vars`` — the highest variable id mentioned (or declared);
+* ``projection`` — the *primary* variables.  For formulas produced by the
+  relational layer these are the ``n²`` adjacency-matrix bits; auxiliary
+  Tseitin variables come after them.  Model counters count distinct
+  assignments to the projection set.
+
+The class is intentionally a plain data container — solving and counting live
+in :mod:`repro.sat` and :mod:`repro.counting`.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+Clause = tuple[int, ...]
+
+
+def _normalize_clause(literals: Iterable[int]) -> Clause | None:
+    """Sort, dedupe, and detect tautologies.
+
+    Returns ``None`` for tautological clauses (containing ``v`` and ``-v``).
+    Raises on the literal ``0`` which DIMACS reserves as a terminator.
+    """
+    seen: set[int] = set()
+    for lit in literals:
+        if lit == 0:
+            raise ValueError("0 is not a valid literal")
+        if -lit in seen:
+            return None
+        seen.add(lit)
+    return tuple(sorted(seen, key=abs))
+
+
+class CNF:
+    """A propositional formula in conjunctive normal form."""
+
+    __slots__ = ("clauses", "num_vars", "projection", "aux_unique")
+
+    def __init__(
+        self,
+        clauses: Iterable[Iterable[int]] = (),
+        num_vars: int = 0,
+        projection: Iterable[int] | None = None,
+        aux_unique: bool = False,
+    ) -> None:
+        self.clauses: list[Clause] = []
+        self.num_vars = num_vars
+        self.projection: frozenset[int] | None = (
+            frozenset(projection) if projection is not None else None
+        )
+        # True when every assignment of the projection variables extends to
+        # at most one model over the auxiliary variables (e.g. biconditional
+        # Tseitin output).  Model counters may then count over all variables.
+        self.aux_unique = aux_unique
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause; tautologies are dropped silently."""
+        clause = _normalize_clause(literals)
+        if clause is None:
+            return
+        if clause:
+            self.num_vars = max(self.num_vars, max(abs(l) for l in clause))
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable id."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def copy(self) -> "CNF":
+        other = CNF(
+            num_vars=self.num_vars,
+            projection=self.projection,
+            aux_unique=self.aux_unique,
+        )
+        other.clauses = list(self.clauses)
+        return other
+
+    def conjoin(self, other: "CNF") -> "CNF":
+        """A new CNF equal to ``self ∧ other`` (variable ids must agree).
+
+        The projection of the result is the union of projections (treating a
+        missing projection as "all variables of that operand").
+        """
+        result = self.copy()
+        result.num_vars = max(self.num_vars, other.num_vars)
+        result.clauses.extend(other.clauses)
+        result.aux_unique = self.counts_without_projection() and other.counts_without_projection()
+        if self.projection is None and other.projection is None:
+            result.projection = None
+        else:
+            mine = self.projection if self.projection is not None else self.variables()
+            theirs = other.projection if other.projection is not None else other.variables()
+            result.projection = frozenset(mine) | frozenset(theirs)
+        return result
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def variables(self) -> frozenset[int]:
+        """Variables actually occurring in clauses."""
+        return frozenset(abs(l) for clause in self.clauses for l in clause)
+
+    def projected_vars(self) -> frozenset[int]:
+        """The counting projection: declared projection, else all of 1..num_vars."""
+        if self.projection is not None:
+            return self.projection
+        return frozenset(range(1, self.num_vars + 1))
+
+    def aux_vars(self) -> frozenset[int]:
+        """Variables outside the projection (Tseitin/encoding auxiliaries)."""
+        return self.variables() - self.projected_vars()
+
+    def counts_without_projection(self) -> bool:
+        """True when ``#models == #projected models`` is guaranteed.
+
+        Holds when there are no auxiliary variables at all, or when the
+        auxiliaries are flagged as uniquely extending (``aux_unique``).
+        """
+        return self.aux_unique or not self.aux_vars()
+
+    def evaluate(self, assignment: Mapping[int, bool] | Sequence[bool]) -> bool:
+        """Evaluate under a total assignment.
+
+        ``assignment`` maps variable ids to booleans; a sequence is treated as
+        0-indexed by ``var_id - 1``.
+        """
+        lookup = _assignment_lookup(assignment)
+        return all(any(lookup(lit) for lit in clause) for clause in self.clauses)
+
+    def is_horn(self) -> bool:
+        """True when every clause has at most one positive literal."""
+        return all(sum(1 for l in clause if l > 0) <= 1 for clause in self.clauses)
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics as reported in the paper's metadata tables."""
+        proj = self.projection or frozenset()
+        return {
+            "primary_vars": len(proj),
+            "total_vars": self.num_vars,
+            "clauses": len(self.clauses),
+            "literals": sum(len(c) for c in self.clauses),
+        }
+
+    # -- DIMACS ----------------------------------------------------------------
+
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format.
+
+        The projection set is emitted as ``c ind`` comment lines, the
+        convention ApproxMC and ProjMC use for projected counting.
+        """
+        out = io.StringIO()
+        if self.projection is not None:
+            ordered = sorted(self.projection)
+            for start in range(0, len(ordered), 10):
+                chunk = " ".join(map(str, ordered[start : start + 10]))
+                out.write(f"c ind {chunk} 0\n")
+        out.write(f"p cnf {self.num_vars} {len(self.clauses)}\n")
+        for clause in self.clauses:
+            out.write(" ".join(map(str, clause)) + " 0\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS CNF, honouring ``c ind`` projection comments."""
+        clauses: list[list[int]] = []
+        projection: set[int] = set()
+        declared_vars = 0
+        pending: list[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("c"):
+                parts = line.split()
+                if len(parts) >= 2 and parts[1] == "ind":
+                    projection.update(
+                        int(tok) for tok in parts[2:] if tok != "0"
+                    )
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed problem line: {line!r}")
+                declared_vars = int(parts[2])
+                continue
+            for tok in line.split():
+                lit = int(tok)
+                if lit == 0:
+                    clauses.append(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if pending:
+            clauses.append(pending)
+        cnf = cls(clauses, num_vars=declared_vars, projection=projection or None)
+        return cnf
+
+    def __repr__(self) -> str:
+        proj = len(self.projection) if self.projection is not None else "all"
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)}, proj={proj})"
+
+
+def _assignment_lookup(assignment: Mapping[int, bool] | Sequence[bool]):
+    """Uniform literal-truth lookup over dict- or sequence-style assignments."""
+    if isinstance(assignment, Mapping):
+
+        def lookup(lit: int) -> bool:
+            value = assignment[abs(lit)]
+            return bool(value) if lit > 0 else not value
+
+    else:
+
+        def lookup(lit: int) -> bool:
+            value = assignment[abs(lit) - 1]
+            return bool(value) if lit > 0 else not value
+
+    return lookup
+
+
+def unit_propagate(
+    clauses: Sequence[Clause], assignment: dict[int, bool]
+) -> tuple[list[Clause], dict[int, bool]] | None:
+    """Simple (non-watched) unit propagation used by preprocessing and tests.
+
+    Returns the residual clause list and the extended assignment, or ``None``
+    on conflict.  The input ``assignment`` is not mutated.
+    """
+    assign = dict(assignment)
+    work = list(clauses)
+    changed = True
+    while changed:
+        changed = False
+        residual: list[Clause] = []
+        for clause in work:
+            satisfied = False
+            unassigned: list[int] = []
+            for lit in clause:
+                val = assign.get(abs(lit))
+                if val is None:
+                    unassigned.append(lit)
+                elif (lit > 0) == val:
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not unassigned:
+                return None
+            if len(unassigned) == 1:
+                lit = unassigned[0]
+                assign[abs(lit)] = lit > 0
+                changed = True
+            else:
+                residual.append(tuple(unassigned))
+        work = residual
+    return work, assign

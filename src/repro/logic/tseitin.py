@@ -1,0 +1,190 @@
+"""CNF conversion: Tseitin transform and small-formula direct conversion.
+
+Two converters are provided:
+
+* :func:`tseitin_cnf` — linear-size conversion introducing one auxiliary
+  variable per connective node.  Auxiliaries are defined with *full
+  biconditionals* (not Plaisted–Greenbaum implications).  This costs a few
+  extra clauses but buys the key counting invariant: every assignment of the
+  input variables extends to **exactly one** model of the output, so the
+  model count projected onto the input variables equals the plain model
+  count.  MCML's reduction to model counting relies on this (DESIGN.md §5.2).
+
+* :func:`direct_cnf` — distribution-based conversion without auxiliary
+  variables.  Exponential in the worst case; used for small formulas (lex
+  constraints on tiny scopes, tests) where an equivalent — not merely
+  equicountable — CNF is convenient.
+"""
+
+from __future__ import annotations
+
+from repro.logic.cnf import CNF
+from repro.logic.formula import (
+    And,
+    FALSE,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+)
+
+
+def tseitin_cnf(
+    formula: Formula,
+    num_input_vars: int | None = None,
+    projection: frozenset[int] | None = None,
+) -> CNF:
+    """Translate ``formula`` to CNF with biconditionally-defined auxiliaries.
+
+    Parameters
+    ----------
+    formula:
+        The propositional formula to translate.
+    num_input_vars:
+        Number of input (primary) variables.  Auxiliary variables are
+        allocated starting at ``num_input_vars + 1``.  Defaults to the
+        largest variable id in the formula.
+    projection:
+        Counting projection recorded on the resulting CNF.  Defaults to
+        ``{1..num_input_vars}``.
+
+    Shared subtrees are translated once (the cache is keyed on structural
+    equality), so grounded relational formulas — which repeat row/column
+    subformulas heavily — stay compact.
+    """
+    variables = formula.variables()
+    if num_input_vars is None:
+        num_input_vars = max(variables, default=0)
+    if variables and max(variables) > num_input_vars:
+        raise ValueError(
+            f"formula mentions variable {max(variables)} > num_input_vars={num_input_vars}"
+        )
+    if projection is None:
+        projection = frozenset(range(1, num_input_vars + 1))
+
+    # Tseitin auxiliaries are biconditionally defined in terms of the input
+    # variables, so the unique-extension flag holds whenever the projection
+    # covers all inputs (the only mode this project uses).
+    aux_unique = projection >= variables
+    cnf = CNF(num_vars=num_input_vars, projection=projection, aux_unique=aux_unique)
+    cache: dict[Formula, int] = {}
+
+    def lit_for(node: Formula) -> int:
+        """Return a literal equivalent to ``node``, emitting defining clauses."""
+        if node is TRUE or node == TRUE:
+            raise AssertionError("constants are folded away before translation")
+        if isinstance(node, Var):
+            return node.id
+        if isinstance(node, Not):
+            return -lit_for(node.operand)
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, And):
+            child_lits = [lit_for(c) for c in node.operands]
+            aux = cnf.new_var()
+            # aux ↔ ∧ children
+            for cl in child_lits:
+                cnf.add_clause((-aux, cl))
+            cnf.add_clause(tuple([-cl for cl in child_lits] + [aux]))
+        elif isinstance(node, Or):
+            child_lits = [lit_for(c) for c in node.operands]
+            aux = cnf.new_var()
+            # aux ↔ ∨ children
+            for cl in child_lits:
+                cnf.add_clause((-cl, aux))
+            cnf.add_clause(tuple([-aux] + child_lits))
+        elif isinstance(node, Implies):
+            a = lit_for(node.antecedent)
+            b = lit_for(node.consequent)
+            aux = cnf.new_var()
+            # aux ↔ (a → b)
+            cnf.add_clause((-aux, -a, b))
+            cnf.add_clause((a, aux))
+            cnf.add_clause((-b, aux))
+        elif isinstance(node, Iff):
+            a = lit_for(node.left)
+            b = lit_for(node.right)
+            aux = cnf.new_var()
+            # aux ↔ (a ↔ b)
+            cnf.add_clause((-aux, -a, b))
+            cnf.add_clause((-aux, a, -b))
+            cnf.add_clause((aux, a, b))
+            cnf.add_clause((aux, -a, -b))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown formula node {type(node).__name__}")
+        cache[node] = aux
+        return aux
+
+    if formula == TRUE:
+        return cnf
+    if formula == FALSE:
+        # An unconditionally false CNF: assert both polarities of one variable
+        # (allocating a fresh one if the formula had none).
+        v = 1 if num_input_vars else cnf.new_var()
+        cnf.add_clause((v,))
+        cnf.add_clause((-v,))
+        return cnf
+
+    root = lit_for(formula)
+    cnf.add_clause((root,))
+    return cnf
+
+
+def direct_cnf(formula: Formula, max_clauses: int = 100_000) -> list[tuple[int, ...]]:
+    """Convert to an *equivalent* CNF clause list by distribution.
+
+    No auxiliary variables are introduced, so the result can be conjoined
+    into any other CNF over the same variables without renaming.  Raises
+    ``ValueError`` if distribution would exceed ``max_clauses`` clauses —
+    callers should fall back to :func:`tseitin_cnf` in that case.
+    """
+    nnf = formula.to_nnf()
+
+    def go(node: Formula) -> list[frozenset[int]]:
+        if node == TRUE:
+            return []
+        if node == FALSE:
+            return [frozenset()]
+        if isinstance(node, Var):
+            return [frozenset((node.id,))]
+        if isinstance(node, Not):
+            operand = node.operand
+            if not isinstance(operand, Var):  # pragma: no cover - NNF guarantees
+                raise AssertionError("negation above non-variable survived NNF")
+            return [frozenset((-operand.id,))]
+        if isinstance(node, And):
+            clauses: list[frozenset[int]] = []
+            for child in node.operands:
+                clauses.extend(go(child))
+                if len(clauses) > max_clauses:
+                    raise ValueError("direct CNF conversion blew up; use tseitin_cnf")
+            return clauses
+        if isinstance(node, Or):
+            # Distribute: cross product of child clause sets.
+            product: list[frozenset[int]] = [frozenset()]
+            for child in node.operands:
+                child_clauses = go(child)
+                product = [
+                    acc | extra for acc in product for extra in child_clauses
+                ]
+                if len(product) > max_clauses:
+                    raise ValueError("direct CNF conversion blew up; use tseitin_cnf")
+            return product
+        raise TypeError(f"unexpected node in NNF: {type(node).__name__}")
+
+    clauses = go(nnf)
+    result: list[tuple[int, ...]] = []
+    seen: set[frozenset[int]] = set()
+    for clause in clauses:
+        # Drop tautologies and duplicates.
+        if any(-lit in clause for lit in clause):
+            continue
+        if clause in seen:
+            continue
+        seen.add(clause)
+        result.append(tuple(sorted(clause, key=abs)))
+    return result

@@ -1,0 +1,58 @@
+"""Machine-learning models, from scratch on numpy.
+
+The paper trains six scikit-learn classifiers with out-of-the-box settings.
+scikit-learn is not available offline, so this package implements the same
+six model families natively, mirroring the relevant defaults:
+
+======  =============================================  =====================
+Abbrev  Model                                          Module
+======  =============================================  =====================
+DT      decision tree (CART, gini)                     ``decision_tree``
+RFT     random forest                                  ``random_forest``
+ABT     AdaBoost over stumps (SAMME)                   ``adaboost``
+GBDT    gradient-boosted trees (log-loss)              ``gradient_boosting``
+SVM     linear SVM (dual coordinate descent)           ``svm``
+MLP     multi-layer perceptron (ReLU + Adam)           ``mlp``
+======  =============================================  =====================
+
+Only the decision tree feeds MCML's model-counting metrics (it exposes its
+paths via :meth:`DecisionTreeClassifier.decision_paths`); the other five are
+evaluated with the traditional test-set metrics of
+:mod:`repro.ml.metrics`, exactly as in the paper.
+"""
+
+from repro.ml.adaboost import AdaBoostClassifier
+from repro.ml.decision_tree import DecisionTreeClassifier, TreePath
+from repro.ml.export import export_dot, export_rules, export_text
+from repro.ml.gradient_boosting import GradientBoostingClassifier
+from repro.ml.metrics import ConfusionCounts, classification_metrics, confusion_counts
+from repro.ml.mlp import MLPClassifier
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.svm import LinearSVC
+
+#: Paper abbreviation → model factory with out-of-the-box settings.
+MODEL_REGISTRY = {
+    "DT": DecisionTreeClassifier,
+    "RFT": RandomForestClassifier,
+    "GBDT": GradientBoostingClassifier,
+    "ABT": AdaBoostClassifier,
+    "SVM": LinearSVC,
+    "MLP": MLPClassifier,
+}
+
+__all__ = [
+    "AdaBoostClassifier",
+    "ConfusionCounts",
+    "DecisionTreeClassifier",
+    "GradientBoostingClassifier",
+    "LinearSVC",
+    "MLPClassifier",
+    "MODEL_REGISTRY",
+    "RandomForestClassifier",
+    "TreePath",
+    "classification_metrics",
+    "confusion_counts",
+    "export_dot",
+    "export_rules",
+    "export_text",
+]

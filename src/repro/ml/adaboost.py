@@ -1,0 +1,82 @@
+"""AdaBoost classifier (SAMME over decision stumps).
+
+Mirrors scikit-learn's default AdaBoostClassifier: 50 depth-1 CART stumps,
+learning rate 1.0, the discrete SAMME update.  For binary classification
+SAMME reduces to classic AdaBoost.M1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X, check_Xy
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+
+class AdaBoostClassifier(BaseClassifier):
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 1.0,
+        base_max_depth: int = 1,
+        random_state: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.base_max_depth = base_max_depth
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.estimator_weights_: list[float] = []
+        self.n_features: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+        X, y = check_Xy(X, y)
+        self.n_features = X.shape[1]
+        self.estimators_ = []
+        self.estimator_weights_ = []
+        n = X.shape[0]
+        weight = np.full(n, 1.0 / n)
+
+        for _ in range(self.n_estimators):
+            stump = DecisionTreeClassifier(max_depth=self.base_max_depth)
+            stump.fit(X, y, sample_weight=weight)
+            prediction = stump.predict(X)
+            wrong = prediction != y
+            error = float(weight[wrong].sum())
+            if error <= 0.0:
+                # Perfect weak learner: take it with a large (finite) weight
+                # and stop — further rounds cannot improve.
+                self.estimators_.append(stump)
+                self.estimator_weights_.append(10.0)
+                break
+            if error >= 0.5:
+                # No better than chance; SAMME stops unless it is the first
+                # round (keep one stump so the ensemble is usable).
+                if not self.estimators_:
+                    self.estimators_.append(stump)
+                    self.estimator_weights_.append(1.0)
+                break
+            alpha = self.learning_rate * 0.5 * np.log((1.0 - error) / error)
+            self.estimators_.append(stump)
+            self.estimator_weights_.append(float(alpha))
+            # Re-weight: up-weight mistakes, normalise.
+            signed = np.where(wrong, 1.0, -1.0)
+            weight = weight * np.exp(2.0 * alpha * (signed > 0))
+            weight /= weight.sum()
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_features)
+        if not self.estimators_:
+            raise RuntimeError("ensemble is not fitted")
+        score = np.zeros(X.shape[0])
+        for stump, alpha in zip(self.estimators_, self.estimator_weights_):
+            score += alpha * (2.0 * stump.predict(X) - 1.0)
+        return score
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0).astype(np.int64)

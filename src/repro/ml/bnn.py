@@ -1,0 +1,199 @@
+"""Binarized neural networks.
+
+The paper's related-work section points out that MCML's metrics generalise
+beyond decision trees to any model with a CNF translation — naming
+binarized neural networks (Narodytska et al.'s encoding) explicitly.  This
+module supplies that extension end to end:
+
+* :class:`BinarizedMLP` — a multi-layer perceptron with ±1 weights and
+  sign activations, trained with the straight-through estimator (latent
+  real-valued weights, binarized forward pass);
+* :func:`threshold_formula` — compiles "at least T of these literals hold"
+  to a propositional formula by a shared dynamic program (O(n·T) nodes);
+* :meth:`BinarizedMLP.to_formula` — the whole network as a formula over the
+  input variables, composable with :mod:`repro.core.bnnmc` for whole-space
+  AccMC/DiffMC quantification.
+
+A binarized neuron over 0/1 inputs is exactly a threshold gate: with
+weights w ∈ {−1,+1}ᵈ and bias b, it fires iff the number of *agreements*
+(inputs equal to their weight's sign) reaches an integer threshold — so the
+translation is a pure counting circuit and every auxiliary introduced by
+Tseitin stays biconditionally defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.logic.formula import And, FALSE, Formula, Not, Or, TRUE, Var
+from repro.ml.base import BaseClassifier, check_X, check_Xy
+
+
+def threshold_formula(literals: list[Formula], threshold: int) -> Formula:
+    """Formula for ``popcount(literals) >= threshold``.
+
+    Built by the monotone DP  ``f(i,t) = (lᵢ ∧ f(i+1,t−1)) ∨ f(i+1,t)``
+    with memoisation — shared subformulas keep the result O(n·t) in size.
+    """
+    n = len(literals)
+    memo: dict[tuple[int, int], Formula] = {}
+
+    def go(index: int, needed: int) -> Formula:
+        if needed <= 0:
+            return TRUE
+        if needed > n - index:
+            return FALSE
+        key = (index, needed)
+        hit = memo.get(key)
+        if hit is None:
+            lit = literals[index]
+            # Monotonicity makes the ITE collapse: needing `needed` from the
+            # suffix already implies needing `needed-1`, so the ¬lit guard
+            # on the second disjunct is redundant.
+            hit = Or(And(lit, go(index + 1, needed - 1)), go(index + 1, needed))
+            memo[key] = hit
+        return hit
+
+    return go(0, threshold)
+
+
+def neuron_formula(
+    inputs: list[Formula], weights: np.ndarray, bias: float
+) -> Formula:
+    """One binarized neuron as a formula over 0/1-valued input formulas.
+
+    The neuron computes ``sign(Σ wᵢ·(2xᵢ−1) + b) >= 0``.  Rewriting via the
+    agreement count A = Σ_{wᵢ=+1} xᵢ + Σ_{wᵢ=−1} (1−xᵢ):
+
+        fire  ⟺  2A − d + b ≥ 0  ⟺  A ≥ ⌈(d − b) / 2⌉.
+    """
+    if len(inputs) != len(weights):
+        raise ValueError("weights/inputs length mismatch")
+    d = len(weights)
+    literals = [
+        inputs[i] if weights[i] > 0 else Not(inputs[i]) for i in range(d)
+    ]
+    threshold = int(np.ceil((d - bias) / 2.0))
+    return threshold_formula(literals, threshold)
+
+
+class BinarizedMLP(BaseClassifier):
+    """An MLP with ±1 weights and hard sign activations.
+
+    Training uses the straight-through estimator: gradients flow through
+    the binarization as if it were the identity, updates apply to latent
+    real weights, and the forward pass always binarizes.  Biases stay real
+    (they only shift the integer threshold of the compiled gate).
+    """
+
+    def __init__(
+        self,
+        hidden_units: int = 16,
+        learning_rate: float = 0.05,
+        epochs: int = 150,
+        batch_size: int = 64,
+        random_state: int | None = 0,
+    ) -> None:
+        if hidden_units < 1:
+            raise ValueError("hidden_units must be >= 1")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self.n_features: int | None = None
+        self._latent_w1: np.ndarray | None = None
+        self._latent_w2: np.ndarray | None = None
+        self._b1: np.ndarray | None = None
+        self._b2: float = 0.0
+
+    # -- binarization helpers ---------------------------------------------------
+
+    @staticmethod
+    def _sign(w: np.ndarray) -> np.ndarray:
+        return np.where(w >= 0, 1.0, -1.0)
+
+    def _forward(self, X: np.ndarray):
+        """Forward pass on ±1-encoded inputs; returns (hidden, output raw)."""
+        w1 = self._sign(self._latent_w1)
+        w2 = self._sign(self._latent_w2)
+        pre_hidden = X @ w1 + self._b1
+        hidden = np.where(pre_hidden >= 0, 1.0, -1.0)
+        raw = hidden @ w2 + self._b2
+        return pre_hidden, hidden, raw
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinarizedMLP":
+        X, y = check_Xy(X, y)
+        self.n_features = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        Xpm = 2.0 * X - 1.0  # {0,1} -> {-1,+1}
+        target = 2.0 * y - 1.0
+
+        self._latent_w1 = rng.normal(0, 0.5, size=(X.shape[1], self.hidden_units))
+        self._latent_w2 = rng.normal(0, 0.5, size=self.hidden_units)
+        self._b1 = np.zeros(self.hidden_units)
+        self._b2 = 0.0
+
+        n = X.shape[0]
+        batch = min(self.batch_size, n)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                rows = order[start : start + batch]
+                xb, tb = Xpm[rows], target[rows]
+                pre_hidden, hidden, raw = self._forward(xb)
+                # Hinge-style error on the raw output.
+                margin = tb * raw
+                active = margin < 1.0
+                if not active.any():
+                    continue
+                grad_raw = -(tb * active) / len(rows)
+                w2 = self._sign(self._latent_w2)
+                grad_w2 = hidden.T @ grad_raw
+                grad_b2 = grad_raw.sum()
+                # Straight-through: sign'(z) ≈ 1 inside the clip region.
+                grad_hidden = np.outer(grad_raw, w2)
+                grad_hidden *= np.abs(pre_hidden) <= 1.0
+                grad_w1 = xb.T @ grad_hidden
+                grad_b1 = grad_hidden.sum(axis=0)
+                self._latent_w2 -= self.learning_rate * grad_w2
+                self._b2 -= self.learning_rate * grad_b2
+                self._latent_w1 -= self.learning_rate * grad_w1
+                self._b1 -= self.learning_rate * grad_b1
+                np.clip(self._latent_w1, -1.5, 1.5, out=self._latent_w1)
+                np.clip(self._latent_w2, -1.5, 1.5, out=self._latent_w2)
+        return self
+
+    # -- inference ------------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_features)
+        if self._latent_w1 is None:
+            raise RuntimeError("model is not fitted")
+        _, _, raw = self._forward(2.0 * X - 1.0)
+        return (raw >= 0).astype(np.int64)
+
+    # -- compilation ------------------------------------------------------------------
+
+    def to_formula(self, input_vars: list[Formula] | None = None) -> Formula:
+        """The network's positive-class region as a propositional formula.
+
+        ``input_vars`` defaults to ``Var(1) … Var(n_features)`` — the same
+        numbering the relational ground truths use, so the result can be
+        conjoined/counted directly against them.
+        """
+        if self._latent_w1 is None:
+            raise RuntimeError("model is not fitted")
+        if input_vars is None:
+            input_vars = [Var(k + 1) for k in range(self.n_features or 0)]
+        if len(input_vars) != self.n_features:
+            raise ValueError(f"expected {self.n_features} input formulas")
+        w1 = self._sign(self._latent_w1)
+        w2 = self._sign(self._latent_w2)
+        hidden_formulas = [
+            neuron_formula(input_vars, w1[:, j], float(self._b1[j]))
+            for j in range(self.hidden_units)
+        ]
+        return neuron_formula(hidden_formulas, w2, float(self._b2))

@@ -1,0 +1,256 @@
+"""CART decision-tree classifier.
+
+The tree is the model MCML quantifies, so beyond ordinary fit/predict it
+exposes its *paths*: every leaf yields the conjunction of branch conditions
+leading to it plus the predicted label (:class:`TreePath`), which
+:mod:`repro.core.tree2cnf` turns into CNF.
+
+Splits use the gini criterion on a threshold test ``x[f] <= t``; for the
+study's 0/1 features the only sensible threshold is 0.5, which makes the
+branch conditions pure literals — the property Section 4 of the paper relies
+on.  Thresholds are found for arbitrary numeric features anyway (midpoints
+of consecutive observed values) so the model is generally usable.
+
+Supports ``sample_weight`` (needed by AdaBoost), ``max_features`` (needed by
+random forests) and the usual depth/min-samples regularisers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X, check_Xy
+
+
+@dataclass
+class TreeNode:
+    """Internal representation; leaves have ``feature is None``."""
+
+    feature: int | None = None
+    threshold: float = 0.5
+    left: "TreeNode | None" = None  # x[feature] <= threshold
+    right: "TreeNode | None" = None  # x[feature] >  threshold
+    label: int = 0
+    weight: tuple[float, float] = (0.0, 0.0)  # class-weight totals at node
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+@dataclass(frozen=True)
+class TreePath:
+    """One root-to-leaf path.
+
+    ``conditions`` holds ``(feature, value)`` pairs meaning "binary feature
+    ``feature`` equals ``value`` on this path"; ``label`` is the leaf's
+    prediction.  Only meaningful for trees trained on binary features —
+    :meth:`DecisionTreeClassifier.decision_paths` enforces that.
+    """
+
+    conditions: tuple[tuple[int, bool], ...]
+    label: int
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """CART with gini impurity.
+
+    Parameters mirror scikit-learn's defaults: unlimited depth, split while
+    at least 2 samples and positive impurity decrease.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.root: TreeNode | None = None
+        self.n_features: int | None = None
+
+    # -- training ------------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "DecisionTreeClassifier":
+        X, y = check_Xy(X, y)
+        if sample_weight is None:
+            weight = np.ones(len(y))
+        else:
+            weight = np.asarray(sample_weight, dtype=np.float64)
+            if weight.shape != y.shape:
+                raise ValueError("sample_weight shape mismatch")
+            if (weight < 0).any():
+                raise ValueError("sample_weight must be non-negative")
+        self.n_features = X.shape[1]
+        self._rng = np.random.default_rng(self.random_state)
+        self._n_subset = self._resolve_max_features(X.shape[1])
+        self.root = self._build(X, y, weight, depth=0)
+        return self
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            if not 1 <= self.max_features <= n_features:
+                raise ValueError("max_features out of range")
+            return self.max_features
+        raise ValueError(f"unsupported max_features {self.max_features!r}")
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, weight: np.ndarray, depth: int
+    ) -> TreeNode:
+        w_pos = float(weight[y == 1].sum())
+        w_neg = float(weight[y == 0].sum())
+        node = TreeNode(label=int(w_pos >= w_neg), weight=(w_neg, w_pos))
+
+        if (
+            w_pos == 0.0
+            or w_neg == 0.0
+            or len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+
+        split = self._best_split(X, y, weight)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], weight[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], weight[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, weight: np.ndarray
+    ) -> tuple[int, float] | None:
+        n_features = X.shape[1]
+        if self._n_subset < n_features:
+            candidates = self._rng.choice(n_features, size=self._n_subset, replace=False)
+        else:
+            candidates = np.arange(n_features)
+
+        total_w = weight.sum()
+        total_pos = (weight * y).sum()
+        parent_gini = _gini(total_pos, total_w)
+
+        best: tuple[float, int, float] | None = None
+        for feature in candidates:
+            column = X[:, feature]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                mask = column <= threshold
+                w_left = weight[mask].sum()
+                w_right = total_w - w_left
+                if w_left == 0 or w_right == 0:
+                    continue
+                pos_left = (weight[mask] * y[mask]).sum()
+                pos_right = total_pos - pos_left
+                split_gini = (
+                    w_left * _gini(pos_left, w_left)
+                    + w_right * _gini(pos_right, w_right)
+                ) / total_w
+                gain = parent_gini - split_gini
+                if gain <= 1e-12:
+                    continue
+                key = (split_gini, int(feature), float(threshold))
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # -- inference ------------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_features)
+        assert self.root is not None
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i, row in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.label
+        return out
+
+    # -- structure ------------------------------------------------------------------
+
+    def decision_paths(self) -> list[TreePath]:
+        """All root-to-leaf paths as literal conjunctions.
+
+        Requires the tree to be a *binary-feature* tree (every threshold in
+        (0, 1)), which is always the case on adjacency-matrix data.
+        """
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        paths: list[TreePath] = []
+
+        def walk(node: TreeNode, conditions: list[tuple[int, bool]]) -> None:
+            if node.is_leaf:
+                paths.append(TreePath(tuple(conditions), node.label))
+                return
+            if not 0.0 < node.threshold < 1.0:
+                raise ValueError(
+                    "decision_paths requires binary features; found threshold "
+                    f"{node.threshold} on feature {node.feature}"
+                )
+            assert node.left is not None and node.right is not None
+            walk(node.left, conditions + [(node.feature, False)])
+            walk(node.right, conditions + [(node.feature, True)])
+
+        walk(self.root, [])
+        return paths
+
+    def n_leaves(self) -> int:
+        return len(self._leaves())
+
+    def depth(self) -> int:
+        def go(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(go(node.left), go(node.right))
+
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        return go(self.root)
+
+    def _leaves(self) -> list[TreeNode]:
+        assert self.root is not None
+        leaves = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves.append(node)
+            else:
+                stack.extend((node.left, node.right))
+        return leaves
+
+
+def _gini(weight_pos: float, weight_total: float) -> float:
+    """Gini impurity of a node with the given positive/total weights."""
+    if weight_total <= 0:
+        return 0.0
+    p = weight_pos / weight_total
+    return 2.0 * p * (1.0 - p)

@@ -1,0 +1,99 @@
+"""Decision-tree inspection and export.
+
+The paper's motivation section argues that a learned decision tree is itself
+a useful artifact — a sketch seed, a readable approximation of a property.
+These helpers make the trees inspectable: a text rendering (à la
+scikit-learn's ``export_text``), Graphviz DOT output, and a converter from
+paths to human-readable rule strings, with adjacency-matrix-aware feature
+names (``r[i][j]``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ml.decision_tree import DecisionTreeClassifier, TreeNode
+
+
+def matrix_feature_names(num_features: int) -> list[str]:
+    """Feature names ``r[i][j]`` when the features form an n×n matrix,
+    generic ``x{k}`` otherwise."""
+    n = math.isqrt(num_features)
+    if n * n == num_features:
+        return [f"r[{i}][{j}]" for i in range(n) for j in range(n)]
+    return [f"x{k}" for k in range(num_features)]
+
+
+def export_text(tree: DecisionTreeClassifier, feature_names: list[str] | None = None) -> str:
+    """Indented if/else rendering of a fitted tree."""
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    if feature_names is None:
+        feature_names = matrix_feature_names(tree.n_features or 0)
+
+    lines: list[str] = []
+
+    def walk(node: TreeNode, depth: int) -> None:
+        pad = "|   " * depth
+        if node.is_leaf:
+            lines.append(f"{pad}class: {node.label}")
+            return
+        name = feature_names[node.feature]
+        lines.append(f"{pad}{name} <= {node.threshold:g}")
+        walk(node.left, depth + 1)
+        lines.append(f"{pad}{name} > {node.threshold:g}")
+        walk(node.right, depth + 1)
+
+    walk(tree.root, 0)
+    return "\n".join(lines)
+
+
+def export_dot(tree: DecisionTreeClassifier, feature_names: list[str] | None = None) -> str:
+    """Graphviz DOT for a fitted tree."""
+    if tree.root is None:
+        raise RuntimeError("tree is not fitted")
+    if feature_names is None:
+        feature_names = matrix_feature_names(tree.n_features or 0)
+
+    lines = ["digraph DecisionTree {", "  node [shape=box];"]
+    counter = 0
+
+    def walk(node: TreeNode) -> int:
+        nonlocal counter
+        node_id = counter
+        counter += 1
+        if node.is_leaf:
+            lines.append(f'  n{node_id} [label="class {node.label}"];')
+            return node_id
+        name = feature_names[node.feature]
+        lines.append(f'  n{node_id} [label="{name} <= {node.threshold:g}"];')
+        left_id = walk(node.left)
+        right_id = walk(node.right)
+        lines.append(f'  n{node_id} -> n{left_id} [label="yes"];')
+        lines.append(f'  n{node_id} -> n{right_id} [label="no"];')
+        return node_id
+
+    walk(tree.root)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def export_rules(tree: DecisionTreeClassifier, label: int = 1) -> list[str]:
+    """The paths predicting ``label`` as readable conjunctions.
+
+    For binary-feature trees only — the same condition the MCML translation
+    needs — e.g. ``r[0][0] & !r[1][0] -> 1``.
+    """
+    names = matrix_feature_names(tree.n_features or 0)
+    rules = []
+    for path in tree.decision_paths():
+        if path.label != label:
+            continue
+        if not path.conditions:
+            rules.append(f"TRUE -> {label}")
+            continue
+        terms = [
+            names[f] if value else f"!{names[f]}" for f, value in path.conditions
+        ]
+        rules.append(" & ".join(terms) + f" -> {label}")
+    return rules

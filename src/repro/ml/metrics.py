@@ -1,0 +1,110 @@
+"""Classification metrics.
+
+The four metrics of the paper (Section 5): accuracy, precision, recall and
+F1-score, all derived from a confusion matrix.  :class:`ConfusionCounts` is
+shared between the traditional test-set evaluation (counts are small ints)
+and MCML's whole-space evaluation (counts are model counts and can exceed
+2^400 — Python ints make this a non-issue, which is one quiet advantage of
+this stack over the original).
+
+Division-by-zero convention: a metric whose denominator is zero is reported
+as 0.0, matching the paper's tables (e.g. precision 0.0000 when a tree
+predicts no positives correctly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Confusion-matrix counts; arbitrary-precision by design."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    def __post_init__(self) -> None:
+        for name in ("tp", "fp", "tn", "fn"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return _ratio(self.tp + self.tn, self.total)
+
+    @property
+    def precision(self) -> float:
+        return _ratio(self.tp, self.tp + self.fp)
+
+    @property
+    def recall(self) -> float:
+        return _ratio(self.tp, self.tp + self.fn)
+
+    @property
+    def f1(self) -> float:
+        precision = self.precision
+        recall = self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            self.tp + other.tp,
+            self.fp + other.fp,
+            self.tn + other.tn,
+            self.fn + other.fn,
+        )
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    if denominator == 0:
+        return 0.0
+    # int/int keeps full precision until the final float conversion; for the
+    # astronomically large MCML counts use a Fraction-free two-step to avoid
+    # float overflow.
+    if max(numerator, denominator) > 2**52:
+        # Scale down by the denominator's bit length; precision loss is far
+        # below the 4 decimal places the tables report.
+        shift = max(denominator.bit_length() - 52, 0)
+        numerator >>= shift
+        denominator >>= shift
+        if denominator == 0:
+            return 0.0
+    return numerator / denominator
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionCounts:
+    """Confusion counts for 0/1 label arrays."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    return ConfusionCounts(
+        tp=int((y_true & y_pred).sum()),
+        fp=int((~y_true & y_pred).sum()),
+        tn=int((~y_true & ~y_pred).sum()),
+        fn=int((y_true & ~y_pred).sum()),
+    )
+
+
+def classification_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, float]:
+    """The paper's four metrics as a dict."""
+    return confusion_counts(y_true, y_pred).as_dict()

@@ -1,0 +1,150 @@
+"""Multi-layer perceptron for binary classification.
+
+One ReLU hidden layer (100 units), sigmoid output, binary cross-entropy,
+mini-batch Adam — scikit-learn's MLPClassifier defaults, trimmed to the
+binary case.  Training stops at ``max_iter`` epochs or when the loss
+improves by less than ``tol`` for ``n_iter_no_change`` consecutive epochs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X, check_Xy
+
+
+class MLPClassifier(BaseClassifier):
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (100,),
+        learning_rate: float = 1e-3,
+        batch_size: int = 200,
+        max_iter: int = 200,
+        alpha: float = 1e-4,
+        tol: float = 1e-4,
+        n_iter_no_change: int = 10,
+        random_state: int | None = 0,
+    ) -> None:
+        if not hidden_layer_sizes or any(h < 1 for h in hidden_layer_sizes):
+            raise ValueError("hidden_layer_sizes must be positive")
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.max_iter = max_iter
+        self.alpha = alpha  # L2 penalty
+        self.tol = tol
+        self.n_iter_no_change = n_iter_no_change
+        self.random_state = random_state
+        self.weights_: list[np.ndarray] = []
+        self.biases_: list[np.ndarray] = []
+        self.loss_curve_: list[float] = []
+        self.n_features: int | None = None
+
+    # -- training -------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = check_Xy(X, y)
+        self.n_features = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+
+        sizes = [X.shape[1], *self.hidden_layer_sizes, 1]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # Glorot-uniform, as in scikit-learn.
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights_.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self.weights_]
+        v_w = [np.zeros_like(w) for w in self.weights_]
+        m_b = [np.zeros_like(b) for b in self.biases_]
+        v_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n = X.shape[0]
+        batch = min(self.batch_size, n)
+        target = y.astype(np.float64).reshape(-1, 1)
+        best_loss = np.inf
+        stall = 0
+        self.loss_curve_ = []
+
+        for _ in range(self.max_iter):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                rows = order[start : start + batch]
+                xb, yb = X[rows], target[rows]
+
+                # Forward.
+                activations = [xb]
+                pre_acts = []
+                h = xb
+                for layer, (w, b) in enumerate(zip(self.weights_, self.biases_)):
+                    z = h @ w + b
+                    pre_acts.append(z)
+                    h = _sigmoid(z) if layer == len(self.weights_) - 1 else np.maximum(z, 0)
+                    activations.append(h)
+                prob = activations[-1]
+                epoch_loss += float(_log_loss(yb, prob)) * len(rows)
+
+                # Backward.
+                delta = (prob - yb) / len(rows)
+                grads_w = [np.zeros(0)] * len(self.weights_)
+                grads_b = [np.zeros(0)] * len(self.biases_)
+                for layer in range(len(self.weights_) - 1, -1, -1):
+                    grads_w[layer] = activations[layer].T @ delta + self.alpha * self.weights_[layer] / n
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) * (pre_acts[layer - 1] > 0)
+
+                # Adam update.
+                step += 1
+                for layer in range(len(self.weights_)):
+                    for grad, m, v, param in (
+                        (grads_w[layer], m_w, v_w, self.weights_),
+                        (grads_b[layer], m_b, v_b, self.biases_),
+                    ):
+                        m[layer] = beta1 * m[layer] + (1 - beta1) * grad
+                        v[layer] = beta2 * v[layer] + (1 - beta2) * grad**2
+                        m_hat = m[layer] / (1 - beta1**step)
+                        v_hat = v[layer] / (1 - beta2**step)
+                        param[layer] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+            epoch_loss /= n
+            self.loss_curve_.append(epoch_loss)
+            if epoch_loss > best_loss - self.tol:
+                stall += 1
+                if stall >= self.n_iter_no_change:
+                    break
+            else:
+                stall = 0
+            best_loss = min(best_loss, epoch_loss)
+        return self
+
+    # -- inference ------------------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_features)
+        if not self.weights_:
+            raise RuntimeError("model is not fitted")
+        h = X
+        for layer, (w, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = h @ w + b
+            h = _sigmoid(z) if layer == len(self.weights_) - 1 else np.maximum(z, 0)
+        p = h.ravel()
+        return np.column_stack([1 - p, p])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+
+def _log_loss(y: np.ndarray, p: np.ndarray) -> float:
+    p = np.clip(p, 1e-12, 1 - 1e-12)
+    return float(-(y * np.log(p) + (1 - y) * np.log(1 - p)).mean())

@@ -1,0 +1,69 @@
+"""Random forest classifier (bagged CART trees with feature subsampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_X, check_Xy
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Majority vote over bootstrap-trained trees.
+
+    Defaults mirror scikit-learn: 100 trees, ``sqrt`` feature subsampling at
+    every split, unlimited depth.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.n_features: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_Xy(X, y)
+        self.n_features = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        self.estimators_ = []
+        n = X.shape[0]
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                indices = rng.integers(0, n, size=n)
+                # Degenerate bootstrap (single class) would break training;
+                # resample until both classes are present when possible.
+                if len(np.unique(y)) == 2:
+                    while len(np.unique(y[indices])) < 2:
+                        indices = rng.integers(0, n, size=n)
+                Xb, yb = X[indices], y[indices]
+            else:
+                Xb, yb = X, y
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(Xb, yb)
+            self.estimators_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X, self.n_features)
+        if not self.estimators_:
+            raise RuntimeError("forest is not fitted")
+        votes = np.zeros(X.shape[0], dtype=np.int64)
+        for tree in self.estimators_:
+            votes += tree.predict(X)
+        return (votes * 2 >= len(self.estimators_)).astype(np.int64)

@@ -1,0 +1,126 @@
+"""Reference DPLL solver.
+
+A deliberately simple, obviously-correct Davis–Putnam–Logemann–Loveland
+solver: recursive, unit propagation + pure-literal elimination, first
+unassigned variable branching.  It exists as a *differential oracle* for the
+CDCL solver — when the two ever disagree on satisfiability, the bug is in
+the fast one.  Exponential and recursion-bound; never use it for real work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+Clause = tuple[int, ...]
+
+
+def _simplify(clauses: list[Clause], literal: int) -> list[Clause] | None:
+    """Assert ``literal``; drop satisfied clauses; None on an empty clause."""
+    out: list[Clause] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        reduced = tuple(l for l in clause if l != -literal)
+        if not reduced:
+            return None
+        out.append(reduced)
+    return out
+
+
+def _unit_literal(clauses: list[Clause]) -> int | None:
+    for clause in clauses:
+        if len(clause) == 1:
+            return clause[0]
+    return None
+
+
+def _pure_literal(clauses: list[Clause]) -> int | None:
+    polarity: dict[int, int] = {}
+    for clause in clauses:
+        for literal in clause:
+            var = abs(literal)
+            seen = polarity.get(var, 0)
+            polarity[var] = seen | (1 if literal > 0 else 2)
+    for var, mask in polarity.items():
+        if mask == 1:
+            return var
+        if mask == 2:
+            return -var
+    return None
+
+
+def dpll_satisfiable(
+    clauses: Iterable[Iterable[int]], num_vars: int | None = None
+) -> dict[int, bool] | None:
+    """A model (over the mentioned variables) or None if unsatisfiable."""
+    work = [tuple(c) for c in clauses]
+    for clause in work:
+        if not clause:
+            return None
+
+    assignment: dict[int, bool] = {}
+
+    def go(current: list[Clause], partial: dict[int, bool]) -> dict[int, bool] | None:
+        while True:
+            literal = _unit_literal(current)
+            if literal is None:
+                literal = _pure_literal(current)
+            if literal is None:
+                break
+            partial = dict(partial)
+            partial[abs(literal)] = literal > 0
+            reduced = _simplify(current, literal)
+            if reduced is None:
+                return None
+            current = reduced
+        if not current:
+            return partial
+        branch_var = abs(current[0][0])
+        for polarity in (branch_var, -branch_var):
+            reduced = _simplify(current, polarity)
+            if reduced is None:
+                continue
+            extended = dict(partial)
+            extended[branch_var] = polarity > 0
+            result = go(reduced, extended)
+            if result is not None:
+                return result
+        return None
+
+    model = go(work, assignment)
+    if model is None:
+        return None
+    if num_vars is not None:
+        for var in range(1, num_vars + 1):
+            model.setdefault(var, False)
+    return model
+
+
+def dpll_count(clauses: Iterable[Iterable[int]], num_vars: int) -> int:
+    """Reference #SAT over variables 1..num_vars (exponential; tests only)."""
+    work = [tuple(c) for c in clauses]
+    if any(not clause for clause in work):
+        return 0
+
+    def go(current: list[Clause], free: int) -> int:
+        literal = _unit_literal(current)
+        if literal is not None:
+            reduced = _simplify(current, literal)
+            if reduced is None:
+                return 0
+            return go(reduced, free - 1)
+        if not current:
+            return 1 << free
+        branch_var = abs(current[0][0])
+        total = 0
+        for polarity in (branch_var, -branch_var):
+            reduced = _simplify(current, polarity)
+            if reduced is not None:
+                total += go(reduced, free - 1)
+        return total
+
+    mentioned = {abs(l) for c in work for l in c}
+    if mentioned and max(mentioned) > num_vars:
+        raise ValueError("clause variable exceeds num_vars")
+    # Count over mentioned variables, then multiply by free ones.
+    return go(work, len(mentioned)) << (num_vars - len(mentioned))

@@ -1,0 +1,94 @@
+"""Alloy-like relational specification language.
+
+The paper writes its 16 relational properties in Alloy and uses the Alloy
+analyzer in three roles.  This package substitutes all three natively:
+
+* **Language** (:mod:`repro.spec.ast`, :mod:`repro.spec.parser`): a
+  first-order relational logic with join, product, transpose, transitive
+  closure and multiplicity formulas over one signature ``S`` and one binary
+  relation ``r`` — the fragment Figure 1 of the paper exercises — plus a
+  parser for the Alloy surface syntax.
+* **Compiler** (:mod:`repro.spec.translate`): grounding to propositional
+  logic at a bounded scope, producing CNF over ``n²`` primary variables —
+  the Alloy→Kodkod→CNF pipeline.
+* **Evaluator** (:mod:`repro.spec.evaluate`, :mod:`repro.spec.matrices`):
+  direct evaluation of a property on a concrete adjacency matrix (the
+  "Alloy Evaluator" used to screen negative samples), with vectorised numpy
+  twins for bulk work.
+
+:mod:`repro.spec.symmetry` reproduces Alloy's *partial* symmetry breaking
+with lex-leader constraints; :mod:`repro.spec.properties` defines the 16
+study subjects.
+"""
+
+from repro.spec.ast import (
+    All,
+    AndF,
+    Closure,
+    Diff,
+    Equal,
+    Exists,
+    IffF,
+    ImpliesF,
+    In,
+    Intersect,
+    Join,
+    Lone,
+    No,
+    NotF,
+    One,
+    OrF,
+    Product,
+    ReflClosure,
+    RelExpr,
+    RelFormula,
+    RelRef,
+    SigRef,
+    Some,
+    Transpose,
+    Union,
+    VarRef,
+)
+from repro.spec.evaluate import evaluate_concrete
+from repro.spec.properties import PROPERTIES, Property, get_property, property_names
+from repro.spec.symmetry import SymmetryBreaking, lex_leq
+from repro.spec.translate import RelationalProblem, translate, var_id
+
+__all__ = [
+    "All",
+    "AndF",
+    "Closure",
+    "Diff",
+    "Equal",
+    "Exists",
+    "IffF",
+    "ImpliesF",
+    "In",
+    "Intersect",
+    "Join",
+    "Lone",
+    "No",
+    "NotF",
+    "One",
+    "OrF",
+    "PROPERTIES",
+    "Product",
+    "Property",
+    "ReflClosure",
+    "RelExpr",
+    "RelFormula",
+    "RelRef",
+    "RelationalProblem",
+    "SigRef",
+    "Some",
+    "SymmetryBreaking",
+    "Transpose",
+    "Union",
+    "VarRef",
+    "evaluate_concrete",
+    "get_property",
+    "lex_leq",
+    "property_names",
+    "translate",
+    "var_id",
+]

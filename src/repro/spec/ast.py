@@ -1,0 +1,635 @@
+"""Relational logic AST and its grounding semantics.
+
+The language models the Alloy fragment the paper uses: one signature ``S``
+of ``n`` atoms, one binary relation ``r ⊆ S×S``, relational expressions
+(join ``.``, product ``->``, transpose ``~``, transitive closure ``^``,
+reflexive-transitive closure ``*``, union/intersection/difference) and
+first-order formulas (quantifiers, multiplicities ``some/no/lone/one``,
+subset ``in``, equality, boolean connectives).
+
+Semantics are defined *once*, parameterised by a boolean algebra:
+
+* with the **concrete** algebra (Python bools) evaluation on an adjacency
+  matrix yields True/False — this is the paper's "Alloy Evaluator" used to
+  screen randomly sampled negative examples without constraint solving;
+* with the **symbolic** algebra (:class:`repro.logic.formula.Formula`
+  nodes) evaluation yields the propositional grounding of the property at
+  scope ``n`` — the Alloy→Kodkod translation.  One-hot quantifier grounding
+  plus the constant folding built into the formula constructors keeps the
+  grounded formulas compact.
+
+Expressions evaluate to vectors (arity 1: length-``n`` list) or matrices
+(arity 2: ``n×n`` nested list) of algebra values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Protocol, Sequence, TypeVar
+
+T = TypeVar("T")
+
+Vector = list
+Matrix = list  # list of Vector
+
+
+class BoolAlgebra(Protocol[T]):
+    """The operations grounding needs from a boolean domain."""
+
+    def true(self) -> T: ...
+    def false(self) -> T: ...
+    def conj(self, a: T, b: T) -> T: ...
+    def disj(self, a: T, b: T) -> T: ...
+    def neg(self, a: T) -> T: ...
+    def implies(self, a: T, b: T) -> T: ...
+    def iff(self, a: T, b: T) -> T: ...
+    def conj_all(self, parts: list) -> T: ...
+    def disj_all(self, parts: list) -> T: ...
+
+
+class ConcreteAlgebra:
+    """Plain Python booleans."""
+
+    def true(self) -> bool:
+        return True
+
+    def false(self) -> bool:
+        return False
+
+    def conj(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def disj(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def neg(self, a: bool) -> bool:
+        return not a
+
+    def implies(self, a: bool, b: bool) -> bool:
+        return (not a) or b
+
+    def iff(self, a: bool, b: bool) -> bool:
+        return a == b
+
+    def conj_all(self, parts: list) -> bool:
+        return all(parts)
+
+    def disj_all(self, parts: list) -> bool:
+        return any(parts)
+
+
+class SymbolicAlgebra:
+    """Propositional formulas; relies on constructor-level constant folding."""
+
+    def __init__(self) -> None:
+        from repro.logic import formula as _f
+
+        self._f = _f
+
+    def true(self):
+        return self._f.TRUE
+
+    def false(self):
+        return self._f.FALSE
+
+    def conj(self, a, b):
+        return self._f.And(a, b)
+
+    def disj(self, a, b):
+        return self._f.Or(a, b)
+
+    def neg(self, a):
+        return self._f.Not(a)
+
+    def implies(self, a, b):
+        return self._f.Implies(a, b)
+
+    def iff(self, a, b):
+        return self._f.Iff(a, b)
+
+    def conj_all(self, parts: list):
+        return self._f.And(*parts)
+
+    def disj_all(self, parts: list):
+        return self._f.Or(*parts)
+
+
+@dataclass
+class Env(Generic[T]):
+    """Grounding environment.
+
+    ``relations`` maps relation names to ``n×n`` matrices of algebra values;
+    ``bindings`` maps quantified variable names to atom indices.
+    """
+
+    n: int
+    algebra: BoolAlgebra
+    relations: dict[str, Matrix]
+    bindings: dict[str, int] = field(default_factory=dict)
+
+    def bound(self, name: str, atom: int) -> "Env[T]":
+        child = dict(self.bindings)
+        child[name] = atom
+        return Env(self.n, self.algebra, self.relations, child)
+
+
+# ===========================================================================
+# Expressions
+# ===========================================================================
+
+
+class RelExpr:
+    """Base class of relational expressions.  ``arity`` is 1 or 2."""
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        raise NotImplementedError
+
+    def eval(self, env: Env):
+        """Vector (arity 1) or Matrix (arity 2) of algebra values."""
+        raise NotImplementedError
+
+    # Operator sugar mirroring Alloy syntax where Python allows.
+    def join(self, other: "RelExpr") -> "RelExpr":
+        return Join(self, other)
+
+    def product(self, other: "RelExpr") -> "RelExpr":
+        return Product(self, other)
+
+    def __add__(self, other: "RelExpr") -> "RelExpr":
+        return Union(self, other)
+
+    def __and__(self, other: "RelExpr") -> "RelExpr":
+        return Intersect(self, other)
+
+    def __sub__(self, other: "RelExpr") -> "RelExpr":
+        return Diff(self, other)
+
+    def __invert__(self) -> "RelExpr":
+        return Transpose(self)
+
+
+@dataclass(frozen=True)
+class RelRef(RelExpr):
+    """A named binary relation (``r`` in the study)."""
+
+    name: str
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        return env_arities.get(self.name, 2)
+
+    def eval(self, env: Env) -> Matrix:
+        return env.relations[self.name]
+
+
+@dataclass(frozen=True)
+class SigRef(RelExpr):
+    """The signature ``S``: the set of all atoms."""
+
+    name: str = "S"
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        return 1
+
+    def eval(self, env: Env) -> Vector:
+        t = env.algebra.true()
+        return [t] * env.n
+
+
+@dataclass(frozen=True)
+class Iden(RelExpr):
+    """The identity relation ``iden``."""
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        return 2
+
+    def eval(self, env: Env) -> Matrix:
+        alg = env.algebra
+        return [
+            [alg.true() if i == j else alg.false() for j in range(env.n)]
+            for i in range(env.n)
+        ]
+
+
+@dataclass(frozen=True)
+class VarRef(RelExpr):
+    """A quantified atom variable, evaluated as a one-hot vector."""
+
+    name: str
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        return 1
+
+    def eval(self, env: Env) -> Vector:
+        atom = env.bindings[self.name]
+        alg = env.algebra
+        return [alg.true() if i == atom else alg.false() for i in range(env.n)]
+
+
+def _check_same_arity(a: int, b: int, op: str) -> int:
+    if a != b:
+        raise TypeError(f"{op} requires equal arities, got {a} and {b}")
+    return a
+
+
+@dataclass(frozen=True)
+class Union(RelExpr):
+    left: RelExpr
+    right: RelExpr
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        return _check_same_arity(
+            self.left.arity(env_arities), self.right.arity(env_arities), "+"
+        )
+
+    def eval(self, env: Env):
+        return _zip_elementwise(self.left.eval(env), self.right.eval(env), env.algebra.disj)
+
+
+@dataclass(frozen=True)
+class Intersect(RelExpr):
+    left: RelExpr
+    right: RelExpr
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        return _check_same_arity(
+            self.left.arity(env_arities), self.right.arity(env_arities), "&"
+        )
+
+    def eval(self, env: Env):
+        return _zip_elementwise(self.left.eval(env), self.right.eval(env), env.algebra.conj)
+
+
+@dataclass(frozen=True)
+class Diff(RelExpr):
+    left: RelExpr
+    right: RelExpr
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        return _check_same_arity(
+            self.left.arity(env_arities), self.right.arity(env_arities), "-"
+        )
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        return _zip_elementwise(
+            self.left.eval(env),
+            self.right.eval(env),
+            lambda a, b: alg.conj(a, alg.neg(b)),
+        )
+
+
+@dataclass(frozen=True)
+class Transpose(RelExpr):
+    operand: RelExpr
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        a = self.operand.arity(env_arities)
+        if a != 2:
+            raise TypeError("~ requires a binary relation")
+        return 2
+
+    def eval(self, env: Env) -> Matrix:
+        m = self.operand.eval(env)
+        return [[m[j][i] for j in range(env.n)] for i in range(env.n)]
+
+
+@dataclass(frozen=True)
+class Join(RelExpr):
+    """Relational join ``left . right``."""
+
+    left: RelExpr
+    right: RelExpr
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        a = self.left.arity(env_arities)
+        b = self.right.arity(env_arities)
+        result = a + b - 2
+        if result not in (1, 2):
+            raise TypeError(f"join of arities {a} and {b} falls outside this fragment")
+        return result
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        left_is_vec = not isinstance(left[0], list)
+        right_is_vec = not isinstance(right[0], list)
+        n = env.n
+        if left_is_vec and not right_is_vec:
+            # (vec . mat)[j] = ∨_i vec[i] ∧ mat[i][j]
+            return [
+                _fold_disj(alg, [alg.conj(left[i], right[i][j]) for i in range(n)])
+                for j in range(n)
+            ]
+        if not left_is_vec and right_is_vec:
+            # (mat . vec)[i] = ∨_j mat[i][j] ∧ vec[j]
+            return [
+                _fold_disj(alg, [alg.conj(left[i][j], right[j]) for j in range(n)])
+                for i in range(n)
+            ]
+        if not left_is_vec and not right_is_vec:
+            # boolean matrix product
+            return [
+                [
+                    _fold_disj(alg, [alg.conj(left[i][k], right[k][j]) for k in range(n)])
+                    for j in range(n)
+                ]
+                for i in range(n)
+            ]
+        raise TypeError("join of two sets is outside this fragment")
+
+
+@dataclass(frozen=True)
+class Product(RelExpr):
+    """Cartesian product ``left -> right`` of two sets."""
+
+    left: RelExpr
+    right: RelExpr
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        a = self.left.arity(env_arities)
+        b = self.right.arity(env_arities)
+        if a != 1 or b != 1:
+            raise TypeError("-> is supported for set × set only in this fragment")
+        return 2
+
+    def eval(self, env: Env) -> Matrix:
+        alg = env.algebra
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        return [[alg.conj(left[i], right[j]) for j in range(env.n)] for i in range(env.n)]
+
+
+@dataclass(frozen=True)
+class Closure(RelExpr):
+    """Transitive closure ``^expr``."""
+
+    operand: RelExpr
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        if self.operand.arity(env_arities) != 2:
+            raise TypeError("^ requires a binary relation")
+        return 2
+
+    def eval(self, env: Env) -> Matrix:
+        alg = env.algebra
+        n = env.n
+        current = self.operand.eval(env)
+        # R⁺ = R ∪ R² ∪ … ∪ Rⁿ via iterated squaring-and-union:
+        # acc ← acc ∪ acc·acc reaches the fixpoint in ⌈log₂ n⌉ steps.
+        acc = [row[:] for row in current]
+        steps = max(1, (n - 1).bit_length())
+        for _ in range(steps):
+            product = [
+                [
+                    _fold_disj(alg, [alg.conj(acc[i][k], acc[k][j]) for k in range(n)])
+                    for j in range(n)
+                ]
+                for i in range(n)
+            ]
+            acc = [
+                [alg.disj(acc[i][j], product[i][j]) for j in range(n)]
+                for i in range(n)
+            ]
+        return acc
+
+
+@dataclass(frozen=True)
+class ReflClosure(RelExpr):
+    """Reflexive transitive closure ``*expr``."""
+
+    operand: RelExpr
+
+    def arity(self, env_arities: dict[str, int]) -> int:
+        if self.operand.arity(env_arities) != 2:
+            raise TypeError("* requires a binary relation")
+        return 2
+
+    def eval(self, env: Env) -> Matrix:
+        alg = env.algebra
+        closed = Closure(self.operand).eval(env)
+        return [
+            [
+                alg.disj(closed[i][j], alg.true()) if i == j else closed[i][j]
+                for j in range(env.n)
+            ]
+            for i in range(env.n)
+        ]
+
+
+# ===========================================================================
+# Formulas
+# ===========================================================================
+
+
+class RelFormula:
+    """Base class of relational formulas."""
+
+    def eval(self, env: Env):
+        raise NotImplementedError
+
+    def __and__(self, other: "RelFormula") -> "RelFormula":
+        return AndF(self, other)
+
+    def __or__(self, other: "RelFormula") -> "RelFormula":
+        return OrF(self, other)
+
+    def __invert__(self) -> "RelFormula":
+        return NotF(self)
+
+
+@dataclass(frozen=True)
+class In(RelFormula):
+    """Subset: every tuple of ``left`` is in ``right``."""
+
+    left: RelExpr
+    right: RelExpr
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        parts = [
+            alg.implies(a, b) for a, b in zip(_flatten(left), _flatten(right))
+        ]
+        return _fold_conj(alg, parts)
+
+
+@dataclass(frozen=True)
+class Equal(RelFormula):
+    left: RelExpr
+    right: RelExpr
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        parts = [alg.iff(a, b) for a, b in zip(_flatten(left), _flatten(right))]
+        return _fold_conj(alg, parts)
+
+
+@dataclass(frozen=True)
+class Some(RelFormula):
+    """At least one tuple."""
+
+    operand: RelExpr
+
+    def eval(self, env: Env):
+        return _fold_disj(env.algebra, _flatten(self.operand.eval(env)))
+
+
+@dataclass(frozen=True)
+class No(RelFormula):
+    """No tuples."""
+
+    operand: RelExpr
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        return alg.neg(_fold_disj(alg, _flatten(self.operand.eval(env))))
+
+
+@dataclass(frozen=True)
+class Lone(RelFormula):
+    """At most one tuple (pairwise encoding)."""
+
+    operand: RelExpr
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        cells = _flatten(self.operand.eval(env))
+        parts = []
+        for i in range(len(cells)):
+            for j in range(i + 1, len(cells)):
+                parts.append(alg.neg(alg.conj(cells[i], cells[j])))
+        return _fold_conj(alg, parts)
+
+
+@dataclass(frozen=True)
+class One(RelFormula):
+    """Exactly one tuple."""
+
+    operand: RelExpr
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        return alg.conj(Some(self.operand).eval(env), Lone(self.operand).eval(env))
+
+
+@dataclass(frozen=True)
+class NotF(RelFormula):
+    operand: RelFormula
+
+    def eval(self, env: Env):
+        return env.algebra.neg(self.operand.eval(env))
+
+
+@dataclass(frozen=True)
+class AndF(RelFormula):
+    left: RelFormula
+    right: RelFormula
+
+    def eval(self, env: Env):
+        return env.algebra.conj(self.left.eval(env), self.right.eval(env))
+
+
+@dataclass(frozen=True)
+class OrF(RelFormula):
+    left: RelFormula
+    right: RelFormula
+
+    def eval(self, env: Env):
+        return env.algebra.disj(self.left.eval(env), self.right.eval(env))
+
+
+@dataclass(frozen=True)
+class ImpliesF(RelFormula):
+    left: RelFormula
+    right: RelFormula
+
+    def eval(self, env: Env):
+        return env.algebra.implies(self.left.eval(env), self.right.eval(env))
+
+
+@dataclass(frozen=True)
+class IffF(RelFormula):
+    left: RelFormula
+    right: RelFormula
+
+    def eval(self, env: Env):
+        return env.algebra.iff(self.left.eval(env), self.right.eval(env))
+
+
+@dataclass(frozen=True)
+class All(RelFormula):
+    """Universal quantification over atoms: ``all v₁, …, vₖ: S | body``."""
+
+    variables: tuple[str, ...]
+    body: RelFormula
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        parts = [self.body.eval(e) for e in _ground(env, self.variables)]
+        return _fold_conj(alg, parts)
+
+
+@dataclass(frozen=True)
+class Exists(RelFormula):
+    """Existential quantification: ``some v₁, …, vₖ: S | body``."""
+
+    variables: tuple[str, ...]
+    body: RelFormula
+
+    def eval(self, env: Env):
+        alg = env.algebra
+        parts = [self.body.eval(e) for e in _ground(env, self.variables)]
+        return _fold_disj(alg, parts)
+
+
+# ===========================================================================
+# helpers
+# ===========================================================================
+
+
+def _ground(env: Env, variables: Sequence[str]):
+    """All environments extending ``env`` with atom bindings for ``variables``."""
+    envs = [env]
+    for name in variables:
+        envs = [e.bound(name, atom) for e in envs for atom in range(env.n)]
+    return envs
+
+
+def _flatten(value) -> list:
+    if value and isinstance(value[0], list):
+        return [cell for row in value for cell in row]
+    return list(value)
+
+
+def _zip_elementwise(a, b, op):
+    if a and isinstance(a[0], list):
+        return [[op(x, y) for x, y in zip(ra, rb)] for ra, rb in zip(a, b)]
+    return [op(x, y) for x, y in zip(a, b)]
+
+
+def _fold_conj(alg: BoolAlgebra, parts: list):
+    return alg.conj_all(parts)
+
+
+def _fold_disj(alg: BoolAlgebra, parts: list):
+    return alg.disj_all(parts)
+
+
+# Convenience constructors for the common study idioms --------------------------------
+
+S = SigRef()
+r = RelRef("r")
+
+
+def pair_in(rel: RelExpr, a: str, b: str) -> RelFormula:
+    """``a->b in rel`` for quantified atom variables ``a``, ``b``."""
+    return In(Product(VarRef(a), VarRef(b)), rel)
+
+
+def var_eq(a: str, b: str) -> RelFormula:
+    """``a = b`` for quantified atom variables."""
+    return Equal(VarRef(a), VarRef(b))

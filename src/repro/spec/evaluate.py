@@ -1,0 +1,41 @@
+"""Concrete evaluation — the "Alloy Evaluator".
+
+The paper screens randomly sampled candidate negatives by *evaluating* the
+Alloy formula on the candidate (constant propagation, no solving).  This
+module is the same operation: evaluate a relational formula on one concrete
+adjacency matrix using the concrete boolean algebra.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.spec.ast import ConcreteAlgebra, Env, RelFormula
+
+_CONCRETE = ConcreteAlgebra()
+
+
+def matrix_env(matrix: Sequence[Sequence[bool]] | np.ndarray, relation: str = "r") -> Env:
+    """Build a concrete environment from an ``n×n`` adjacency matrix."""
+    rows = [list(map(bool, row)) for row in matrix]
+    n = len(rows)
+    if any(len(row) != n for row in rows):
+        raise ValueError("adjacency matrix must be square")
+    return Env(n=n, algebra=_CONCRETE, relations={relation: rows})
+
+
+def evaluate_concrete(
+    formula: RelFormula, matrix: Sequence[Sequence[bool]] | np.ndarray
+) -> bool:
+    """Does the relation given by ``matrix`` satisfy ``formula``?"""
+    return bool(formula.eval(matrix_env(matrix)))
+
+
+def evaluate_bits(formula: RelFormula, bits: Sequence[int], n: int) -> bool:
+    """Evaluate on a flattened row-major bit vector of length ``n²``."""
+    if len(bits) != n * n:
+        raise ValueError(f"expected {n * n} bits, got {len(bits)}")
+    matrix = [[bool(bits[i * n + j]) for j in range(n)] for i in range(n)]
+    return evaluate_concrete(formula, matrix)

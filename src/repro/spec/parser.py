@@ -1,0 +1,486 @@
+"""Parser for the Alloy surface syntax fragment used by the paper.
+
+Figure 1 of the paper is an ordinary Alloy specification::
+
+    sig S { r: set S }
+    pred Reflexive() { all s: S | s->s in r }
+    pred Symmetric() { all s, t: S | s->t in r implies t->s in r }
+    pred Equivalence() { Reflexive and Symmetric and Transitive }
+    E4: run Equivalence for exactly 4 S
+
+This module parses that fragment into the relational AST of
+:mod:`repro.spec.ast`:
+
+* ``sig`` declarations with ``set``-typed binary relation fields;
+* ``pred`` declarations (no parameters) whose bodies are conjunctions of
+  formulas, including calls to other predicates;
+* ``run`` commands with ``for [exactly] N S`` scopes;
+* expressions: ``.`` (join), ``->`` (product), ``~`` ``^`` ``*`` (unary),
+  ``+ & -`` (set ops), names;
+* formulas: ``in``, ``=``, ``!=``, multiplicities ``some/no/lone/one expr``,
+  quantifiers ``all/some v, w: S | body``, connectives
+  ``not/! and/&& or/|| implies/=> iff/<=>``, parentheses, predicate calls.
+
+The grammar is parsed by recursive descent with precedence climbing; there
+is nothing exotic here, by design — it needs to be obviously correct.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.spec import ast as A
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+    | (?P<arrow>->)
+    | (?P<implies_op>=>)
+    | (?P<iff_op><=>)
+    | (?P<neq>!=)
+    | (?P<and_op>&&)
+    | (?P<or_op>\|\|)
+    | (?P<number>\d+)
+    | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+    | (?P<punct>[{}()\[\]:|,.~^*+\-&=!])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_KEYWORDS = {
+    "sig", "pred", "fact", "run", "for", "exactly", "set", "one", "lone",
+    "some", "no", "all", "in", "and", "or", "implies", "iff", "not", "iden",
+    "univ",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'name', 'number', 'keyword', or the literal symbol
+    text: str
+    position: int
+
+
+class AlloySyntaxError(ValueError):
+    """Raised on any lexical or syntactic problem, with source position."""
+
+    def __init__(self, message: str, position: int, source: str) -> None:
+        line = source.count("\n", 0, position) + 1
+        column = position - (source.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise AlloySyntaxError(
+                f"unexpected character {source[position]!r}", position, source
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind != "ws":
+            if kind == "name" and text in _KEYWORDS:
+                tokens.append(Token("keyword", text, position))
+            elif kind in ("name", "number"):
+                tokens.append(Token(kind, text, position))
+            elif kind == "arrow":
+                tokens.append(Token("arrow", text, position))
+            else:
+                # Compound operators and single-character punctuation use
+                # their literal text as the token kind.
+                tokens.append(Token(text, text, position))
+        position = match.end()
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parse results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunCommand:
+    """``label: run PredName for [exactly] N S``."""
+
+    label: str | None
+    predicate: str
+    scope: int
+    exact: bool
+
+
+@dataclass
+class Specification:
+    """A parsed Alloy module (the study fragment)."""
+
+    sig_name: str | None = None
+    relations: dict[str, str] = field(default_factory=dict)  # name -> sig
+    predicates: dict[str, A.RelFormula] = field(default_factory=dict)
+    facts: list[A.RelFormula] = field(default_factory=list)
+    runs: list[RunCommand] = field(default_factory=list)
+
+    def formula(self, predicate: str) -> A.RelFormula:
+        """The named predicate conjoined with all facts."""
+        if predicate not in self.predicates:
+            raise KeyError(
+                f"unknown predicate {predicate!r}; "
+                f"known: {', '.join(sorted(self.predicates))}"
+            )
+        result = self.predicates[predicate]
+        for fact in self.facts:
+            result = A.AndF(result, fact)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+        self.spec = Specification()
+        # Names of quantified variables in scope, innermost last.
+        self._scope_vars: list[str] = []
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            got = self.peek()
+            want = text or kind
+            raise AlloySyntaxError(
+                f"expected {want!r}, found {got.text or 'end of input'!r}",
+                got.position,
+                self.source,
+            )
+        return token
+
+    # -- top level -----------------------------------------------------------------
+
+    def parse(self) -> Specification:
+        while not self.check("eof"):
+            if self.check("keyword", "sig"):
+                self._sig()
+            elif self.check("keyword", "pred"):
+                self._pred()
+            elif self.check("keyword", "fact"):
+                self._fact()
+            elif self.check("keyword", "run"):
+                self._run(label=None)
+            elif self.check("name") and self.peek(1).kind == ":" and (
+                self.peek(2).kind == "keyword" and self.peek(2).text == "run"
+            ):
+                label = self.advance().text
+                self.expect(":")
+                self._run(label=label)
+            else:
+                token = self.peek()
+                raise AlloySyntaxError(
+                    f"expected a declaration, found {token.text!r}",
+                    token.position,
+                    self.source,
+                )
+        return self.spec
+
+    def _sig(self) -> None:
+        self.expect("keyword", "sig")
+        name = self.expect("name").text
+        if self.spec.sig_name is not None and self.spec.sig_name != name:
+            raise AlloySyntaxError(
+                "this fragment supports a single signature",
+                self.peek().position,
+                self.source,
+            )
+        self.spec.sig_name = name
+        self.expect("{")
+        while not self.check("}"):
+            field_name = self.expect("name").text
+            self.expect(":")
+            self.expect("keyword", "set")
+            target = self.expect("name").text
+            if target != name:
+                raise AlloySyntaxError(
+                    f"field {field_name!r} must target the declaring sig",
+                    self.peek().position,
+                    self.source,
+                )
+            self.spec.relations[field_name] = name
+            if not self.accept(","):
+                break
+        self.expect("}")
+
+    def _pred(self) -> None:
+        self.expect("keyword", "pred")
+        name = self.expect("name").text
+        if self.accept("("):
+            self.expect(")")
+        if self.accept("["):
+            self.expect("]")
+        self.expect("{")
+        body: A.RelFormula | None = None
+        while not self.check("}"):
+            clause = self._formula()
+            body = clause if body is None else A.AndF(body, clause)
+        self.expect("}")
+        if body is None:
+            raise AlloySyntaxError(
+                f"predicate {name!r} has an empty body",
+                self.peek().position,
+                self.source,
+            )
+        self.spec.predicates[name] = body
+
+    def _fact(self) -> None:
+        self.expect("keyword", "fact")
+        self.accept("name")  # optional fact label
+        self.expect("{")
+        while not self.check("}"):
+            self.spec.facts.append(self._formula())
+        self.expect("}")
+
+    def _run(self, label: str | None) -> None:
+        self.expect("keyword", "run")
+        predicate = self.expect("name").text
+        self.expect("keyword", "for")
+        exact = self.accept("keyword", "exactly") is not None
+        scope = int(self.expect("number").text)
+        sig = self.expect("name").text
+        if self.spec.sig_name is not None and sig != self.spec.sig_name:
+            raise AlloySyntaxError(
+                f"run scope names unknown sig {sig!r}",
+                self.peek().position,
+                self.source,
+            )
+        self.spec.runs.append(RunCommand(label, predicate, scope, exact))
+
+    # -- formulas --------------------------------------------------------------------
+    #
+    # Precedence (low → high):  iff < implies < or < and < not < comparison.
+
+    def _formula(self) -> A.RelFormula:
+        return self._iff()
+
+    def _iff(self) -> A.RelFormula:
+        left = self._implies()
+        while self.accept("keyword", "iff") or self.accept("<=>"):
+            right = self._implies()
+            left = A.IffF(left, right)
+        return left
+
+    def _implies(self) -> A.RelFormula:
+        left = self._or()
+        # Right-associative.
+        if self.accept("keyword", "implies") or self.accept("=>"):
+            right = self._implies()
+            return A.ImpliesF(left, right)
+        return left
+
+    def _or(self) -> A.RelFormula:
+        left = self._and()
+        while self.accept("keyword", "or") or self.accept("||"):
+            left = A.OrF(left, self._and())
+        return left
+
+    def _and(self) -> A.RelFormula:
+        left = self._not()
+        while self.accept("keyword", "and") or self.accept("&&"):
+            left = A.AndF(left, self._not())
+        return left
+
+    def _not(self) -> A.RelFormula:
+        if self.accept("keyword", "not") or self.accept("!"):
+            return A.NotF(self._not())
+        return self._atom_formula()
+
+    def _atom_formula(self) -> A.RelFormula:
+        # Quantifiers.
+        for keyword, node in (("all", A.All), ("some", A.Exists)):
+            if self.check("keyword", keyword) and self._looks_like_quantifier():
+                self.advance()
+                names = [self.expect("name").text]
+                while self.accept(","):
+                    names.append(self.expect("name").text)
+                self.expect(":")
+                sig = self.expect("name").text
+                if self.spec.sig_name is not None and sig != self.spec.sig_name:
+                    raise AlloySyntaxError(
+                        f"quantifier over unknown sig {sig!r}",
+                        self.peek().position,
+                        self.source,
+                    )
+                self.expect("|")
+                self._scope_vars.extend(names)
+                try:
+                    body = self._formula()
+                finally:
+                    del self._scope_vars[-len(names):]
+                return node(tuple(names), body)
+
+        # Multiplicity formulas: some/no/lone/one <expr>.
+        for keyword, node in (
+            ("some", A.Some),
+            ("no", A.No),
+            ("lone", A.Lone),
+            ("one", A.One),
+        ):
+            if self.accept("keyword", keyword):
+                return node(self._expr())
+
+        if self.check("("):
+            # "(" is ambiguous: it may open a parenthesised formula or a
+            # parenthesised *expression* (as in "(r + iden) - iden in r").
+            # Try the formula reading first and backtrack on failure.
+            saved = self.index
+            self.advance()
+            try:
+                inner = self._formula()
+                self.expect(")")
+                return inner
+            except AlloySyntaxError:
+                self.index = saved  # fall through to the comparison branch
+
+        # Predicate call: a bare name that is (or will be) a predicate, not
+        # followed by an expression operator.
+        if self.check("name") and self.peek().text in self.spec.predicates and not self._name_is_expression():
+            name = self.advance().text
+            if self.accept("("):
+                self.expect(")")
+            if self.accept("["):
+                self.expect("]")
+            return self.spec.predicates[name]
+
+        # Comparison: expr (in | = | !=) expr.
+        left = self._expr()
+        if self.accept("keyword", "in"):
+            return A.In(left, self._expr())
+        if self.accept("keyword", "not"):
+            self.expect("keyword", "in")
+            return A.NotF(A.In(left, self._expr()))
+        if self.accept("="):
+            return A.Equal(left, self._expr())
+        if self.accept("!="):
+            return A.NotF(A.Equal(left, self._expr()))
+        token = self.peek()
+        raise AlloySyntaxError(
+            "expected 'in', '=', or '!=' after expression",
+            token.position,
+            self.source,
+        )
+
+    def _looks_like_quantifier(self) -> bool:
+        """Disambiguate ``some s: S | …`` from the multiplicity ``some expr``."""
+        offset = 1
+        if self.peek(offset).kind != "name":
+            return False
+        offset += 1
+        while self.peek(offset).kind == ",":
+            offset += 1
+            if self.peek(offset).kind != "name":
+                return False
+            offset += 1
+        return self.peek(offset).kind == ":"
+
+    def _name_is_expression(self) -> bool:
+        """A predicate-named token still parses as an expression if an
+        operator follows (shadowing is not supported in this fragment)."""
+        return self.peek(1).kind in (".", "arrow", "+", "&", "-", "=", "!=") or (
+            self.peek(1).kind == "keyword" and self.peek(1).text == "in"
+        )
+
+    # -- expressions -------------------------------------------------------------------
+    #
+    # Precedence (low → high):  + -  <  &  <  .  ->  <  unary ~ ^ *.
+
+    def _expr(self) -> A.RelExpr:
+        left = self._intersect()
+        while True:
+            if self.accept("+"):
+                left = A.Union(left, self._intersect())
+            elif self.accept("-"):
+                left = A.Diff(left, self._intersect())
+            else:
+                return left
+
+    def _intersect(self) -> A.RelExpr:
+        left = self._joinish()
+        while self.accept("&"):
+            left = A.Intersect(left, self._joinish())
+        return left
+
+    def _joinish(self) -> A.RelExpr:
+        left = self._unary()
+        while True:
+            if self.accept("."):
+                left = A.Join(left, self._unary())
+            elif self.accept("arrow"):
+                left = A.Product(left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> A.RelExpr:
+        if self.accept("~"):
+            return A.Transpose(self._unary())
+        if self.accept("^"):
+            return A.Closure(self._unary())
+        if self.accept("*"):
+            return A.ReflClosure(self._unary())
+        if self.accept("("):
+            inner = self._expr()
+            self.expect(")")
+            return inner
+        if self.accept("keyword", "iden"):
+            return A.Iden()
+        if self.accept("keyword", "univ"):
+            return A.SigRef(self.spec.sig_name or "S")
+        token = self.expect("name")
+        name = token.text
+        if name in self._scope_vars:
+            return A.VarRef(name)
+        if name in self.spec.relations:
+            return A.RelRef(name)
+        if name == self.spec.sig_name:
+            return A.SigRef(name)
+        raise AlloySyntaxError(f"unknown name {name!r}", token.position, self.source)
+
+
+def parse(source: str) -> Specification:
+    """Parse an Alloy module (study fragment) into a :class:`Specification`."""
+    return _Parser(source).parse()
+
+
+def parse_predicate(source: str, predicate: str) -> A.RelFormula:
+    """Parse a module and return one predicate's formula (facts conjoined)."""
+    return parse(source).formula(predicate)

@@ -1,0 +1,184 @@
+"""The 16 relational properties of the study.
+
+Definitions follow DESIGN.md §2: where the paper does not print a predicate
+body, the definition was pinned down so that the exact no-symmetry-breaking
+model counts in Table 1 match closed forms (each is verified in
+``tests/test_spec_properties.py``).
+
+Every property is a :class:`Property` carrying:
+
+* the relational formula (over signature ``S`` and binary relation ``r``);
+* the paper's scope (Table 1) and a reduced default scope that keeps the
+  pure-Python pipeline fast;
+* the closed-form oracle name used for analytic validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spec.ast import (
+    All,
+    AndF,
+    Exists,
+    ImpliesF,
+    In,
+    Join,
+    Lone,
+    NotF,
+    One,
+    OrF,
+    Product,
+    RelFormula,
+    RelRef,
+    Some,
+    VarRef,
+    pair_in,
+    var_eq,
+)
+
+_r = RelRef("r")
+
+
+def _reflexive() -> RelFormula:
+    # all s: S | s->s in r
+    return All(("s",), pair_in(_r, "s", "s"))
+
+
+def _irreflexive() -> RelFormula:
+    # all s: S | s->s not in r
+    return All(("s",), NotF(pair_in(_r, "s", "s")))
+
+
+def _symmetric() -> RelFormula:
+    # all s, t: S | s->t in r implies t->s in r
+    return All(("s", "t"), ImpliesF(pair_in(_r, "s", "t"), pair_in(_r, "t", "s")))
+
+
+def _antisymmetric() -> RelFormula:
+    # all s, t: S | (s->t in r and t->s in r) implies s = t
+    return All(
+        ("s", "t"),
+        ImpliesF(
+            AndF(pair_in(_r, "s", "t"), pair_in(_r, "t", "s")),
+            var_eq("s", "t"),
+        ),
+    )
+
+
+def _transitive() -> RelFormula:
+    # all s, t, u: S | (s->t in r and t->u in r) implies s->u in r
+    return All(
+        ("s", "t", "u"),
+        ImpliesF(
+            AndF(pair_in(_r, "s", "t"), pair_in(_r, "t", "u")),
+            pair_in(_r, "s", "u"),
+        ),
+    )
+
+
+def _connex() -> RelFormula:
+    # all s, t: S | s->t in r or t->s in r       (s = t forces reflexivity)
+    return All(("s", "t"), OrF(pair_in(_r, "s", "t"), pair_in(_r, "t", "s")))
+
+
+def _functional() -> RelFormula:
+    # all s: S | lone s.r
+    return All(("s",), Lone(Join(VarRef("s"), _r)))
+
+
+def _function() -> RelFormula:
+    # all s: S | one s.r
+    return All(("s",), One(Join(VarRef("s"), _r)))
+
+
+def _injective() -> RelFormula:
+    # all t: S | one r.t — exactly one pre-image per atom (DESIGN.md §2:
+    # the only reading compatible with Table 1's count of n^n at scope 8).
+    return All(("t",), One(Join(_r, VarRef("t"))))
+
+
+def _surjective() -> RelFormula:
+    # Function and all t: S | some r.t
+    return AndF(_function(), All(("t",), Some(Join(_r, VarRef("t")))))
+
+
+def _bijective() -> RelFormula:
+    return AndF(_function(), _injective())
+
+
+def _equivalence() -> RelFormula:
+    return AndF(AndF(_reflexive(), _symmetric()), _transitive())
+
+
+def _partial_order() -> RelFormula:
+    # Antisymmetric and transitive; the diagonal is unconstrained, giving
+    # the posets·2^n count of Table 1.
+    return AndF(_antisymmetric(), _transitive())
+
+
+def _non_strict_order() -> RelFormula:
+    return AndF(AndF(_reflexive(), _antisymmetric()), _transitive())
+
+
+def _strict_order() -> RelFormula:
+    # Irreflexive and transitive (antisymmetry is implied).
+    return AndF(_irreflexive(), _transitive())
+
+
+def _pre_order() -> RelFormula:
+    return AndF(_reflexive(), _transitive())
+
+
+def _total_order() -> RelFormula:
+    return AndF(_non_strict_order(), _connex())
+
+
+@dataclass(frozen=True)
+class Property:
+    """One study subject."""
+
+    name: str
+    formula: RelFormula
+    paper_scope: int  # Table 1's scope column
+    repro_scope: int  # reduced default scope for the pure-Python pipeline
+    oracle: str  # key into counting.oracles.closed_form_count
+
+    def __str__(self) -> str:
+        return self.name
+
+
+PROPERTIES: tuple[Property, ...] = (
+    Property("Antisymmetric", _antisymmetric(), 5, 4, "antisymmetric"),
+    Property("Bijective", _bijective(), 14, 4, "bijective"),
+    Property("Connex", _connex(), 6, 4, "connex"),
+    Property("Equivalence", _equivalence(), 20, 4, "equivalence"),
+    Property("Function", _function(), 8, 4, "function"),
+    Property("Functional", _functional(), 8, 4, "functional"),
+    Property("Injective", _injective(), 8, 4, "injective"),
+    Property("Irreflexive", _irreflexive(), 5, 4, "irreflexive"),
+    Property("NonStrictOrder", _non_strict_order(), 7, 4, "nonstrictorder"),
+    Property("PartialOrder", _partial_order(), 6, 4, "partialorder"),
+    Property("PreOrder", _pre_order(), 7, 4, "preorder"),
+    Property("Reflexive", _reflexive(), 5, 4, "reflexive"),
+    Property("StrictOrder", _strict_order(), 7, 4, "strictorder"),
+    Property("Surjective", _surjective(), 14, 4, "surjective"),
+    Property("TotalOrder", _total_order(), 13, 4, "totalorder"),
+    Property("Transitive", _transitive(), 6, 4, "transitive"),
+)
+
+_BY_NAME = {p.name.lower(): p for p in PROPERTIES}
+
+
+def get_property(name: str) -> Property:
+    """Look up a property by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown property {name!r}; known: {', '.join(property_names())}"
+        ) from None
+
+
+def property_names() -> list[str]:
+    return [p.name for p in PROPERTIES]

@@ -1,0 +1,147 @@
+"""Binarized-network tests: training, compilation, whole-space metrics."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.accmc import GroundTruth
+from repro.core.bnnmc import diff_bnn, quantify_bnn
+from repro.core.tree2cnf import tree_paths_formula
+from repro.counting.vector import count_formula
+from repro.data import generate_dataset
+from repro.logic.formula import FALSE, Not, TRUE, Var, iter_assignments
+from repro.ml.bnn import BinarizedMLP, neuron_formula, threshold_formula
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.spec import get_property
+
+
+class TestThresholdFormula:
+    def test_trivial_thresholds(self):
+        lits = [Var(1), Var(2)]
+        assert threshold_formula(lits, 0) == TRUE
+        assert threshold_formula(lits, 3) == FALSE
+
+    @pytest.mark.parametrize("n,t", [(1, 1), (3, 2), (4, 1), (4, 4), (5, 3)])
+    def test_counts_all_assignments(self, n, t):
+        lits = [Var(i + 1) for i in range(n)]
+        f = threshold_formula(lits, t)
+        for assignment in iter_assignments(range(1, n + 1)):
+            expected = sum(assignment.values()) >= t
+            assert f.evaluate(assignment) == expected
+
+    def test_negated_literals(self):
+        lits = [Var(1), Not(Var(2))]
+        f = threshold_formula(lits, 2)
+        assert f.evaluate({1: True, 2: False})
+        assert not f.evaluate({1: True, 2: True})
+
+    def test_shared_dp_keeps_formula_small(self):
+        from repro.logic.formula import dag_size
+
+        lits = [Var(i + 1) for i in range(20)]
+        f = threshold_formula(lits, 10)
+        # O(n·t) node sharing: far below the binomial tree expansion.
+        assert dag_size(f) < 1_000
+
+
+class TestNeuronFormula:
+    def test_matches_sign_semantics(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            d = int(rng.integers(1, 6))
+            weights = rng.choice([-1.0, 1.0], size=d)
+            bias = float(rng.normal())
+            inputs = [Var(i + 1) for i in range(d)]
+            f = neuron_formula(inputs, weights, bias)
+            for bits in itertools.product([0.0, 1.0], repeat=d):
+                pre_act = float(weights @ (2 * np.array(bits) - 1) + bias)
+                expected = pre_act >= 0
+                assignment = {i + 1: bool(bits[i]) for i in range(d)}
+                assert f.evaluate(assignment) == expected, (weights, bias, bits)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            neuron_formula([Var(1)], np.array([1.0, -1.0]), 0.0)
+
+
+class TestBinarizedMLP:
+    def test_learns_a_simple_property(self):
+        prop = get_property("Reflexive")
+        dataset = generate_dataset(prop, 3, rng=0)
+        bnn = BinarizedMLP(hidden_units=12, epochs=200, random_state=0)
+        bnn.fit(dataset.X.astype(float), dataset.y)
+        assert bnn.score(dataset.X.astype(float), dataset.y) >= 0.8
+
+    def test_formula_agrees_with_predict_everywhere(self):
+        """The §2 generalisation hinges on this: compiled region ≡ network."""
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 2, size=(80, 4)).astype(float)
+        y = (X[:, 0].astype(int) | X[:, 2].astype(int)) & 1
+        bnn = BinarizedMLP(hidden_units=6, epochs=120, random_state=2).fit(X, y)
+        region = bnn.to_formula()
+        for bits in itertools.product([0, 1], repeat=4):
+            predicted = bnn.predict(np.array([bits], dtype=float))[0]
+            assignment = {k + 1: bool(bits[k]) for k in range(4)}
+            assert region.evaluate(assignment) == bool(predicted)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BinarizedMLP().predict(np.zeros((1, 4)))
+        with pytest.raises(RuntimeError):
+            BinarizedMLP().to_formula()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BinarizedMLP(hidden_units=0)
+
+
+class TestBnnWholeSpace:
+    def _trained(self, prop_name, scope, seed=0):
+        prop = get_property(prop_name)
+        dataset = generate_dataset(prop, scope, rng=seed)
+        bnn = BinarizedMLP(hidden_units=10, epochs=150, random_state=seed)
+        bnn.fit(dataset.X.astype(float), dataset.y)
+        return bnn, prop
+
+    def test_quantify_counts_partition(self):
+        bnn, prop = self._trained("Function", 3)
+        result = quantify_bnn(bnn, GroundTruth(prop, 3))
+        assert result.counts.total == 2**9
+        assert 0.0 <= result.precision <= 1.0
+
+    def test_quantify_matches_brute_confusion(self):
+        bnn, prop = self._trained("Reflexive", 2)
+        result = quantify_bnn(bnn, GroundTruth(prop, 2))
+        from repro.spec.evaluate import evaluate_bits
+
+        tp = fp = tn = fn = 0
+        for bits in itertools.product([0, 1], repeat=4):
+            actual = evaluate_bits(prop.formula, bits, 2)
+            predicted = bool(bnn.predict(np.array([bits], dtype=float))[0])
+            tp += actual and predicted
+            fp += (not actual) and predicted
+            fn += actual and not predicted
+            tn += (not actual) and (not predicted)
+        assert (result.counts.tp, result.counts.fp) == (tp, fp)
+        assert (result.counts.tn, result.counts.fn) == (tn, fn)
+
+    def test_diff_bnn_vs_tree(self):
+        """Cross-family DiffMC: a BNN against a decision tree."""
+        prop = get_property("Irreflexive")
+        dataset = generate_dataset(prop, 3, rng=4)
+        X, y = dataset.X.astype(float), dataset.y
+        bnn = BinarizedMLP(hidden_units=8, epochs=150, random_state=4).fit(X, y)
+        tree = DecisionTreeClassifier().fit(X, y)
+        result = diff_bnn(bnn, tree_paths_formula(tree, 1), num_inputs=9)
+        assert result.tt + result.tf + result.ft + result.ff == 2**9
+        assert result.sim == pytest.approx(1.0 - result.diff)
+
+    def test_diff_identical_is_zero(self):
+        bnn, _ = self._trained("Reflexive", 2, seed=5)
+        result = diff_bnn(bnn, bnn, num_inputs=4)
+        assert result.diff == 0.0
+
+    def test_diff_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            diff_bnn("not a model", "also not", num_inputs=4)

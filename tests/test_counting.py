@@ -1,0 +1,257 @@
+"""Differential and unit tests for all four counting back-ends."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.counting import (
+    ApproxMCCounter,
+    BDDCounter,
+    ExactCounter,
+    approx_count,
+    bdd_count,
+    brute_force_count,
+    brute_force_models,
+    closed_form_count,
+    exact_count,
+)
+from repro.counting.approxmc import (
+    XorConstraint,
+    compute_rounds,
+    compute_threshold,
+    encode_xor,
+    random_xor,
+)
+from repro.counting.exact import CounterBudgetExceeded
+from repro.counting.oracles import bell_number, fibonacci
+from repro.logic import CNF, Var, tseitin_cnf
+from repro.logic.formula import iter_assignments
+
+from tests.test_sat_solver import random_cnf
+
+
+class TestExactCounter:
+    def test_empty_cnf(self):
+        assert exact_count(CNF(num_vars=3, projection=[1, 2, 3])) == 8
+
+    def test_unsat(self):
+        assert exact_count(CNF([[1], [-1]], projection=[1])) == 0
+
+    def test_single_clause(self):
+        # x1 ∨ x2 over 2 vars: 3 models.
+        assert exact_count(CNF([[1, 2]], projection=[1, 2])) == 3
+
+    def test_free_variables_multiply(self):
+        # clause over x1 only, projection {1,2,3}: 1 * 2^2 = 4 models.
+        assert exact_count(CNF([[1]], projection=[1, 2, 3])) == 4
+
+    def test_component_decomposition(self):
+        # (x1∨x2) ∧ (x3∨x4): 3 * 3 = 9 models.
+        cnf = CNF([[1, 2], [3, 4]], projection=[1, 2, 3, 4])
+        assert exact_count(cnf) == 9
+
+    def test_xor_chain(self):
+        # x1 ⊕ x2 ⊕ x3 = 1 has 4 models over 3 vars.
+        cnf = CNF(
+            [[1, 2, 3], [1, -2, -3], [-1, 2, -3], [-1, -2, 3]],
+            projection=[1, 2, 3],
+        )
+        assert exact_count(cnf) == 4
+
+    def test_budget_exceeded(self):
+        cnf = CNF([[1, 2], [2, 3], [3, 4], [4, 5]], projection=range(1, 6))
+        with pytest.raises(CounterBudgetExceeded):
+            ExactCounter(max_nodes=1).count(cnf)
+
+    def test_projected_count_with_tseitin_aux(self):
+        # (x1 ∧ x2) ∨ (x3 ∧ x4) has 7 models over 4 vars.
+        x1, x2, x3, x4 = (Var(i) for i in range(1, 5))
+        cnf = tseitin_cnf((x1 & x2) | (x3 & x4), num_input_vars=4)
+        assert cnf.aux_unique
+        assert exact_count(cnf) == 7
+
+    def test_projected_fallback_without_flag(self):
+        # Same formula, flag stripped: result must still be the projected count.
+        x1, x2, x3, x4 = (Var(i) for i in range(1, 5))
+        cnf = tseitin_cnf((x1 & x2) | (x3 & x4), num_input_vars=4)
+        cnf.aux_unique = False
+        assert not cnf.counts_without_projection()
+        assert exact_count(cnf) == 7
+
+    @given(random_cnf(max_vars=8, max_clauses=16))
+    @settings(max_examples=100, deadline=None)
+    def test_agrees_with_brute_force(self, instance):
+        num_vars, clauses = instance
+        cnf = CNF(clauses, num_vars=num_vars, projection=range(1, num_vars + 1))
+        assert exact_count(cnf) == brute_force_count(cnf)
+
+
+class TestBruteForce:
+    def test_count_simple(self):
+        assert brute_force_count(CNF([[1, 2]], projection=[1, 2])) == 3
+
+    def test_models_shape_and_content(self):
+        cnf = CNF([[1], [-2]], projection=[1, 2])
+        models = brute_force_models(cnf)
+        assert models.shape == (1, 2)
+        assert models[0].tolist() == [True, False]
+
+    def test_rejects_aux_vars(self):
+        cnf = CNF([[1, 3]], projection=[1, 2])
+        with pytest.raises(ValueError):
+            brute_force_count(cnf)
+
+    def test_rejects_too_many_vars(self):
+        cnf = CNF(num_vars=30, projection=range(1, 31))
+        with pytest.raises(ValueError):
+            brute_force_count(cnf)
+
+    def test_block_boundary(self):
+        # 19 vars spans multiple evaluation blocks; empty CNF counts all.
+        cnf = CNF(num_vars=19, projection=range(1, 20))
+        assert brute_force_count(cnf) == 1 << 19
+
+
+class TestBDDCounter:
+    def test_simple(self):
+        assert bdd_count(CNF([[1, 2]], projection=[1, 2])) == 3
+
+    def test_unsat(self):
+        assert bdd_count(CNF([[1], [-1]], projection=[1])) == 0
+
+    def test_free_vars(self):
+        assert bdd_count(CNF([[2]], projection=[1, 2, 3])) == 4
+
+    def test_rejects_aux(self):
+        with pytest.raises(ValueError):
+            bdd_count(CNF([[1, 3]], projection=[1, 2]))
+
+    def test_budget(self):
+        clauses = [[i, i + 1] for i in range(1, 12)]
+        with pytest.raises(CounterBudgetExceeded):
+            BDDCounter(max_nodes=2).count(CNF(clauses, projection=range(1, 13)))
+
+    @given(random_cnf(max_vars=8, max_clauses=16))
+    @settings(max_examples=100, deadline=None)
+    def test_agrees_with_brute_force(self, instance):
+        num_vars, clauses = instance
+        cnf = CNF(clauses, num_vars=num_vars, projection=range(1, num_vars + 1))
+        assert bdd_count(cnf) == brute_force_count(cnf)
+
+
+class TestXorEncoding:
+    def test_empty_xor_false_is_noop(self):
+        cnf = CNF(num_vars=2, projection=[1, 2])
+        encode_xor(cnf, XorConstraint((), False))
+        assert exact_count(cnf) == 4
+
+    def test_empty_xor_true_is_unsat(self):
+        cnf = CNF(num_vars=2, projection=[1, 2])
+        encode_xor(cnf, XorConstraint((), True))
+        assert exact_count(cnf) == 0
+
+    def test_single_var(self):
+        cnf = CNF(num_vars=2, projection=[1, 2])
+        encode_xor(cnf, XorConstraint((1,), True))
+        assert exact_count(cnf) == 2  # x1 fixed true, x2 free
+
+    @pytest.mark.parametrize("rhs", [False, True])
+    def test_three_var_parity(self, rhs):
+        cnf = CNF(num_vars=3, projection=[1, 2, 3], aux_unique=True)
+        encode_xor(cnf, XorConstraint((1, 2, 3), rhs))
+        # Each parity class has exactly half the assignments.
+        assert exact_count(cnf) == 4
+
+    def test_semantics_via_enumeration(self):
+        from repro.sat import enumerate_models
+
+        cnf = CNF(num_vars=3, projection=[1, 2, 3], aux_unique=True)
+        constraint = XorConstraint((1, 3), True)
+        encode_xor(cnf, constraint)
+        for model in enumerate_models(cnf, projection=[1, 2, 3]):
+            assert constraint.holds(model)
+
+    def test_random_xor_draws_subset(self):
+        import random
+
+        rng = random.Random(1)
+        constraint = random_xor(range(1, 50), rng)
+        assert set(constraint.variables) <= set(range(1, 50))
+
+
+class TestApproxMC:
+    def test_threshold_formula(self):
+        # ApproxMC pivot for eps=0.8: 1 + 9.84*(1+0.8/1.8)*(1+1/0.8)^2 ≈ 72.
+        assert compute_threshold(0.8) == 72
+
+    def test_rounds_odd(self):
+        assert compute_rounds(0.2) % 2 == 1
+        with pytest.raises(ValueError):
+            compute_rounds(0)
+
+    def test_small_counts_exact(self):
+        # Fewer models than the pivot: answer must be exact.
+        cnf = CNF([[1, 2]], projection=[1, 2])
+        assert approx_count(cnf) == 3
+
+    def test_medium_count_within_tolerance(self):
+        # Empty CNF over 12 vars: exactly 4096 models — approx within (1+eps).
+        cnf = CNF(num_vars=12, projection=range(1, 13))
+        epsilon = 0.8
+        estimate = ApproxMCCounter(epsilon=epsilon, delta=0.2, seed=3).count(cnf)
+        assert 4096 / (1 + epsilon) <= estimate <= 4096 * (1 + epsilon)
+
+    def test_structured_formula_within_tolerance(self):
+        # x_i ∨ x_{i+1} chain over 10 vars; compare against brute force.
+        clauses = [[i, i + 1] for i in range(1, 10)]
+        cnf = CNF(clauses, num_vars=10, projection=range(1, 11))
+        truth = brute_force_count(cnf)
+        epsilon = 0.8
+        estimate = ApproxMCCounter(epsilon=epsilon, delta=0.2, seed=7).count(cnf)
+        assert truth / (1 + epsilon) <= estimate <= truth * (1 + epsilon)
+
+
+class TestOracles:
+    def test_bell_numbers(self):
+        assert [bell_number(i) for i in range(6)] == [1, 1, 2, 5, 15, 52]
+        assert bell_number(20) == 51724158235372
+
+    def test_fibonacci(self):
+        assert [fibonacci(i) for i in range(1, 8)] == [1, 1, 2, 3, 5, 8, 13]
+        assert fibonacci(21) == 10946  # Table 1: Equivalence scope 20, symbr
+
+    @pytest.mark.parametrize(
+        "prop,scope,expected",
+        [
+            ("Antisymmetric", 5, 1_889_568),
+            ("Connex", 6, 14_348_907),
+            ("Function", 8, 16_777_216),
+            ("Functional", 8, 43_046_721),
+            ("Injective", 8, 16_777_216),
+            ("Irreflexive", 5, 1_048_576),
+            ("NonStrictOrder", 7, 6_129_859),
+            ("PartialOrder", 6, 8_321_472),
+            ("PreOrder", 7, 9_535_241),
+            ("Reflexive", 5, 1_048_576),
+            ("StrictOrder", 7, 6_129_859),
+            ("Transitive", 6, 9_415_189),
+        ],
+    )
+    def test_matches_table1_nosymbr_column(self, prop, scope, expected):
+        """Every finished ProjMC/NoSymBr entry in Table 1, verified exactly."""
+        assert closed_form_count(prop, scope) == expected
+
+    def test_totalorder_is_factorial(self):
+        assert closed_form_count("TotalOrder", 13) == math.factorial(13)
+
+    def test_equivalence_scope20_matches_bell(self):
+        assert closed_form_count("Equivalence", 20) == 51724158235372
+
+    def test_unknown_property(self):
+        with pytest.raises(KeyError):
+            closed_form_count("NotAProperty", 3)
+
+    def test_table_bounds(self):
+        with pytest.raises(ValueError):
+            closed_form_count("Transitive", 99)

@@ -1,0 +1,190 @@
+"""Unit tests for the CNF container, DIMACS I/O and Tseitin transform."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import CNF, FALSE, TRUE, Var, direct_cnf, tseitin_cnf
+from repro.logic.cnf import unit_propagate
+from repro.logic.formula import iter_assignments
+
+from tests.test_logic_formula import formula_strategy, _MAX_VARS
+
+
+class TestCNFContainer:
+    def test_add_clause_and_num_vars(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2])
+        cnf.add_clause([3])
+        assert cnf.num_vars == 3
+        assert len(cnf) == 2
+
+    def test_tautology_dropped(self):
+        cnf = CNF()
+        cnf.add_clause([1, -1, 2])
+        assert len(cnf) == 0
+
+    def test_duplicate_literals_merged(self):
+        cnf = CNF([[1, 1, 2]])
+        assert cnf.clauses == [(1, 2)]
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1, 0])
+
+    def test_evaluate_dict_and_sequence(self):
+        cnf = CNF([[1, 2], [-1, 3]])
+        assert cnf.evaluate({1: True, 2: False, 3: True})
+        assert cnf.evaluate([True, False, True])
+        assert not cnf.evaluate({1: True, 2: False, 3: False})
+
+    def test_variables_and_projection(self):
+        cnf = CNF([[1, 4]], projection=[1, 2])
+        assert cnf.variables() == {1, 4}
+        assert cnf.projected_vars() == {1, 2}
+        cnf2 = CNF([[1, 4]])
+        assert cnf2.projected_vars() == {1, 2, 3, 4}
+
+    def test_conjoin(self):
+        a = CNF([[1, 2]], projection=[1, 2])
+        b = CNF([[-2, 3]], projection=[3])
+        c = a.conjoin(b)
+        assert len(c) == 2
+        assert c.projected_vars() == {1, 2, 3}
+
+    def test_is_horn(self):
+        assert CNF([[-1, -2, 3], [-3]]).is_horn()
+        assert not CNF([[1, 2]]).is_horn()
+
+    def test_stats(self):
+        cnf = CNF([[1, 2], [-1]], projection=[1])
+        stats = cnf.stats()
+        assert stats == {
+            "primary_vars": 1,
+            "total_vars": 2,
+            "clauses": 2,
+            "literals": 3,
+        }
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF([[1, -2], [2, 3], [-3]], projection=[1, 2])
+        text = cnf.to_dimacs()
+        back = CNF.from_dimacs(text)
+        assert back.clauses == cnf.clauses
+        assert back.num_vars == cnf.num_vars
+        assert back.projected_vars() == {1, 2}
+
+    def test_parse_header_and_comments(self):
+        text = "c a comment\nc ind 1 3 0\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.num_vars == 3
+        assert cnf.clauses == [(1, -2), (2, 3)]
+        assert cnf.projected_vars() == {1, 3}
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            CNF.from_dimacs("p dnf 1 1\n1 0\n")
+
+
+class TestUnitPropagate:
+    def test_propagates_units(self):
+        result = unit_propagate([(1,), (-1, 2), (-2, 3)], {})
+        assert result is not None
+        residual, assign = result
+        assert residual == []
+        assert assign == {1: True, 2: True, 3: True}
+
+    def test_conflict(self):
+        assert unit_propagate([(1,), (-1,)], {}) is None
+
+    def test_respects_initial_assignment(self):
+        result = unit_propagate([(-1, 2)], {1: True})
+        assert result is not None
+        _, assign = result
+        assert assign[2] is True
+
+
+class TestTseitin:
+    def test_simple_and(self):
+        x, y = Var(1), Var(2)
+        cnf = tseitin_cnf(x & y)
+        # Aux variables must come after inputs.
+        assert cnf.num_vars == 3
+        assert cnf.projected_vars() == {1, 2}
+        assert _count_all_models(cnf) == 1
+
+    def test_true_constant(self):
+        cnf = tseitin_cnf(TRUE, num_input_vars=2)
+        assert _count_all_models(cnf) == 4
+
+    def test_false_constant(self):
+        cnf = tseitin_cnf(FALSE, num_input_vars=2)
+        assert _count_all_models(cnf) == 0
+
+    def test_rejects_out_of_range_vars(self):
+        with pytest.raises(ValueError):
+            tseitin_cnf(Var(5), num_input_vars=2)
+
+    @given(formula_strategy())
+    @settings(max_examples=60)
+    def test_equisatisfiable_and_unique_extension(self, f):
+        """Every input assignment extends to exactly one model (DESIGN §5.2)."""
+        cnf = tseitin_cnf(f, num_input_vars=_MAX_VARS)
+        for assignment in iter_assignments(range(1, _MAX_VARS + 1)):
+            extensions = _extensions(cnf, assignment)
+            expected = 1 if f.evaluate(assignment) else 0
+            assert len(extensions) == expected
+
+    @given(formula_strategy())
+    @settings(max_examples=60)
+    def test_projected_count_matches_truth_table(self, f):
+        cnf = tseitin_cnf(f, num_input_vars=_MAX_VARS)
+        truth_count = sum(
+            1
+            for a in iter_assignments(range(1, _MAX_VARS + 1))
+            if f.evaluate(a)
+        )
+        assert _count_all_models(cnf) == truth_count
+
+
+class TestDirectCnf:
+    @given(formula_strategy())
+    @settings(max_examples=60)
+    def test_equivalent_to_formula(self, f):
+        clauses = direct_cnf(f)
+        cnf = CNF(clauses, num_vars=_MAX_VARS)
+        for assignment in iter_assignments(range(1, _MAX_VARS + 1)):
+            assert cnf.evaluate(assignment) == f.evaluate(assignment)
+
+    def test_blowup_guard(self):
+        # (x1∧x2) ∨ (x3∧x4) ∨ ... with a tiny budget must raise.
+        parts = [Var(2 * i + 1) & Var(2 * i + 2) for i in range(8)]
+        from repro.logic.formula import Or
+
+        with pytest.raises(ValueError):
+            direct_cnf(Or(*parts), max_clauses=10)
+
+
+def _count_all_models(cnf: CNF) -> int:
+    """Brute-force count over all variables (tiny instances only)."""
+    count = 0
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if cnf.evaluate(list(bits)):
+            count += 1
+    return count
+
+
+def _extensions(cnf: CNF, assignment: dict[int, bool]) -> list[dict[int, bool]]:
+    """All total models of cnf agreeing with ``assignment`` on its keys."""
+    aux_vars = [v for v in range(1, cnf.num_vars + 1) if v not in assignment]
+    found = []
+    for bits in itertools.product([False, True], repeat=len(aux_vars)):
+        total = dict(assignment)
+        total.update(zip(aux_vars, bits))
+        if cnf.evaluate(total):
+            found.append(total)
+    return found

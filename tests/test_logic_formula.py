@@ -1,0 +1,184 @@
+"""Unit tests for the propositional formula AST."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic import (
+    And,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    all_of,
+    any_of,
+    at_most_one,
+    exactly_one,
+)
+from repro.logic.formula import (
+    Formula,
+    iter_assignments,
+    models,
+    semantically_equal,
+)
+
+
+def test_var_requires_positive_id():
+    with pytest.raises(ValueError):
+        Var(0)
+    with pytest.raises(ValueError):
+        Var(-3)
+
+
+def test_constant_folding_not():
+    assert Not(TRUE) == FALSE
+    assert Not(FALSE) == TRUE
+    x = Var(1)
+    assert Not(Not(x)) == x
+
+
+def test_and_flattening_and_identity():
+    x, y, z = Var(1), Var(2), Var(3)
+    assert And(x, And(y, z)) == And(x, y, z)
+    assert And(x, TRUE) == x
+    assert And(x, FALSE) == FALSE
+    assert And() == TRUE
+    assert And(x, x) == x
+
+
+def test_or_flattening_and_identity():
+    x, y, z = Var(1), Var(2), Var(3)
+    assert Or(x, Or(y, z)) == Or(x, y, z)
+    assert Or(x, FALSE) == x
+    assert Or(x, TRUE) == TRUE
+    assert Or() == FALSE
+    assert Or(x, x) == x
+
+
+def test_implies_folding():
+    x = Var(1)
+    assert Implies(TRUE, x) == x
+    assert Implies(FALSE, x) == TRUE
+    assert Implies(x, TRUE) == TRUE
+    assert Implies(x, FALSE) == Not(x)
+
+
+def test_iff_folding():
+    x, y = Var(1), Var(2)
+    assert Iff(x, x) == TRUE
+    assert Iff(TRUE, x) == x
+    assert Iff(x, FALSE) == Not(x)
+    assert Iff(x, y) == Iff(x, y)
+
+
+def test_operator_overloads():
+    x, y = Var(1), Var(2)
+    assert (x & y) == And(x, y)
+    assert (x | y) == Or(x, y)
+    assert (~x) == Not(x)
+    assert (x >> y) == Implies(x, y)
+    assert x.iff(y) == Iff(x, y)
+
+
+def test_evaluate_basic():
+    x, y = Var(1), Var(2)
+    f = (x & ~y) | (~x & y)  # xor
+    assert f.evaluate({1: True, 2: False})
+    assert f.evaluate({1: False, 2: True})
+    assert not f.evaluate({1: True, 2: True})
+    assert not f.evaluate({1: False, 2: False})
+
+
+def test_variables():
+    x, y, z = Var(1), Var(2), Var(7)
+    f = Implies(And(x, y), Or(z, Not(x)))
+    assert f.variables() == {1, 2, 7}
+
+
+def test_substitute():
+    x, y, z = Var(1), Var(2), Var(3)
+    f = x & y
+    g = f.substitute({1: z})
+    assert g == (z & y)
+
+
+def test_models_enumeration():
+    x, y = Var(1), Var(2)
+    assert len(models(x & y)) == 1
+    assert len(models(x | y)) == 3
+    assert len(models(Iff(x, y))) == 2
+
+
+def test_exactly_one():
+    vs = [Var(i) for i in range(1, 5)]
+    f = exactly_one(vs)
+    sols = models(f, range(1, 5))
+    assert len(sols) == 4
+    for sol in sols:
+        assert sum(sol.values()) == 1
+
+
+def test_at_most_one():
+    vs = [Var(i) for i in range(1, 4)]
+    f = at_most_one(vs)
+    sols = models(f, range(1, 4))
+    assert len(sols) == 4  # none, or exactly one of three
+
+
+def test_all_of_any_of_empty():
+    assert all_of([]) == TRUE
+    assert any_of([]) == FALSE
+
+
+# -- property-based tests -----------------------------------------------------
+
+_MAX_VARS = 4
+
+
+def formula_strategy(max_depth: int = 4) -> st.SearchStrategy[Formula]:
+    base = st.one_of(
+        st.integers(min_value=1, max_value=_MAX_VARS).map(Var),
+        st.just(TRUE),
+        st.just(FALSE),
+    )
+
+    def extend(children: st.SearchStrategy[Formula]) -> st.SearchStrategy[Formula]:
+        return st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda t: And(*t)),
+            st.tuples(children, children).map(lambda t: Or(*t)),
+            st.tuples(children, children).map(lambda t: Implies(*t)),
+            st.tuples(children, children).map(lambda t: Iff(*t)),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+@given(formula_strategy())
+def test_nnf_preserves_semantics(f: Formula):
+    nnf = f.to_nnf()
+    for assignment in iter_assignments(range(1, _MAX_VARS + 1)):
+        assert f.evaluate(assignment) == nnf.evaluate(assignment)
+
+
+@given(formula_strategy())
+def test_nnf_negate_is_negation(f: Formula):
+    neg = f.to_nnf(negate=True)
+    for assignment in iter_assignments(range(1, _MAX_VARS + 1)):
+        assert f.evaluate(assignment) == (not neg.evaluate(assignment))
+
+
+@given(formula_strategy())
+def test_nnf_has_no_compound_negation(f: Formula):
+    for node in f.to_nnf().walk():
+        if isinstance(node, Not):
+            assert isinstance(node.operand, Var)
+        assert not isinstance(node, (Implies, Iff))
+
+
+@given(formula_strategy(), formula_strategy())
+def test_de_morgan(f: Formula, g: Formula):
+    assert semantically_equal(Not(And(f, g)), Or(Not(f), Not(g)))
+    assert semantically_equal(Not(Or(f, g)), And(Not(f), Not(g)))

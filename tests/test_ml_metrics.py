@@ -1,0 +1,88 @@
+"""Tests for confusion counts and derived metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml import ConfusionCounts, classification_metrics, confusion_counts
+
+
+class TestConfusionCounts:
+    def test_basic_metrics(self):
+        c = ConfusionCounts(tp=8, fp=2, tn=7, fn=3)
+        assert c.total == 20
+        assert c.accuracy == pytest.approx(15 / 20)
+        assert c.precision == pytest.approx(8 / 10)
+        assert c.recall == pytest.approx(8 / 11)
+        f1 = 2 * (8 / 10) * (8 / 11) / ((8 / 10) + (8 / 11))
+        assert c.f1 == pytest.approx(f1)
+
+    def test_zero_division_convention(self):
+        # No predicted positives -> precision 0; no actual positives -> recall 0.
+        c = ConfusionCounts(tp=0, fp=0, tn=5, fn=5)
+        assert c.precision == 0.0
+        assert c.f1 == 0.0
+        c2 = ConfusionCounts(tp=0, fp=5, tn=5, fn=0)
+        assert c2.recall == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ConfusionCounts(tp=-1, fp=0, tn=0, fn=0)
+
+    def test_huge_counts_mcml_scale(self):
+        # Whole-space counts at scope 20 exceed 2^400; metrics must not
+        # overflow and must stay in [0, 1].
+        tp = 10946
+        fp = 2**400 - 10946
+        c = ConfusionCounts(tp=tp, fp=int(fp), tn=0, fn=0)
+        assert 0.0 <= c.precision <= 1e-100
+        assert c.recall == 1.0
+
+    def test_huge_balanced_counts(self):
+        c = ConfusionCounts(tp=2**300, fp=2**300, tn=2**300, fn=2**300)
+        assert c.accuracy == pytest.approx(0.5)
+        assert c.precision == pytest.approx(0.5)
+
+    def test_addition(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        b = ConfusionCounts(10, 20, 30, 40)
+        assert a + b == ConfusionCounts(11, 22, 33, 44)
+
+    def test_as_dict(self):
+        d = ConfusionCounts(1, 0, 1, 0).as_dict()
+        assert set(d) == {"accuracy", "precision", "recall", "f1"}
+        assert d["accuracy"] == 1.0
+
+
+class TestFromPredictions:
+    def test_confusion_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        c = confusion_counts(y_true, y_pred)
+        assert (c.tp, c.fp, c.tn, c.fn) == (2, 1, 1, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([1, 0]), np.array([1]))
+
+    def test_classification_metrics_perfect(self):
+        y = np.array([0, 1, 1, 0])
+        metrics = classification_metrics(y, y)
+        assert metrics == {"accuracy": 1.0, "precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    @given(
+        st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60)
+    )
+    def test_partition_invariant(self, pairs):
+        y_true = np.array([a for a, _ in pairs], dtype=int)
+        y_pred = np.array([b for _, b in pairs], dtype=int)
+        c = confusion_counts(y_true, y_pred)
+        assert c.total == len(pairs)
+        assert 0.0 <= c.accuracy <= 1.0
+        assert 0.0 <= c.precision <= 1.0
+        assert 0.0 <= c.recall <= 1.0
+        assert 0.0 <= c.f1 <= 1.0
+        # F1 is between min and max of precision/recall (harmonic mean).
+        if c.precision > 0 and c.recall > 0:
+            assert min(c.precision, c.recall) - 1e-12 <= c.f1
+            assert c.f1 <= max(c.precision, c.recall) + 1e-12

@@ -1,0 +1,90 @@
+"""Reference DPLL tests + CDCL-vs-DPLL differential testing."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sat import SatResult, solve
+from repro.sat.dpll import dpll_count, dpll_satisfiable
+
+from tests.test_sat_solver import random_cnf
+
+
+class TestDpllBasics:
+    def test_empty_is_sat(self):
+        assert dpll_satisfiable([]) == {}
+
+    def test_empty_clause_is_unsat(self):
+        assert dpll_satisfiable([[]]) is None
+
+    def test_unit_and_conflict(self):
+        assert dpll_satisfiable([[1]]) == {1: True}
+        assert dpll_satisfiable([[1], [-1]]) is None
+
+    def test_pure_literal_elimination(self):
+        model = dpll_satisfiable([[1, 2], [1, 3]])
+        assert model is not None
+        assert model[1] is True
+
+    def test_model_completion_with_num_vars(self):
+        model = dpll_satisfiable([[2]], num_vars=4)
+        assert set(model) == {1, 2, 3, 4}
+
+    def test_model_satisfies_instance(self):
+        clauses = [[1, -2, 3], [-1, 2], [-3, -2], [1, 2, 3]]
+        model = dpll_satisfiable(clauses)
+        assert model is not None
+        for clause in clauses:
+            assert any((l > 0) == model[abs(l)] for l in clause)
+
+
+class TestDpllCount:
+    def test_free_variables(self):
+        assert dpll_count([], 3) == 8
+        assert dpll_count([[1]], 3) == 4
+
+    def test_xor_structure(self):
+        clauses = [[1, 2], [-1, -2]]
+        assert dpll_count(clauses, 2) == 2
+
+    def test_unsat(self):
+        assert dpll_count([[1], [-1]], 4) == 0
+
+    def test_out_of_range_var(self):
+        with pytest.raises(ValueError):
+            dpll_count([[5]], 3)
+
+    def test_exhaustive_check(self):
+        clauses = [(1, 2, 3), (-1, -2), (2, -3)]
+        expected = 0
+        for bits in itertools.product([False, True], repeat=3):
+            assign = dict(zip((1, 2, 3), bits))
+            if all(any((l > 0) == assign[abs(l)] for l in c) for c in clauses):
+                expected += 1
+        assert dpll_count([list(c) for c in clauses], 3) == expected
+
+
+@given(random_cnf(max_vars=7, max_clauses=18))
+@settings(max_examples=120, deadline=None)
+def test_cdcl_agrees_with_dpll(instance):
+    """Differential: the production CDCL solver vs the reference DPLL."""
+    num_vars, clauses = instance
+    reference = dpll_satisfiable(clauses, num_vars=num_vars)
+    result, model = solve(clauses, num_vars=num_vars)
+    assert (result is SatResult.SAT) == (reference is not None)
+    if model is not None:
+        for clause in clauses:
+            assert any((l > 0) == model[abs(l)] for l in clause)
+
+
+@given(random_cnf(max_vars=6, max_clauses=12))
+@settings(max_examples=80, deadline=None)
+def test_dpll_count_agrees_with_exact_counter(instance):
+    from repro.counting import exact_count
+    from repro.logic import CNF
+
+    num_vars, clauses = instance
+    cnf = CNF(clauses, num_vars=num_vars, projection=range(1, num_vars + 1))
+    normalized = [list(c) for c in cnf.clauses]  # tautologies removed
+    assert dpll_count(normalized, num_vars) == exact_count(cnf)

@@ -1,0 +1,233 @@
+"""Unit tests for the relational AST: concrete and symbolic semantics."""
+
+import numpy as np
+import pytest
+
+from repro.logic.formula import iter_assignments
+from repro.spec.ast import (
+    All,
+    AndF,
+    Closure,
+    ConcreteAlgebra,
+    Diff,
+    Env,
+    Equal,
+    Exists,
+    Iden,
+    IffF,
+    ImpliesF,
+    In,
+    Intersect,
+    Join,
+    Lone,
+    No,
+    NotF,
+    One,
+    OrF,
+    Product,
+    ReflClosure,
+    RelRef,
+    SigRef,
+    Some,
+    Transpose,
+    Union,
+    VarRef,
+    pair_in,
+    var_eq,
+)
+from repro.spec.evaluate import evaluate_bits, evaluate_concrete, matrix_env
+from repro.spec.translate import ground, var_id
+
+
+def env_from(matrix):
+    return matrix_env(matrix)
+
+
+R = RelRef("r")
+
+
+class TestExpressions:
+    def test_relref_and_transpose(self):
+        m = [[True, False], [True, True]]
+        env = env_from(m)
+        assert R.eval(env) == [[True, False], [True, True]]
+        assert Transpose(R).eval(env) == [[True, True], [False, True]]
+
+    def test_sigref_is_all_atoms(self):
+        env = env_from([[False] * 3 for _ in range(3)])
+        assert SigRef().eval(env) == [True, True, True]
+
+    def test_iden(self):
+        env = env_from([[False] * 2 for _ in range(2)])
+        assert Iden().eval(env) == [[True, False], [False, True]]
+
+    def test_varref_one_hot(self):
+        env = env_from([[False] * 3 for _ in range(3)]).bound("s", 1)
+        assert VarRef("s").eval(env) == [False, True, False]
+
+    def test_union_intersect_diff(self):
+        a = [[True, False], [False, True]]
+        env = env_from(a)
+        i = Iden()
+        assert Union(R, i).eval(env) == [[True, False], [False, True]]
+        assert Intersect(R, i).eval(env) == [[True, False], [False, True]]
+        env2 = env_from([[False, True], [True, False]])
+        assert Union(RelRef("r"), i).eval(env2) == [[True, True], [True, True]]
+        assert Intersect(RelRef("r"), i).eval(env2) == [[False, False], [False, False]]
+        assert Diff(RelRef("r"), i).eval(env2) == [[False, True], [True, False]]
+
+    def test_join_vec_mat(self):
+        # s.r = successors of s.
+        m = [[False, True, False], [False, False, True], [False, False, False]]
+        env = env_from(m).bound("s", 0)
+        assert Join(VarRef("s"), R).eval(env) == [False, True, False]
+
+    def test_join_mat_vec(self):
+        # r.t = predecessors of t.
+        m = [[False, True, False], [False, False, True], [False, False, False]]
+        env = env_from(m).bound("t", 2)
+        assert Join(R, VarRef("t")).eval(env) == [False, True, False]
+
+    def test_join_mat_mat_is_composition(self):
+        m = [[False, True], [False, False]]
+        env = env_from(m)
+        assert Join(R, R).eval(env) == [[False, False], [False, False]]
+        chain = [[False, True, False], [False, False, True], [False, False, False]]
+        env3 = env_from(chain)
+        assert Join(R, R).eval(env3) == [
+            [False, False, True],
+            [False, False, False],
+            [False, False, False],
+        ]
+
+    def test_product(self):
+        env = env_from([[False] * 2 for _ in range(2)]).bound("s", 0).bound("t", 1)
+        assert Product(VarRef("s"), VarRef("t")).eval(env) == [
+            [False, True],
+            [False, False],
+        ]
+
+    def test_closure_of_chain(self):
+        chain = [[False, True, False], [False, False, True], [False, False, False]]
+        env = env_from(chain)
+        assert Closure(R).eval(env) == [
+            [False, True, True],
+            [False, False, True],
+            [False, False, False],
+        ]
+
+    def test_closure_of_cycle(self):
+        cycle = [[False, True], [True, False]]
+        env = env_from(cycle)
+        assert Closure(R).eval(env) == [[True, True], [True, True]]
+
+    def test_refl_closure(self):
+        m = [[False, True], [False, False]]
+        env = env_from(m)
+        assert ReflClosure(R).eval(env) == [[True, True], [False, True]]
+
+    def test_arity_checks(self):
+        arities = {"r": 2}
+        assert R.arity(arities) == 2
+        assert SigRef().arity(arities) == 1
+        assert Join(SigRef(), R).arity(arities) == 1
+        assert Product(SigRef(), SigRef()).arity(arities) == 2
+        with pytest.raises(TypeError):
+            Product(R, R).arity(arities)
+        with pytest.raises(TypeError):
+            Transpose(SigRef()).arity(arities)
+        with pytest.raises(TypeError):
+            Union(R, SigRef()).arity(arities)
+
+
+class TestFormulas:
+    def test_in_and_equal(self):
+        m = [[True, True], [False, False]]
+        assert evaluate_concrete(In(Iden(), R), m) is False
+        assert evaluate_concrete(In(Intersect(R, Iden()), R), m) is True
+        assert evaluate_concrete(Equal(R, R), m) is True
+        assert evaluate_concrete(Equal(R, Transpose(R)), m) is False
+
+    def test_multiplicities(self):
+        empty = [[False, False], [False, False]]
+        one_pair = [[False, True], [False, False]]
+        two_pairs = [[False, True], [True, False]]
+        assert evaluate_concrete(No(R), empty)
+        assert not evaluate_concrete(Some(R), empty)
+        assert evaluate_concrete(Lone(R), empty)
+        assert not evaluate_concrete(One(R), empty)
+        assert evaluate_concrete(Some(R), one_pair)
+        assert evaluate_concrete(One(R), one_pair)
+        assert evaluate_concrete(Lone(R), one_pair)
+        assert not evaluate_concrete(Lone(R), two_pairs)
+        assert not evaluate_concrete(One(R), two_pairs)
+
+    def test_connectives(self):
+        m = [[True, False], [False, True]]
+        t = Some(R)
+        f = No(R)
+        assert evaluate_concrete(AndF(t, t), m)
+        assert not evaluate_concrete(AndF(t, f), m)
+        assert evaluate_concrete(OrF(f, t), m)
+        assert evaluate_concrete(NotF(f), m)
+        assert evaluate_concrete(ImpliesF(f, f), m)
+        assert evaluate_concrete(IffF(t, t), m)
+        assert not evaluate_concrete(IffF(t, f), m)
+
+    def test_quantifiers(self):
+        # all s | s->s in r on the identity matrix.
+        iden = [[True, False], [False, True]]
+        assert evaluate_concrete(All(("s",), pair_in(R, "s", "s")), iden)
+        off = [[True, False], [False, False]]
+        assert not evaluate_concrete(All(("s",), pair_in(R, "s", "s")), off)
+        # some s, t | s->t in r
+        assert evaluate_concrete(Exists(("s", "t"), pair_in(R, "s", "t")), off)
+        empty = [[False, False], [False, False]]
+        assert not evaluate_concrete(Exists(("s", "t"), pair_in(R, "s", "t")), empty)
+
+    def test_var_eq(self):
+        m = [[False] * 2 for _ in range(2)]
+        formula = All(("s", "t"), ImpliesF(var_eq("s", "t"), var_eq("t", "s")))
+        assert evaluate_concrete(formula, m)
+
+    def test_evaluate_bits(self):
+        formula = All(("s",), pair_in(R, "s", "s"))
+        assert evaluate_bits(formula, [1, 0, 0, 1], 2)
+        assert not evaluate_bits(formula, [1, 0, 0, 0], 2)
+        with pytest.raises(ValueError):
+            evaluate_bits(formula, [1, 0, 0], 2)
+
+    def test_matrix_env_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            matrix_env([[True, False]])
+
+
+class TestSymbolicGrounding:
+    """Symbolic evaluation must agree with concrete evaluation pointwise."""
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_ground_matches_concrete_on_all_matrices(self, n):
+        formulas = [
+            All(("s",), pair_in(R, "s", "s")),
+            All(("s", "t"), ImpliesF(pair_in(R, "s", "t"), pair_in(R, "t", "s"))),
+            Exists(("s",), pair_in(R, "s", "s")),
+            All(("s",), One(Join(VarRef("s"), R))),
+            In(Join(R, R), R),
+            Some(Closure(R)),
+            Equal(Transpose(R), R),
+        ]
+        for formula in formulas:
+            grounded = ground(formula, n)
+            for assignment in iter_assignments(range(1, n * n + 1)):
+                bits = [assignment[var_id(i, j, n)] for i in range(n) for j in range(n)]
+                matrix = [
+                    [bits[i * n + j] for j in range(n)] for i in range(n)
+                ]
+                assert grounded.evaluate(assignment) == evaluate_concrete(
+                    formula, matrix
+                ), f"{formula} disagrees on {matrix}"
+
+    def test_grounded_formula_uses_primary_vars_only(self):
+        formula = All(("s", "t"), pair_in(R, "s", "t"))
+        grounded = ground(formula, 3)
+        assert grounded.variables() <= set(range(1, 10))

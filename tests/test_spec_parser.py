@@ -1,0 +1,204 @@
+"""Parser tests, centred on the paper's Figure 1 specification."""
+
+import pytest
+
+from repro.counting import exact_count
+from repro.spec import SymmetryBreaking, translate
+from repro.spec.evaluate import evaluate_concrete
+from repro.spec.parser import AlloySyntaxError, parse, parse_predicate, tokenize
+
+FIGURE_1 = """
+sig S { r: set S } // r is a binary relation of type SxS
+pred Reflexive() { all s: S | s->s in r }
+pred Symmetric() {
+  all s, t: S | s->t in r implies t->s in r }
+pred Transitive() { all s, t, u: S |
+  s->t in r and t->u in r implies s->u in r }
+pred Equivalence() {
+  Reflexive and Symmetric and Transitive }
+E4: run Equivalence for exactly 4 S
+"""
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("sig S { r: set S }")]
+        assert kinds == ["keyword", "name", "{", "name", ":", "keyword", "name", "}", "eof"]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("// line comment\n/* block\ncomment */ pred")
+        assert [t.text for t in tokens] == ["pred", ""]
+
+    def test_compound_operators(self):
+        texts = [t.kind for t in tokenize("-> => <=> != && ||")]
+        assert texts == ["arrow", "=>", "<=>", "!=", "&&", "||", "eof"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(AlloySyntaxError, match="line 1"):
+            tokenize("pred @")
+
+
+class TestFigure1:
+    def test_parses(self):
+        spec = parse(FIGURE_1)
+        assert spec.sig_name == "S"
+        assert list(spec.relations) == ["r"]
+        assert set(spec.predicates) == {
+            "Reflexive", "Symmetric", "Transitive", "Equivalence",
+        }
+        assert len(spec.runs) == 1
+        run = spec.runs[0]
+        assert (run.label, run.predicate, run.scope, run.exact) == (
+            "E4", "Equivalence", 4, True,
+        )
+
+    def test_equivalence_semantics(self):
+        formula = parse_predicate(FIGURE_1, "Equivalence")
+        identity = [[True, False], [False, True]]
+        assert evaluate_concrete(formula, identity)
+        not_symmetric = [[True, True], [False, True]]
+        assert not evaluate_concrete(formula, not_symmetric)
+
+    def test_executing_e4_enumerates_figure2(self):
+        """Running the parsed command reproduces Figure 2: 5 solutions."""
+        spec = parse(FIGURE_1)
+        run = spec.runs[0]
+        problem = translate(
+            spec.formula(run.predicate), run.scope, symmetry=SymmetryBreaking()
+        )
+        assert exact_count(problem.cnf) == 5
+
+    def test_parsed_equivalence_matches_builtin(self):
+        from repro.spec import get_property
+
+        parsed = parse_predicate(FIGURE_1, "Equivalence")
+        builtin = get_property("Equivalence").formula
+        for n in (2, 3):
+            a = translate(parsed, n)
+            b = translate(builtin, n)
+            assert exact_count(a.cnf) == exact_count(b.cnf)
+
+
+class TestGrammarCoverage:
+    def test_multiplicity_formulas(self):
+        source = """
+        sig S { r: set S }
+        pred P() { some r and not no r and lone r & iden }
+        """
+        formula = parse_predicate(source, "P")
+        assert evaluate_concrete(formula, [[True, False], [False, False]])
+
+    def test_quantifier_vs_multiplicity_some(self):
+        source = """
+        sig S { r: set S }
+        pred Q() { some s: S | s->s in r }
+        pred M() { some r }
+        """
+        spec = parse(source)
+        diag = [[True, False], [False, False]]
+        off = [[False, True], [False, False]]
+        assert evaluate_concrete(spec.formula("Q"), diag)
+        assert not evaluate_concrete(spec.formula("Q"), off)
+        assert evaluate_concrete(spec.formula("M"), off)
+
+    def test_expression_operators(self):
+        source = """
+        sig S { r: set S }
+        pred P() { ~r = r and ^r in *r and (r + iden) - iden in r + iden }
+        """
+        formula = parse_predicate(source, "P")
+        symmetric = [[False, True], [True, False]]
+        assert evaluate_concrete(formula, symmetric)
+
+    def test_join_and_product(self):
+        source = """
+        sig S { r: set S }
+        pred F() { all s: S | one s.r }
+        pred I() { all t: S | one r.t }
+        """
+        spec = parse(source)
+        permutation = [[False, True], [True, False]]
+        assert evaluate_concrete(spec.formula("F"), permutation)
+        assert evaluate_concrete(spec.formula("I"), permutation)
+        partial = [[False, True], [False, False]]
+        assert not evaluate_concrete(spec.formula("F"), partial)
+
+    def test_not_in(self):
+        source = """
+        sig S { r: set S }
+        pred Irreflexive() { all s: S | s->s not in r }
+        """
+        formula = parse_predicate(source, "Irreflexive")
+        assert evaluate_concrete(formula, [[False, True], [True, False]])
+        assert not evaluate_concrete(formula, [[True, False], [False, False]])
+
+    def test_neq_and_connectives(self):
+        source = """
+        sig S { r: set S }
+        pred Anti() { all s, t: S | (s->t in r && t->s in r) => s = t }
+        pred Weird() { no r || some r }
+        pred Both() { Anti <=> Anti }
+        """
+        spec = parse(source)
+        assert evaluate_concrete(spec.formula("Anti"), [[True, False], [False, True]])
+        assert evaluate_concrete(spec.formula("Weird"), [[False] * 2 for _ in range(2)])
+        assert evaluate_concrete(spec.formula("Both"), [[False] * 2 for _ in range(2)])
+
+    def test_facts_conjoin(self):
+        source = """
+        sig S { r: set S }
+        fact { all s: S | s->s in r }
+        pred P() { some r }
+        """
+        spec = parse(source)
+        identity = [[True, False], [False, True]]
+        missing_diag = [[False, True], [True, False]]
+        assert evaluate_concrete(spec.formula("P"), identity)
+        assert not evaluate_concrete(spec.formula("P"), missing_diag)
+
+    def test_univ_and_sig_are_sets(self):
+        source = """
+        sig S { r: set S }
+        pred P() { S.r in univ }
+        """
+        formula = parse_predicate(source, "P")
+        assert evaluate_concrete(formula, [[True, False], [False, False]])
+
+
+class TestErrors:
+    def test_unknown_name(self):
+        with pytest.raises(AlloySyntaxError, match="unknown name"):
+            parse("sig S { r: set S } pred P() { some q }")
+
+    def test_unknown_predicate_lookup(self):
+        spec = parse("sig S { r: set S } pred P() { some r }")
+        with pytest.raises(KeyError, match="unknown predicate"):
+            spec.formula("Q")
+
+    def test_field_must_target_sig(self):
+        with pytest.raises(AlloySyntaxError, match="must target"):
+            parse("sig S { r: set T }")
+
+    def test_two_sigs_rejected(self):
+        with pytest.raises(AlloySyntaxError, match="single signature"):
+            parse("sig S { r: set S } sig T { q: set T }")
+
+    def test_empty_pred_body(self):
+        with pytest.raises(AlloySyntaxError, match="empty body"):
+            parse("sig S { r: set S } pred P() { }")
+
+    def test_missing_comparison(self):
+        with pytest.raises(AlloySyntaxError, match="expected 'in'"):
+            parse("sig S { r: set S } pred P() { r }")
+
+    def test_run_with_unknown_sig(self):
+        with pytest.raises(AlloySyntaxError, match="unknown sig"):
+            parse("sig S { r: set S } pred P() { some r } run P for 3 T")
+
+    def test_error_carries_position(self):
+        try:
+            parse("sig S { r: set S }\npred P() { some q }")
+        except AlloySyntaxError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected AlloySyntaxError")

@@ -12,8 +12,10 @@ from repro.core.tree2cnf import label_region_cnf, tree_paths_formula
 from repro.counting import (
     ApproxMCCounter,
     BDDCounter,
+    CountingEngine,
     ExactCounter,
     FormulaBruteCounter,
+    LegacyExactCounter,
 )
 from repro.logic.tseitin import direct_cnf, tseitin_cnf
 from repro.ml.decision_tree import DecisionTreeClassifier
@@ -58,6 +60,22 @@ class TestCounterAblation:
     def test_exact_counter(self, benchmark, partial_order_cnf):
         count = benchmark(lambda: ExactCounter().count(partial_order_cnf))
         assert count > 0
+
+    def test_legacy_exact_counter(self, benchmark, partial_order_cnf):
+        """The seed's tuple-clause algorithm — the packed rewrite's baseline."""
+        count = benchmark.pedantic(
+            lambda: LegacyExactCounter().count(partial_order_cnf),
+            rounds=3,
+            iterations=1,
+        )
+        assert count == ExactCounter().count(partial_order_cnf)
+
+    def test_counting_engine_warm(self, benchmark, partial_order_cnf):
+        """A memo hit through the CountingEngine (the AccMC steady state)."""
+        engine = CountingEngine()
+        cold = engine.count(partial_order_cnf)
+        warm = benchmark(lambda: engine.count(partial_order_cnf))
+        assert warm == cold
 
     def test_approxmc_counter(self, benchmark, partial_order_cnf):
         exact = ExactCounter().count(partial_order_cnf)

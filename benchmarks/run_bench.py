@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Run the counting-substrate benchmarks and record BENCH_counting.json.
+
+Runs the ``TestCounterAblation`` benchmarks of ``bench_substrates.py``
+through pytest-benchmark, extracts the per-backend median times, and writes
+(or updates) ``BENCH_counting.json`` next to this script's repository root.
+The JSON keeps a ``history`` list so successive PRs append their numbers
+instead of overwriting the trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --label "PR 7 (…)"
+
+See ``benchmarks/README.md`` for how to interpret the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_counting.json"
+
+#: benchmark test name -> backend label in the JSON
+BACKENDS = {
+    "test_exact_counter": "exact",
+    "test_legacy_exact_counter": "exact-legacy",
+    "test_counting_engine_warm": "engine-warm",
+    "test_approxmc_counter": "approxmc",
+    "test_bdd_counter_on_tree_region": "bdd",
+    "test_formula_brute_counter": "formula-brute",
+}
+
+INSTANCE = (
+    "PartialOrder at scope 4 with adjacent symmetry breaking "
+    "(translate(...).cnf: 290 vars, 933 clauses, 16 projected) — "
+    "except 'bdd', which counts a trained tree's label region"
+)
+
+
+def run_benchmarks() -> dict[str, dict[str, float]]:
+    """Execute the ablation benchmarks, return per-backend stats (seconds)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report = Path(tmp) / "bench.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(REPO_ROOT / "benchmarks" / "bench_substrates.py"),
+            "-k",
+            "TestCounterAblation",
+            "-q",
+            f"--benchmark-json={report}",
+        ]
+        completed = subprocess.run(command, cwd=REPO_ROOT)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed with exit code {completed.returncode}")
+        payload = json.loads(report.read_text())
+    backends: dict[str, dict[str, float]] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench["name"].split("[")[0]
+        label = BACKENDS.get(name)
+        if label is None:
+            continue
+        stats = bench["stats"]
+        backends[label] = {
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "rounds": stats["rounds"],
+        }
+    return backends
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--label",
+        default="current",
+        help="history entry label, e.g. 'PR 7 (watched literals)'",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT, help="where to write the JSON"
+    )
+    args = parser.parse_args()
+
+    backends = run_benchmarks()
+    if "exact" not in backends:
+        raise SystemExit("no exact-counter benchmark result found")
+
+    document = {"instance": INSTANCE, "unit": "seconds", "history": []}
+    if args.output.exists():
+        document = json.loads(args.output.read_text())
+    document["instance"] = INSTANCE
+    document["unit"] = "seconds"
+    document["backends"] = backends
+    history = [
+        entry for entry in document.get("history", []) if entry.get("label") != args.label
+    ]
+    history.append(
+        {
+            "label": args.label,
+            "exact_median_s": backends["exact"]["median_s"],
+        }
+    )
+    document["history"] = history
+    baseline = history[0]["exact_median_s"]
+    document["speedup_vs_first_entry"] = round(
+        baseline / backends["exact"]["median_s"], 2
+    )
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    for label, stats in sorted(backends.items()):
+        print(f"  {label:>14}: median {stats['median_s'] * 1000:8.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,8 +26,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.tree2cnf import label_region_cnf
-from repro.counting.exact import ExactCounter
+from collections.abc import Callable
+
+from repro.counting.engine import CountingEngine, shared_engine
 from repro.logic.cnf import CNF
 from repro.logic.formula import Formula, TRUE
 from repro.logic.tseitin import tseitin_cnf
@@ -89,6 +90,12 @@ class GroundTruth:
     prop: Property
     scope: int
     symmetry: SymmetryBreaking | None = None
+    #: Compilation function — a :class:`CountingEngine`'s memoized
+    #: ``translate`` when the ground truth is built through one, the plain
+    #: :func:`repro.spec.translate.translate` otherwise.
+    translator: Callable[..., RelationalProblem] | None = field(
+        default=None, repr=False
+    )
     _positive: RelationalProblem | None = field(default=None, repr=False)
     _negative: RelationalProblem | None = field(default=None, repr=False)
     _space_cnf: CNF | None = field(default=None, repr=False)
@@ -97,16 +104,18 @@ class GroundTruth:
     def num_primary(self) -> int:
         return self.scope * self.scope
 
+    def _translate(self, **kwargs) -> RelationalProblem:
+        fn = self.translator if self.translator is not None else translate
+        return fn(self.prop, self.scope, symmetry=self.symmetry, **kwargs)
+
     def positive(self) -> RelationalProblem:
         if self._positive is None:
-            self._positive = translate(self.prop, self.scope, symmetry=self.symmetry)
+            self._positive = self._translate()
         return self._positive
 
     def negative(self) -> RelationalProblem:
         if self._negative is None:
-            self._negative = translate(
-                self.prop, self.scope, symmetry=self.symmetry, negate=True
-            )
+            self._negative = self._translate(negate=True)
         return self._negative
 
     def space_formula(self) -> Formula:
@@ -131,15 +140,28 @@ class AccMC:
     :class:`repro.counting.approxmc.ApproxMCCounter`.
     """
 
-    def __init__(self, counter=None, mode: str = "product") -> None:
+    def __init__(self, counter=None, mode: str = "product", engine: CountingEngine | None = None) -> None:
         if mode not in ("product", "derived"):
             raise ValueError(f"unknown mode {mode!r}")
-        self.counter = counter if counter is not None else ExactCounter()
+        # All counting goes through a shared memoizing engine: repeated
+        # regions, translations and counts (across evaluate() calls, rows
+        # of a table, or tables sharing a pipeline) are computed once.
+        self.engine = engine if engine is not None else shared_engine(counter)
+        self.counter = self.engine
         self.mode = mode
         # The symmetry-reduced space size is tree- and property-independent;
         # cache it across evaluate() calls (one table = 16 properties at the
         # same scope).
         self._space_count_cache: dict[tuple[int, str], int] = {}
+
+    def ground_truth(
+        self,
+        prop: Property,
+        scope: int,
+        symmetry: SymmetryBreaking | None = None,
+    ) -> GroundTruth:
+        """A compiled (and memoized) ground truth sharing this engine."""
+        return self.engine.ground_truth(prop, scope, symmetry=symmetry)
 
     def evaluate(
         self,
@@ -154,8 +176,8 @@ class AccMC:
                 f"{ground_truth.scope} needs {m}"
             )
         paths = tree.decision_paths()
-        true_region = label_region_cnf(paths, 1, m)
-        false_region = label_region_cnf(paths, 0, m)
+        true_region = self.engine.region(paths, 1, m)
+        false_region = self.engine.region(paths, 0, m)
 
         if hasattr(self.counter, "count_formula"):
             # Vectorised-sweep backend: counts the pre-Tseitin formulas
@@ -189,20 +211,25 @@ class AccMC:
     def _evaluate_by_cnf(
         self, ground_truth: GroundTruth, true_region: CNF, false_region: CNF, m: int
     ) -> ConfusionCounts:
-        """The paper's pipeline: conjoin CNFs, hand them to a model counter."""
+        """The paper's pipeline: conjoin CNFs, hand them to the counting engine."""
         phi = ground_truth.positive().cnf
-        tp = self.counter.count(phi.conjoin(true_region))
         if self.mode == "product":
             not_phi = ground_truth.negative().cnf
-            fp = self.counter.count(not_phi.conjoin(true_region))
-            fn = self.counter.count(phi.conjoin(false_region))
-            tn = self.counter.count(not_phi.conjoin(false_region))
+            tp, fp, fn, tn = self.engine.count_many(
+                [
+                    phi.conjoin(true_region),
+                    not_phi.conjoin(true_region),
+                    phi.conjoin(false_region),
+                    not_phi.conjoin(false_region),
+                ]
+            )
         else:
             space = ground_truth.space_cnf()
-            phi_count = self.counter.count(phi)
-            tau_count = self.counter.count(space.conjoin(true_region))
+            tp, phi_count, tau_count = self.engine.count_many(
+                [phi.conjoin(true_region), phi, space.conjoin(true_region)]
+            )
             space_count = self._space_count(
-                ground_truth, lambda: self.counter.count(space)
+                ground_truth, lambda: self.engine.count(space)
             )
             fn = phi_count - tp
             fp = tau_count - tp

@@ -19,8 +19,7 @@ import time
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.core.tree2cnf import label_region_cnf
-from repro.counting.exact import ExactCounter
+from repro.counting.engine import CountingEngine, shared_engine
 from repro.ml.decision_tree import DecisionTreeClassifier
 
 
@@ -70,8 +69,9 @@ class DiffMCResult:
 class DiffMC:
     """Quantify the semantic difference between two decision trees."""
 
-    def __init__(self, counter=None) -> None:
-        self.counter = counter if counter is not None else ExactCounter()
+    def __init__(self, counter=None, engine: CountingEngine | None = None) -> None:
+        self.engine = engine if engine is not None else shared_engine(counter)
+        self.counter = self.engine
 
     def evaluate(
         self,
@@ -88,15 +88,19 @@ class DiffMC:
         m = first.n_features
         paths1 = first.decision_paths()
         paths2 = second.decision_paths()
-        true1 = label_region_cnf(paths1, 1, m)
-        false1 = label_region_cnf(paths1, 0, m)
-        true2 = label_region_cnf(paths2, 1, m)
-        false2 = label_region_cnf(paths2, 0, m)
+        true1 = self.engine.region(paths1, 1, m)
+        false1 = self.engine.region(paths1, 0, m)
+        true2 = self.engine.region(paths2, 1, m)
+        false2 = self.engine.region(paths2, 0, m)
 
-        tt = self.counter.count(true1.conjoin(true2))
-        tf = self.counter.count(true1.conjoin(false2))
-        ft = self.counter.count(false1.conjoin(true2))
-        ff = self.counter.count(false1.conjoin(false2))
+        tt, tf, ft, ff = self.engine.count_many(
+            [
+                true1.conjoin(true2),
+                true1.conjoin(false2),
+                false1.conjoin(true2),
+                false1.conjoin(false2),
+            ]
+        )
         result = DiffMCResult(
             tt=tt,
             tf=tf,

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.accmc import AccMC, AccMCResult, GroundTruth
+from repro.core.accmc import AccMC, AccMCResult
+from repro.counting.engine import CountingEngine
 from repro.data.dataset import Dataset
 from repro.data.generation import generate_dataset
 from repro.ml import MODEL_REGISTRY
@@ -54,10 +55,20 @@ class MCMLPipeline:
         ``"derived"`` (algebraic shortcut); see :mod:`repro.core.accmc`.
     seed:
         Master seed for data generation, splitting and model training.
+    engine:
+        An existing :class:`CountingEngine` to share memoized counts,
+        translations and tree regions with other pipelines/evaluators.
     """
 
-    def __init__(self, counter=None, accmc_mode: str = "product", seed: int = 0) -> None:
-        self.accmc = AccMC(counter=counter, mode=accmc_mode)
+    def __init__(
+        self,
+        counter=None,
+        accmc_mode: str = "product",
+        seed: int = 0,
+        engine: CountingEngine | None = None,
+    ) -> None:
+        self.accmc = AccMC(counter=counter, mode=accmc_mode, engine=engine)
+        self.engine = self.accmc.engine
         self.seed = seed
 
     # -- dataset handling -------------------------------------------------------------
@@ -141,7 +152,7 @@ class MCMLPipeline:
                 raise ValueError(
                     "whole-space (AccMC) evaluation requires a decision tree"
                 )
-            ground_truth = GroundTruth(prop, scope, symmetry=eval_symmetry)
+            ground_truth = self.accmc.ground_truth(prop, scope, symmetry=eval_symmetry)
             accmc_result = self.accmc.evaluate(model, ground_truth)
 
         return PipelineResult(

@@ -16,20 +16,28 @@ back-ends used for validation and ablation:
 * :mod:`repro.counting.oracles` — closed-form combinatorial counts for the
   16 relational properties (Bell numbers, labeled posets, …), used to check
   Table 1 at paper scopes without running a counter.
+* :mod:`repro.counting.legacy` — the tuple-based predecessor of the packed
+  exact counter, kept as a differential baseline.
+* :mod:`repro.counting.engine` — :class:`CountingEngine`, the shared,
+  memoizing facade AccMC/DiffMC and the experiment drivers count through.
 """
 
 from repro.counting.approxmc import ApproxMCCounter, approx_count
 from repro.counting.bdd import BDDCounter, bdd_count
 from repro.counting.brute import brute_force_count, brute_force_models
+from repro.counting.engine import CountingEngine, shared_engine
 from repro.counting.exact import ExactCounter, exact_count
+from repro.counting.legacy import LegacyExactCounter
 from repro.counting.oracles import closed_form_count
 from repro.counting.vector import FormulaBruteCounter, count_formula
 
 __all__ = [
     "ApproxMCCounter",
     "BDDCounter",
+    "CountingEngine",
     "ExactCounter",
     "FormulaBruteCounter",
+    "LegacyExactCounter",
     "approx_count",
     "bdd_count",
     "brute_force_count",
@@ -37,4 +45,5 @@ __all__ = [
     "closed_form_count",
     "count_formula",
     "exact_count",
+    "shared_engine",
 ]

@@ -1,0 +1,178 @@
+"""CountingEngine: a shared, memoizing facade over the counting back-ends.
+
+Every MCML metric is a handful of projected model-counting calls, and the
+experiment drivers repeat large parts of the work across rows: the same
+ground-truth translation at every training ratio, the same symmetry-space
+CNF for all sixteen properties of a table, the same tree regions when a
+model is evaluated twice.  The engine makes that reuse automatic:
+
+* ``count`` / ``count_many`` memoize model counts keyed on the CNF's
+  canonical packed signature (:meth:`repro.logic.cnf.CNF.signature`), so a
+  cache hit is bit-identical to the cold call by construction;
+* ``translate`` memoizes grounded-property compilations (property × scope ×
+  symmetry × polarity);
+* ``ground_truth`` memoizes the :class:`repro.core.accmc.GroundTruth`
+  objects built on those translations;
+* ``region`` memoizes decision-tree label-region CNFs keyed on the paths.
+
+Attribute access falls through to the wrapped backend, so the engine is a
+drop-in ``counter`` anywhere one is accepted (``name``, ``count_formula``,
+… keep working).  One engine is meant to be shared across every ``AccMC``,
+``DiffMC`` and pipeline in a process; ``clear()`` resets it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counting.exact import ExactCounter
+from repro.logic.cnf import CNF
+
+
+@dataclass
+class EngineStats:
+    """Cache telemetry: calls vs hits per memo table."""
+
+    count_calls: int = 0
+    count_hits: int = 0
+    translate_calls: int = 0
+    translate_hits: int = 0
+    region_calls: int = 0
+    region_hits: int = 0
+
+    @property
+    def count_misses(self) -> int:
+        return self.count_calls - self.count_hits
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "count_calls": self.count_calls,
+            "count_hits": self.count_hits,
+            "translate_calls": self.translate_calls,
+            "translate_hits": self.translate_hits,
+            "region_calls": self.region_calls,
+            "region_hits": self.region_hits,
+        }
+
+
+class CountingEngine:
+    """Memoizing front door to a counting backend.
+
+    Parameters
+    ----------
+    counter:
+        Any object with ``count(cnf) -> int`` and a ``name`` attribute
+        (default: :class:`repro.counting.exact.ExactCounter`).  Passing an
+        engine returns its backend wrapped afresh — engines do not nest.
+    """
+
+    def __init__(self, counter=None) -> None:
+        if isinstance(counter, CountingEngine):
+            counter = counter.counter
+        self.counter = counter if counter is not None else ExactCounter()
+        self.stats = EngineStats()
+        self._counts: dict[tuple, int] = {}
+        self._translations: dict[tuple, object] = {}
+        self._ground_truths: dict[tuple, object] = {}
+        self._regions: dict[tuple, CNF] = {}
+
+    def __getattr__(self, name: str):
+        # Fall through to the backend for everything the engine does not
+        # define (``name``, ``count_formula``, ``max_nodes``, …), so the
+        # engine is a drop-in counter.
+        if name == "counter":  # guard against recursion before __init__ ran
+            raise AttributeError(name)
+        return getattr(self.counter, name)
+
+    # -- counting ------------------------------------------------------------------
+
+    def count(self, cnf: CNF) -> int:
+        """Memoized projected model count of ``cnf``."""
+        key = cnf.signature()
+        self.stats.count_calls += 1
+        cached = self._counts.get(key)
+        if cached is not None:
+            self.stats.count_hits += 1
+            return cached
+        value = self.counter.count(cnf)
+        self._counts[key] = value
+        return value
+
+    def count_many(self, cnfs) -> list[int]:
+        """Count a batch of CNFs; duplicates inside the batch hit the memo."""
+        return [self.count(cnf) for cnf in cnfs]
+
+    # -- compilation memos -----------------------------------------------------------
+
+    def translate(self, prop, scope: int, symmetry=None, negate: bool = False):
+        """Memoized grounded-property compilation (see :func:`repro.spec.translate`)."""
+        from repro.spec.translate import translate
+
+        key = (
+            getattr(prop, "name", str(prop)),
+            scope,
+            symmetry.kind if symmetry is not None else None,
+            negate,
+        )
+        self.stats.translate_calls += 1
+        cached = self._translations.get(key)
+        if cached is not None:
+            self.stats.translate_hits += 1
+            return cached
+        problem = translate(prop, scope, symmetry=symmetry, negate=negate)
+        self._translations[key] = problem
+        return problem
+
+    def ground_truth(self, prop, scope: int, symmetry=None):
+        """Memoized compiled ground truth for AccMC evaluation."""
+        from repro.core.accmc import GroundTruth
+
+        key = (
+            getattr(prop, "name", str(prop)),
+            scope,
+            symmetry.kind if symmetry is not None else None,
+        )
+        cached = self._ground_truths.get(key)
+        if cached is None:
+            cached = GroundTruth(prop, scope, symmetry=symmetry, translator=self.translate)
+            self._ground_truths[key] = cached
+        return cached
+
+    def region(self, paths, label: int, num_features: int) -> CNF:
+        """Memoized decision-tree label-region CNF (see ``label_region_cnf``)."""
+        from repro.core.tree2cnf import label_region_cnf
+
+        key = (tuple(paths), label, num_features)
+        self.stats.region_calls += 1
+        cached = self._regions.get(key)
+        if cached is not None:
+            self.stats.region_hits += 1
+            return cached
+        cnf = label_region_cnf(paths, label, num_features)
+        self._regions[key] = cnf
+        return cnf
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every memo table and reset the statistics."""
+        self._counts.clear()
+        self._translations.clear()
+        self._ground_truths.clear()
+        self._regions.clear()
+        self.stats = EngineStats()
+
+    def __repr__(self) -> str:
+        backend = getattr(self.counter, "name", type(self.counter).__name__)
+        s = self.stats
+        return (
+            f"CountingEngine(backend={backend!r}, counts={len(self._counts)}, "
+            f"hits={s.count_hits}/{s.count_calls})"
+        )
+
+
+def shared_engine(counter=None) -> CountingEngine:
+    """Wrap ``counter`` in an engine unless it already is one."""
+    if isinstance(counter, CountingEngine):
+        return counter
+    return CountingEngine(counter)

@@ -1,32 +1,43 @@
-"""Exact model counting (ProjMC-style backend).
+"""Exact projected model counting (ProjMC-style backend) over packed bitmasks.
 
-The counter is a DPLL-style #SAT procedure in the sharpSAT lineage:
+The counter is a DPLL-style projected #SAT procedure in the
+sharpSAT/ProjMC lineage:
 
-* unit propagation with failure detection;
+* unit propagation with failure detection, driven by literal-occurrence
+  lists so each asserted unit touches only the clauses containing it;
 * decomposition of the residual formula into connected components (on the
   clause/variable incidence graph), counted independently and multiplied;
-* component caching keyed on the normalised residual clauses;
-* branching on the most-occurring variable.
+* component caching keyed on packed clause signatures;
+* branching restricted to *projection* variables (the ``n²`` relation
+  bits), choosing the most-occurring one; auxiliary Tseitin variables are
+  never decision variables — they are fixed by propagation, and a residual
+  component containing no projection variable only needs a satisfiability
+  check (each projected model is counted once regardless of how many
+  auxiliary extensions it has).
 
-Projection.  The paper's counting problems are *projected*: only the ``n²``
-primary variables (the relation bits) are counted, while CNF translation may
-introduce auxiliary variables.  Every encoding in this project defines its
-auxiliaries biconditionally, so each projected assignment extends to exactly
-one total model and plain #SAT equals projected #SAT (DESIGN.md §5.2); CNF
-objects carry an ``aux_unique`` flag recording that guarantee.  When the flag
-is absent (counting someone else's CNF), the counter falls back to a slower
-but unconditionally correct projected DPLL that branches only on projection
-variables and asks a CDCL oracle whether the auxiliary remainder is
-satisfiable.
+Representation.  The hot path never manipulates tuple clauses: ``count``
+renumbers the occurring variables into a dense ``0..k-1`` index
+(:meth:`repro.logic.cnf.CNF.packed_view`) and every clause becomes a
+``(pos_mask, neg_mask)`` pair of Python ints.  Asserting a literal,
+detecting units/empty clauses, splitting components and computing free
+variables are then single integer ops per clause, and cache keys are
+``frozenset``s of per-clause integers ``(pos << k) | neg`` instead of
+``frozenset``s of literal tuples.  The original tuple-based algorithm is
+preserved in :mod:`repro.counting.legacy` as a differential baseline.
+
+Projection.  Because the search *is* projected counting, the counter no
+longer needs the ``aux_unique`` unique-extension flag to be correct: the
+flag (DESIGN.md §5.2) merely records that plain #SAT would agree with the
+projected count.  Both flagged and unflagged CNFs take the same code path,
+which replaces the seed's slow CDCL-oracle fallback for externally
+supplied CNFs.
 """
 
 from __future__ import annotations
 
-from collections import Counter as _Counter
-from collections.abc import Iterable, Sequence
+from itertools import compress as _compress
 
-from repro.logic.cnf import CNF, Clause
-from repro.sat.solver import SatResult, Solver
+from repro.logic.cnf import CNF, MaskClause
 
 
 class CounterBudgetExceeded(Exception):
@@ -48,7 +59,7 @@ class ExactCounter:
     def __init__(self, max_nodes: int = 5_000_000) -> None:
         self.max_nodes = max_nodes
         self._nodes = 0
-        self._cache: dict[frozenset[Clause], int] = {}
+        self._cache: dict[tuple, int] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -59,20 +70,55 @@ class ExactCounter:
         if any(len(clause) == 0 for clause in cnf.clauses):
             return 0  # an empty clause is unsatisfiable
         projection = cnf.projected_vars()
-        if cnf.counts_without_projection():
-            clause_vars = cnf.variables()
-            free = len(projection - clause_vars)
-            clauses = [tuple(c) for c in cnf.clauses]
-            return (1 << free) * self._sharp(clauses)
-        return _projected_dpll(cnf, self.max_nodes)
+        packed = cnf.packed_view()
+        proj_mask = 0
+        index = packed.index
+        for var in projection:
+            bit_index = index.get(var)
+            if bit_index is not None:
+                proj_mask |= 1 << bit_index
+        # Projection variables not occurring in any clause are free.
+        multiplier = 1 << (len(projection) - proj_mask.bit_count())
 
-    # -- unprojected #SAT with component caching ------------------------------------
+        # Top-level simplification: one propagation pass, then bounded
+        # Davis-Putnam elimination of the auxiliary variables.  Resolving a
+        # non-projected variable away (∃-elimination) preserves the
+        # projected model count exactly, and Tseitin definitions resolve
+        # away with *fewer* clauses than they came with, so the search runs
+        # on a formula close to the projection instead of the full encoding.
+        simplified = _propagate(packed.clauses)
+        if simplified is None:
+            return 0
+        residual, true_mask, false_mask = simplified
+        occurring = (1 << packed.num_vars) - 1  # the dense space is exactly
+        # the occurring variables
+        residual_vars = 0
+        for pos, neg in residual:
+            residual_vars |= pos | neg
+        vanished = occurring & ~residual_vars & ~(true_mask | false_mask)
+        multiplier <<= (vanished & proj_mask).bit_count()
+        eliminated = _eliminate(residual, proj_mask)
+        if eliminated is None:
+            return 0
+        eliminated_vars = 0
+        for pos, neg in eliminated:
+            eliminated_vars |= pos | neg
+        # Projection variables whose every constraint resolved away are free.
+        multiplier <<= ((residual_vars & proj_mask) & ~eliminated_vars).bit_count()
+        return multiplier * self._sharp(eliminated, proj_mask)
 
-    def _sharp(self, clauses: list[Clause]) -> int:
-        """#models over exactly the variables occurring in ``clauses``."""
+    # -- projected #SAT with component caching --------------------------------------
+
+    def _sharp(self, clauses: list[MaskClause], proj: int) -> int:
+        """#projected models over the variables occurring in ``clauses``.
+
+        ``proj`` is the packed mask of projection variables *in the dense
+        space the clauses currently live in* — component subproblems are
+        re-packed into their own narrower space (see :func:`_repack`).
+        """
         if not clauses:
             return 1
-        key = frozenset(clauses)
+        key = (frozenset(clauses), proj)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
@@ -80,45 +126,88 @@ class ExactCounter:
         if self._nodes > self.max_nodes:
             raise CounterBudgetExceeded(f"exceeded {self.max_nodes} nodes")
 
-        simplified = _propagate_units(clauses)
+        simplified = _propagate(clauses)
         if simplified is None:
             self._cache[key] = 0
             return 0
-        residual, eliminated = simplified
-        # Variables fixed by propagation contribute a single assignment each;
-        # variables that *disappeared* without being fixed are free.
-        vanished = _vars_of(clauses) - _vars_of(residual) - eliminated
-        multiplier = 1 << len(vanished)
-
-        total = multiplier
+        residual, true_mask, false_mask = simplified
+        original_vars = 0
+        for pos, neg in clauses:
+            original_vars |= pos | neg
+        residual_vars = 0
+        for pos, neg in residual:
+            residual_vars |= pos | neg
+        # Projection variables fixed by propagation contribute a single
+        # assignment each; projection variables that *disappeared* without
+        # being fixed are free.  Auxiliary variables never multiply.
+        vanished = original_vars & ~residual_vars & ~(true_mask | false_mask)
+        total = 1 << (vanished & proj).bit_count()
         if residual:
-            total = multiplier
             product = 1
-            for component in _components(residual):
-                product *= self._count_component(component)
+            for component in _split_components(residual):
+                product *= self._count_component(component, proj)
                 if product == 0:
                     break
             total *= product
         self._cache[key] = total
         return total
 
-    def _count_component(self, clauses: list[Clause]) -> int:
-        key = frozenset(clauses)
+    def _count_component(self, clauses: list[MaskClause], proj: int) -> int:
+        component_vars = 0
+        for pos, neg in clauses:
+            component_vars |= pos | neg
+        # Re-pack sparse components into their own dense space: masks shrink
+        # to popcount-many bits (often a single machine word) and the cache
+        # key becomes canonical, so isomorphic components met anywhere in
+        # the search share one entry.
+        if component_vars.bit_length() - component_vars.bit_count() >= 64:
+            clauses, proj = _repack(clauses, component_vars, proj)
+            component_vars = (1 << component_vars.bit_count()) - 1
+        projected = component_vars & proj
+        key = (frozenset(clauses), projected)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        var = _most_frequent_var(clauses)
+        if not projected:
+            # Auxiliary-only component: it contributes one choice per
+            # projected model if satisfiable, none otherwise.
+            total = 1 if self._satisfiable(clauses) else 0
+            self._cache[key] = total
+            return total
+        bit = _most_frequent_bit(clauses, projected)
+        residual_projected = projected & ~bit
         total = 0
-        for polarity in (var, -var):
-            branch = _assign(clauses, polarity)
+        for positive in (True, False):
+            branch = _assign(clauses, bit, positive)
             if branch is None:
                 continue
-            residual_vars = _vars_of(clauses) - {var}
-            branch_vars = _vars_of(branch)
-            free = len(residual_vars - branch_vars)
-            total += (1 << free) * self._sharp(branch)
+            branch_vars = 0
+            for pos, neg in branch:
+                branch_vars |= pos | neg
+            free = (residual_projected & ~branch_vars).bit_count()
+            total += (1 << free) * self._sharp(branch, proj)
         self._cache[key] = total
         return total
+
+    def _satisfiable(self, clauses: list[MaskClause]) -> bool:
+        """DPLL satisfiability of a (typically tiny, auxiliary-only) residual."""
+        self._nodes += 1
+        if self._nodes > self.max_nodes:
+            raise CounterBudgetExceeded(f"exceeded {self.max_nodes} nodes")
+        simplified = _propagate(clauses)
+        if simplified is None:
+            return False
+        residual = simplified[0]
+        if not residual:
+            return True
+        pos, neg = residual[0]
+        mask = pos | neg
+        bit = mask & -mask
+        for positive in (True, False):
+            branch = _assign(residual, bit, positive)
+            if branch is not None and self._satisfiable(branch):
+                return True
+        return False
 
 
 def exact_count(cnf: CNF, max_nodes: int = 5_000_000) -> int:
@@ -126,122 +215,265 @@ def exact_count(cnf: CNF, max_nodes: int = 5_000_000) -> int:
     return ExactCounter(max_nodes=max_nodes).count(cnf)
 
 
-# -- clause-level helpers --------------------------------------------------------------
+# -- packed clause helpers --------------------------------------------------------------
 
 
-def _vars_of(clauses: Iterable[Clause]) -> set[int]:
-    return {abs(l) for clause in clauses for l in clause}
+def _eliminate(
+    clauses: list[MaskClause], proj: int, max_passes: int = 50
+) -> list[MaskClause] | None:
+    """Bounded Davis-Putnam elimination of non-projected variables.
+
+    Repeatedly resolves an auxiliary variable out of the formula whenever
+    the resolvent set is no larger than the clauses it replaces (the NiVER
+    bound), which keeps the clause count monotonically non-increasing.
+    Because the variable is existentially quantified in projected counting,
+    each elimination preserves the projected model count exactly; pure
+    auxiliary literals fall out as the special case of an empty resolvent
+    set.  Returns the reduced clause list, or ``None`` when an empty
+    resolvent proves the formula unsatisfiable.
+    """
+    work = list(dict.fromkeys(clauses))
+    for _ in range(max_passes):
+        changed = False
+        all_vars = 0
+        for pos, neg in work:
+            all_vars |= pos | neg
+        aux = all_vars & ~proj
+        while aux:
+            bit = aux & -aux
+            aux ^= bit
+            with_pos: list[MaskClause] = []
+            with_neg: list[MaskClause] = []
+            rest: list[MaskClause] = []
+            for pos, neg in work:
+                if pos & bit:
+                    with_pos.append((pos, neg))
+                elif neg & bit:
+                    with_neg.append((pos, neg))
+                else:
+                    rest.append((pos, neg))
+            if not with_pos and not with_neg:
+                continue
+            limit = len(with_pos) + len(with_neg)
+            clear = ~bit
+            resolvents: list[MaskClause] = []
+            bounded = True
+            for pos_a, neg_a in with_pos:
+                pos_a &= clear
+                for pos_b, neg_b in with_neg:
+                    res_pos = pos_a | pos_b
+                    res_neg = neg_a | (neg_b & clear)
+                    if res_pos & res_neg:
+                        continue  # tautology
+                    if not (res_pos | res_neg):
+                        return None  # empty resolvent: unsatisfiable
+                    resolvents.append((res_pos, res_neg))
+                    if len(resolvents) > limit:
+                        bounded = False
+                        break
+                if not bounded:
+                    break
+            if not bounded:
+                continue
+            work = rest + list(dict.fromkeys(resolvents))
+            changed = True
+        if not changed:
+            break
+    return work
 
 
-def _assign(clauses: Sequence[Clause], literal: int) -> list[Clause] | None:
-    """Residual clauses after asserting ``literal``; None on an empty clause."""
-    out: list[Clause] = []
-    for clause in clauses:
-        if literal in clause:
-            continue
-        if -literal in clause:
-            shrunk = tuple(l for l in clause if l != -literal)
-            if not shrunk:
-                return None
-            out.append(shrunk)
-        else:
-            out.append(clause)
+def _repack(
+    clauses: list[MaskClause], component_vars: int, proj: int
+) -> tuple[list[MaskClause], int]:
+    """Re-pack a component into its own dense bit space.
+
+    The set bits of ``component_vars`` are renumbered ``0..k-1`` in
+    ascending order (order-preserving, hence canonical); returns the
+    translated clauses and projection mask.
+    """
+    table: dict[int, int] = {}
+    new_bit = 1
+    mask = component_vars
+    while mask:
+        bit = mask & -mask
+        mask ^= bit
+        table[bit] = new_bit
+        new_bit <<= 1
+    new_clauses: list[MaskClause] = []
+    for pos, neg in clauses:
+        new_pos = new_neg = 0
+        while pos:
+            bit = pos & -pos
+            pos ^= bit
+            new_pos |= table[bit]
+        while neg:
+            bit = neg & -neg
+            neg ^= bit
+            new_neg |= table[bit]
+        new_clauses.append((new_pos, new_neg))
+    new_proj = 0
+    mask = proj & component_vars
+    while mask:
+        bit = mask & -mask
+        mask ^= bit
+        new_proj |= table[bit]
+    return new_clauses, new_proj
+
+
+def _assign(
+    clauses: list[MaskClause], bit: int, positive: bool
+) -> list[MaskClause] | None:
+    """Residual clauses after asserting packed var ``bit``; None on conflict."""
+    out: list[MaskClause] = []
+    if positive:
+        for pos, neg in clauses:
+            if pos & bit:
+                continue  # satisfied
+            if neg & bit:
+                neg &= ~bit
+                if not (pos | neg):
+                    return None
+            out.append((pos, neg))
+    else:
+        for pos, neg in clauses:
+            if neg & bit:
+                continue
+            if pos & bit:
+                pos &= ~bit
+                if not (pos | neg):
+                    return None
+            out.append((pos, neg))
     return out
 
 
-def _propagate_units(
-    clauses: Sequence[Clause],
-) -> tuple[list[Clause], set[int]] | None:
-    """Exhaustive unit propagation.
+def _propagate(
+    clauses: list[MaskClause],
+) -> tuple[list[MaskClause], int, int] | None:
+    """Exhaustive unit propagation over packed clauses via occurrence lists.
 
-    Returns (residual clauses, set of variables fixed by propagation), or
-    ``None`` on conflict.
+    Returns ``(residual clauses, true_mask, false_mask)`` — the masks of
+    variables fixed true/false by propagation — or ``None`` on conflict.
+    Each asserted unit only visits the clauses containing its variable.
     """
-    work = list(clauses)
-    fixed: set[int] = set()
-    while True:
-        unit = next((c[0] for c in work if len(c) == 1), None)
-        if unit is None:
-            return work, fixed
-        if abs(unit) in fixed:
-            # Both polarities as units → conflict (the other polarity would
-            # have been eliminated otherwise).
-            return None
-        fixed.add(abs(unit))
-        next_work = _assign(work, unit)
-        if next_work is None:
-            return None
-        work = next_work
+    # Occurrence lists keyed by packed bit: occurrences[bit] holds the ids
+    # of clauses mentioning that variable.  Entries are never invalidated —
+    # liveness and membership are re-checked at use time.
+    occurrences: dict[int, list[int]] = {}
+    stack: list[int] = []
+    for ci, (pos, neg) in enumerate(clauses):
+        mask = pos | neg
+        if mask & (mask - 1) == 0:
+            stack.append(ci)
+        while mask:
+            bit = mask & -mask
+            mask ^= bit
+            entry = occurrences.get(bit)
+            if entry is None:
+                occurrences[bit] = [ci]
+            else:
+                entry.append(ci)
+    if not stack:
+        return clauses, 0, 0
+
+    pos_of, neg_of = map(list, zip(*clauses))
+    alive = [True] * len(clauses)
+    true_mask = 0
+    false_mask = 0
+    while stack:
+        ci = stack.pop()
+        if not alive[ci]:
+            continue
+        pos, neg = pos_of[ci], neg_of[ci]
+        bit = pos | neg
+        positive = pos != 0
+        if positive:
+            if bit & true_mask:
+                alive[ci] = False
+                continue
+            if bit & false_mask:
+                return None
+            true_mask |= bit
+        else:
+            if bit & false_mask:
+                alive[ci] = False
+                continue
+            if bit & true_mask:
+                return None
+            false_mask |= bit
+        alive[ci] = False  # the unit clause itself is now satisfied
+        for cj in occurrences[bit]:
+            if not alive[cj]:
+                continue
+            pos_j, neg_j = pos_of[cj], neg_of[cj]
+            if positive:
+                if pos_j & bit:
+                    alive[cj] = False
+                    continue
+                neg_j &= ~bit
+                neg_of[cj] = neg_j
+            else:
+                if neg_j & bit:
+                    alive[cj] = False
+                    continue
+                pos_j &= ~bit
+                pos_of[cj] = pos_j
+            remainder = pos_j | neg_j
+            if remainder == 0:
+                return None
+            if remainder & (remainder - 1) == 0:
+                stack.append(cj)
+    residual = list(_compress(zip(pos_of, neg_of), alive))
+    return residual, true_mask, false_mask
 
 
-def _components(clauses: Sequence[Clause]) -> list[list[Clause]]:
-    """Partition clauses into connected components by shared variables."""
-    parent: dict[int, int] = {}
+def _split_components(clauses: list[MaskClause]) -> list[list[MaskClause]]:
+    """Partition clauses into connected components by shared variables.
 
-    def find(x: int) -> int:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    def union(a: int, b: int) -> None:
-        ra, rb = find(a), find(b)
-        if ra != rb:
-            parent[ra] = rb
-
-    for clause in clauses:
-        variables = [abs(l) for l in clause]
-        for v in variables:
-            parent.setdefault(v, v)
-        for v in variables[1:]:
-            union(variables[0], v)
-
-    groups: dict[int, list[Clause]] = {}
-    for clause in clauses:
-        root = find(abs(clause[0]))
-        groups.setdefault(root, []).append(clause)
-    return list(groups.values())
-
-
-def _most_frequent_var(clauses: Sequence[Clause]) -> int:
-    counts: _Counter[int] = _Counter()
-    for clause in clauses:
-        for l in clause:
-            counts[abs(l)] += 1
-    return counts.most_common(1)[0][0]
-
-
-# -- unconditionally correct projected counting ------------------------------------------
-
-
-def _projected_dpll(cnf: CNF, max_nodes: int) -> int:
-    """Projected counting without the unique-extension assumption.
-
-    Branches over projection variables only; once the projection is fully
-    assigned the auxiliary remainder is checked for satisfiability with the
-    CDCL solver.  Exponential in the projection size — this is the fallback
-    for externally supplied CNFs, not the hot path.
+    Components are grown by merging variable masks: a clause joins every
+    existing group its mask intersects, fusing them.
     """
-    projection = sorted(cnf.projected_vars())
-    solver = Solver(cnf.num_vars)
-    for clause in cnf.clauses:
-        solver.add_clause(clause)
+    # First merge variable masks only (no clause lists to copy around) …
+    masks: list[int] = []
+    for pos, neg in clauses:
+        mask = pos | neg
+        kept: list[int] = []
+        for group_mask in masks:
+            if group_mask & mask:
+                mask |= group_mask
+            else:
+                kept.append(group_mask)
+        kept.append(mask)
+        masks = kept
+    if len(masks) == 1:
+        return [clauses]
+    # … then distribute the clauses over the (disjoint) final masks.
+    buckets: list[list[MaskClause]] = [[] for _ in masks]
+    for clause in clauses:
+        mask = clause[0] | clause[1]
+        for gi, group_mask in enumerate(masks):
+            if group_mask & mask:
+                buckets[gi].append(clause)
+                break
+    return buckets
 
-    nodes = 0
 
-    def go(index: int, assumptions: list[int]) -> int:
-        nonlocal nodes
-        nodes += 1
-        if nodes > max_nodes:
-            raise CounterBudgetExceeded(f"exceeded {max_nodes} nodes")
-        result = solver.solve(assumptions=assumptions)
-        if result is not SatResult.SAT:
-            return 0
-        if index == len(projection):
-            return 1
-        var = projection[index]
-        return go(index + 1, assumptions + [var]) + go(
-            index + 1, assumptions + [-var]
-        )
+def _most_frequent_bit(clauses: list[MaskClause], candidates: int) -> int:
+    """The packed variable (a power of two) within ``candidates`` with the
+    highest occurrence score.
 
-    return go(0, [])
+    Occurrences in short clauses are weighted up (16× for binary, 4× for
+    ternary): assigning such a variable immediately creates units, so the
+    branch collapses further under propagation.
+    """
+    counts: dict[int, int] = {}
+    get = counts.get
+    for pos, neg in clauses:
+        mask = pos | neg
+        size = mask.bit_count()
+        weight = 16 if size == 2 else (4 if size == 3 else 1)
+        mask &= candidates
+        while mask:
+            bit = mask & -mask
+            counts[bit] = get(bit, 0) + weight
+            mask ^= bit
+    return max(counts, key=counts.get)

@@ -86,10 +86,15 @@ def sample_negative_bits(
     rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
     m = scope * scope
     mask_fn = property_mask(prop.oracle)
-    seen: set[bytes] = set()
+    # Dedup state is kept bit-packed: np.unique over packed rows replaces
+    # the per-row Python loop + tobytes() set, and seeding ``seen`` with the
+    # packed ``exclude`` rows preserves the exclusion semantics.
     if exclude is not None:
-        for row in np.asarray(exclude, dtype=np.uint8):
-            seen.add(row.tobytes())
+        seen = np.packbits(
+            np.asarray(exclude, dtype=np.uint8), axis=1
+        )
+    else:
+        seen = np.zeros((0, (m + 7) // 8), dtype=np.uint8)
     collected: list[np.ndarray] = []
     remaining = count
     batch_size = max(256, 2 * count)
@@ -98,21 +103,29 @@ def sample_negative_bits(
             break
         candidates = (rng.random((batch_size, m)) < 0.5).astype(np.uint8)
         negatives = candidates[~mask_fn(bits_to_matrices(candidates, scope))]
-        for row in negatives:
-            key = row.tobytes()
-            if key in seen:
-                continue
-            seen.add(key)
-            collected.append(row)
-            remaining -= 1
-            if remaining == 0:
-                break
+        if len(negatives) == 0:
+            continue
+        packed = np.packbits(negatives, axis=1)
+        # First occurrence of each row across `seen ++ batch`, in one
+        # vectorised pass; rows whose first occurrence lies in the batch
+        # are new, and sorting their indices keeps first-seen order.
+        _, first_index = np.unique(
+            np.concatenate([seen, packed], axis=0), axis=0, return_index=True
+        )
+        new_index = np.sort(first_index[first_index >= len(seen)] - len(seen))
+        if len(new_index) > remaining:
+            new_index = new_index[:remaining]
+        if len(new_index) == 0:
+            continue
+        collected.append(negatives[new_index])
+        seen = np.concatenate([seen, packed[new_index]], axis=0)
+        remaining -= len(new_index)
     if remaining > 0:
         raise RuntimeError(
             f"could not sample {count} distinct negatives at scope {scope} "
             f"(the negative space may be too small)"
         )
-    return np.stack(collected)
+    return np.concatenate(collected, axis=0)
 
 
 def generate_dataset(

@@ -16,13 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.counting import ApproxMCCounter, ExactCounter, closed_form_count
+from repro.counting import ApproxMCCounter, CountingEngine, closed_form_count
 from repro.counting.exact import CounterBudgetExceeded
 from repro.data.generation import enumerate_positive_bits
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.render import render_table
 from repro.spec.symmetry import SymmetryBreaking
-from repro.spec.translate import translate
 
 
 @dataclass(frozen=True)
@@ -52,6 +51,10 @@ def table1(config: ExperimentConfig | None = None, paper_scopes: bool = False) -
     """Compute Table 1 rows (live at reduced scopes, analytic at paper scopes)."""
     config = config or ExperimentConfig()
     symmetry = SymmetryBreaking("adjacent")
+    # One engine for the whole table: translations and counts are memoized,
+    # so re-rendering (or computing Table 1 after another experiment that
+    # shares the engine) does no counting work twice.
+    engine = CountingEngine()
     rows: list[Table1Row] = []
     for prop in config.selected_properties():
         scope = prop.paper_scope if paper_scopes else config.scope_for(prop)
@@ -61,7 +64,7 @@ def table1(config: ExperimentConfig | None = None, paper_scopes: bool = False) -
             # Analytic-only mode: the paper's hardware/time budget does not
             # exist here, so live counting is replaced by the closed forms
             # (positives column included when tabulated).
-            problem = translate(prop, scope, symmetry=symmetry) if m <= 450 else None
+            problem = engine.translate(prop, scope, symmetry=symmetry) if m <= 450 else None
             stats = problem.stats() if problem else {"primary_vars": m, "total_vars": 0, "clauses": 0}
             rows.append(
                 Table1Row(
@@ -72,13 +75,13 @@ def table1(config: ExperimentConfig | None = None, paper_scopes: bool = False) -
             continue
 
         enumerated = enumerate_positive_bits(prop, scope, symmetry=symmetry)
-        problem_symbr = translate(prop, scope, symmetry=symmetry)
-        problem_plain = translate(prop, scope)
-        exact = ExactCounter()
+        problem_symbr = engine.translate(prop, scope, symmetry=symmetry)
+        problem_plain = engine.translate(prop, scope)
         approx = ApproxMCCounter(seed=config.seed)
         try:
-            exact_symbr = exact.count(problem_symbr.cnf)
-            exact_plain = exact.count(problem_plain.cnf)
+            exact_symbr, exact_plain = engine.count_many(
+                [problem_symbr.cnf, problem_plain.cnf]
+            )
         except CounterBudgetExceeded:
             exact_symbr = exact_plain = None
         est_symbr = approx.count(problem_symbr.cnf)

@@ -21,6 +21,76 @@ from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 Clause = tuple[int, ...]
 
+#: A clause as a pair of bitmasks over a dense variable index: bit ``i`` of
+#: ``pos_mask``/``neg_mask`` is set when the positive/negative literal of the
+#: ``i``-th packed variable occurs.  The two masks are disjoint (tautologies
+#: are normalised away on construction).
+MaskClause = tuple[int, int]
+
+
+class PackedClauses:
+    """Dense bitmask view of a clause list.
+
+    The variables occurring in the clauses are renumbered ``0..k-1`` in
+    sorted order and each clause becomes a ``(pos_mask, neg_mask)`` pair of
+    Python ints.  Assignment, unit detection, subsumption checks, connected
+    component splitting and cache keying then all reduce to O(1)-per-word
+    integer ops instead of tuple rebuilding — this is the representation the
+    exact counter's hot path runs on.
+    """
+
+    __slots__ = ("variables", "index", "clauses", "num_vars")
+
+    def __init__(
+        self,
+        variables: tuple[int, ...],
+        index: dict[int, int],
+        clauses: list[MaskClause],
+    ) -> None:
+        self.variables = variables  #: packed bit i  ↔  DIMACS var variables[i]
+        self.index = index  #: DIMACS var → packed bit index
+        self.clauses = clauses
+        self.num_vars = len(variables)
+
+    def var_mask(self) -> int:
+        """Union of all clause variable masks."""
+        mask = 0
+        for pos, neg in self.clauses:
+            mask |= pos | neg
+        return mask
+
+    def literal_of(self, bit: int, positive: bool) -> int:
+        """DIMACS literal for packed bit ``bit`` (a power of two)."""
+        var = self.variables[bit.bit_length() - 1]
+        return var if positive else -var
+
+    def signature(self) -> frozenset[int]:
+        """Order-independent packed signature of the clause set.
+
+        Each clause is folded into the single integer
+        ``(pos_mask << num_vars) | neg_mask``; the frozenset of those is a
+        canonical key for component caching and count memoisation.
+        """
+        shift = self.num_vars
+        return frozenset((pos << shift) | neg for pos, neg in self.clauses)
+
+
+def pack_clauses(clauses: Sequence[Clause]) -> PackedClauses:
+    """Pack tuple clauses into dense bitmask form (see :class:`PackedClauses`)."""
+    occurring = sorted({abs(lit) for clause in clauses for lit in clause})
+    index = {v: i for i, v in enumerate(occurring)}
+    packed: list[MaskClause] = []
+    for clause in clauses:
+        pos = neg = 0
+        for lit in clause:
+            bit = 1 << index[abs(lit)]
+            if lit > 0:
+                pos |= bit
+            else:
+                neg |= bit
+        packed.append((pos, neg))
+    return PackedClauses(tuple(occurring), index, packed)
+
 
 def _normalize_clause(literals: Iterable[int]) -> Clause | None:
     """Sort, dedupe, and detect tautologies.
@@ -138,6 +208,28 @@ class CNF:
         auxiliaries are flagged as uniquely extending (``aux_unique``).
         """
         return self.aux_unique or not self.aux_vars()
+
+    def packed_view(self) -> PackedClauses:
+        """Dense bitmask view of the clauses (see :class:`PackedClauses`)."""
+        return pack_clauses(self.clauses)
+
+    def signature(self) -> tuple:
+        """Canonical hashable identity of the counting problem.
+
+        Two CNFs with equal signatures have the same projected model count,
+        so this is the memoisation key used by
+        :class:`repro.counting.engine.CountingEngine`.  The clause body is a
+        packed bitmask signature (order- and duplicate-insensitive); the
+        projection is included because free projected variables multiply the
+        count.
+        """
+        packed = self.packed_view()
+        projection: tuple | frozenset
+        if self.projection is not None:
+            projection = self.projection
+        else:
+            projection = ("all", self.num_vars)
+        return (packed.variables, packed.signature(), projection)
 
     def evaluate(self, assignment: Mapping[int, bool] | Sequence[bool]) -> bool:
         """Evaluate under a total assignment.

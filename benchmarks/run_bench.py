@@ -2,12 +2,17 @@
 """Run the counting-substrate benchmarks and record BENCH_counting.json.
 
 Runs the ``TestCounterAblation`` benchmarks of ``bench_substrates.py``
-through pytest-benchmark, extracts the per-backend median times, and writes
-(or updates) ``BENCH_counting.json`` next to this script's repository root.
-The JSON keeps a ``history`` list so successive PRs append their numbers
-instead of overwriting the trajectory::
+through pytest-benchmark, extracts the per-backend median times, runs the
+counting-service ablations (1-vs-N worker fan-out on the AccMC
+product-mode batch, warm-vs-cold disk cache on a Table 1 slice), and
+writes (or updates) ``BENCH_counting.json`` next to this script's
+repository root.  The JSON keeps a ``history`` list so successive PRs
+append their numbers instead of overwriting the trajectory::
 
     PYTHONPATH=src python benchmarks/run_bench.py --label "PR 7 (…)"
+
+``--quick`` runs only the two ablations on small instances and writes
+nothing — the CI smoke mode that keeps the harness from rotting.
 
 See ``benchmarks/README.md`` for how to interpret the output.
 """
@@ -16,10 +21,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
+from time import perf_counter
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_counting.json"
@@ -74,6 +81,150 @@ def run_benchmarks() -> dict[str, dict[str, float]]:
     return backends
 
 
+# -- counting-service ablations ---------------------------------------------------------
+
+
+def _accmc_product_batch(scope: int):
+    """The four confusion problems AccMC product mode hands to ``count_many``.
+
+    Built exactly as :meth:`repro.core.accmc.AccMC._evaluate_by_cnf` does:
+    a decision tree trained on the property's own dataset, its true/false
+    label regions conjoined with φ and ¬φ.
+    """
+    from repro.core.pipeline import MCMLPipeline
+    from repro.core.tree2cnf import label_region_cnf
+    from repro.spec import SymmetryBreaking, get_property, translate
+
+    prop = get_property("PartialOrder")
+    symmetry = SymmetryBreaking()
+    pipeline = MCMLPipeline(seed=0)
+    dataset = pipeline.make_dataset(prop, scope, symmetry=symmetry)
+    train, _ = dataset.split(0.75, rng=0)
+    tree = pipeline.train("DT", train)
+    m = scope * scope
+    paths = tree.decision_paths()
+    true_region = label_region_cnf(paths, 1, m)
+    false_region = label_region_cnf(paths, 0, m)
+    phi = translate(prop, scope, symmetry=symmetry).cnf
+    not_phi = translate(prop, scope, symmetry=symmetry, negate=True).cnf
+    return [
+        phi.conjoin(true_region),
+        not_phi.conjoin(true_region),
+        phi.conjoin(false_region),
+        not_phi.conjoin(false_region),
+    ]
+
+
+def workers_ablation(workers: int, scope: int) -> dict:
+    """1-vs-N-worker ``count_many`` on the AccMC product-mode batch.
+
+    Bit-identity between the serial and parallel results is enforced hard;
+    the speedup is reported as measured.  On a single-core machine the pool
+    overhead makes the parallel run *slower* — ``cpu_count`` is recorded so
+    the number stays interpretable across machines.
+    """
+    from repro.counting import CountingEngine, EngineConfig
+
+    batch = _accmc_product_batch(scope)
+    started = perf_counter()
+    serial = CountingEngine(config=EngineConfig(workers=1)).count_many(batch)
+    serial_s = perf_counter() - started
+    started = perf_counter()
+    parallel = CountingEngine(config=EngineConfig(workers=workers)).count_many(batch)
+    parallel_s = perf_counter() - started
+    if serial != parallel:
+        raise SystemExit(
+            f"parallel counts diverge from serial: {parallel} != {serial}"
+        )
+    return {
+        "instance": (
+            f"AccMC product-mode batch: PartialOrder scope {scope}, adjacent "
+            "symmetry breaking, trained DT regions (4 counting problems)"
+        ),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup_x": round(serial_s / parallel_s, 2),
+        "bit_identical": True,
+    }
+
+
+def cache_ablation(scope: int, property_names: tuple[str, ...]) -> dict:
+    """Warm-vs-cold disk cache on a Table 1 slice (the two exact columns).
+
+    The warm re-run happens in a *fresh* engine pointed at the same cache
+    directory; it must perform zero backend counts — enforced hard, since
+    that criterion is hardware-independent.
+    """
+    from repro.counting import CountingEngine, EngineConfig
+    from repro.spec import SymmetryBreaking, get_property, translate
+
+    symmetry = SymmetryBreaking()
+    batch = []
+    for name in property_names:
+        prop = get_property(name)
+        batch.append(translate(prop, scope, symmetry=symmetry).cnf)
+        batch.append(translate(prop, scope).cnf)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        config = EngineConfig(cache_dir=cache_dir)
+        cold_engine = CountingEngine(config=config)
+        started = perf_counter()
+        cold_counts = cold_engine.count_many(batch)
+        cold_s = perf_counter() - started
+        cold_backend = cold_engine.stats.backend_calls
+        cold_engine.close()
+
+        warm_engine = CountingEngine(config=config)
+        started = perf_counter()
+        warm_counts = warm_engine.count_many(batch)
+        warm_s = perf_counter() - started
+        warm_backend = warm_engine.stats.backend_calls
+        warm_engine.close()
+
+    if warm_counts != cold_counts:
+        raise SystemExit("warm-cache counts diverge from cold run")
+    if warm_backend != 0:
+        raise SystemExit(
+            f"warm re-run performed {warm_backend} backend counts (expected 0)"
+        )
+    return {
+        "instance": (
+            f"Table 1 slice, exact columns (symbr + plain) for "
+            f"{len(property_names)} properties at scope {scope}"
+        ),
+        "problems": len(batch),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup_x": round(cold_s / warm_s, 1),
+        "cold_backend_counts": cold_backend,
+        "warm_backend_counts": warm_backend,
+    }
+
+
+def _print_ablations(workers_result: dict, cache_result: dict) -> None:
+    print(
+        f"  workers fan-out: serial {workers_result['serial_s']:.3f} s, "
+        f"{workers_result['workers']} workers {workers_result['parallel_s']:.3f} s "
+        f"({workers_result['speedup_x']}x on {workers_result['cpu_count']} cpu(s)), "
+        "bit-identical"
+    )
+    print(
+        f"  disk cache: cold {cache_result['cold_s']:.3f} s "
+        f"({cache_result['cold_backend_counts']} backend counts), "
+        f"warm {cache_result['warm_s']:.3f} s "
+        f"({cache_result['warm_backend_counts']} backend counts)"
+    )
+
+
+def _ablation_properties() -> tuple[str, ...]:
+    """All registered property names (resolved after the sys.path insert)."""
+    from repro.spec.properties import property_names
+
+    return tuple(property_names())
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -84,11 +235,31 @@ def main() -> None:
     parser.add_argument(
         "--output", type=Path, default=OUTPUT, help="where to write the JSON"
     )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count for the fan-out ablation (default 4)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: ablations only, small instances, no JSON update",
+    )
     args = parser.parse_args()
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    if args.quick:
+        print("quick smoke: counting-service ablations on reduced instances")
+        workers_result = workers_ablation(workers=2, scope=3)
+        cache_result = cache_ablation(scope=3, property_names=_ablation_properties()[:4])
+        _print_ablations(workers_result, cache_result)
+        print("ok (quick mode writes nothing)")
+        return
 
     backends = run_benchmarks()
     if "exact" not in backends:
         raise SystemExit("no exact-counter benchmark result found")
+    workers_result = workers_ablation(workers=args.workers, scope=4)
+    cache_result = cache_ablation(scope=4, property_names=_ablation_properties())
 
     document = {"instance": INSTANCE, "unit": "seconds", "history": []}
     if args.output.exists():
@@ -96,6 +267,10 @@ def main() -> None:
     document["instance"] = INSTANCE
     document["unit"] = "seconds"
     document["backends"] = backends
+    document["ablations"] = {
+        "workers_fanout": workers_result,
+        "disk_cache": cache_result,
+    }
     history = [
         entry for entry in document.get("history", []) if entry.get("label") != args.label
     ]
@@ -103,6 +278,10 @@ def main() -> None:
         {
             "label": args.label,
             "exact_median_s": backends["exact"]["median_s"],
+            "workers_fanout_speedup_x": workers_result["speedup_x"],
+            "workers_fanout_cpu_count": workers_result["cpu_count"],
+            "warm_cache_backend_counts": cache_result["warm_backend_counts"],
+            "warm_cache_speedup_x": cache_result["speedup_x"],
         }
     )
     document["history"] = history
@@ -114,6 +293,7 @@ def main() -> None:
     print(f"wrote {args.output}")
     for label, stats in sorted(backends.items()):
         print(f"  {label:>14}: median {stats['median_s'] * 1000:8.2f} ms")
+    _print_ablations(workers_result, cache_result)
 
 
 if __name__ == "__main__":

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from collections.abc import Callable
 
-from repro.counting.engine import CountingEngine, shared_engine
+from repro.counting.engine import CountingEngine, EngineConfig, shared_engine
 from repro.logic.cnf import CNF
 from repro.logic.formula import Formula, TRUE
 from repro.logic.tseitin import tseitin_cnf
@@ -140,13 +140,21 @@ class AccMC:
     :class:`repro.counting.approxmc.ApproxMCCounter`.
     """
 
-    def __init__(self, counter=None, mode: str = "product", engine: CountingEngine | None = None) -> None:
+    def __init__(
+        self,
+        counter=None,
+        mode: str = "product",
+        engine: CountingEngine | None = None,
+        config: EngineConfig | None = None,
+    ) -> None:
         if mode not in ("product", "derived"):
             raise ValueError(f"unknown mode {mode!r}")
         # All counting goes through a shared memoizing engine: repeated
         # regions, translations and counts (across evaluate() calls, rows
         # of a table, or tables sharing a pipeline) are computed once.
-        self.engine = engine if engine is not None else shared_engine(counter)
+        # ``config`` (worker fan-out, disk cache) applies only when a new
+        # engine is built here; a passed-in engine keeps its own.
+        self.engine = engine if engine is not None else shared_engine(counter, config)
         self.counter = self.engine
         self.mode = mode
         # The symmetry-reduced space size is tree- and property-independent;

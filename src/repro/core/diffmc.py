@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.counting.engine import CountingEngine, shared_engine
+from repro.counting.engine import CountingEngine, EngineConfig, shared_engine
 from repro.ml.decision_tree import DecisionTreeClassifier
 
 
@@ -69,8 +69,13 @@ class DiffMCResult:
 class DiffMC:
     """Quantify the semantic difference between two decision trees."""
 
-    def __init__(self, counter=None, engine: CountingEngine | None = None) -> None:
-        self.engine = engine if engine is not None else shared_engine(counter)
+    def __init__(
+        self,
+        counter=None,
+        engine: CountingEngine | None = None,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.engine = engine if engine is not None else shared_engine(counter, config)
         self.counter = self.engine
 
     def evaluate(

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.accmc import AccMC, AccMCResult
-from repro.counting.engine import CountingEngine
+from repro.counting.engine import CountingEngine, EngineConfig
 from repro.data.dataset import Dataset
 from repro.data.generation import generate_dataset
 from repro.ml import MODEL_REGISTRY
@@ -58,6 +58,9 @@ class MCMLPipeline:
     engine:
         An existing :class:`CountingEngine` to share memoized counts,
         translations and tree regions with other pipelines/evaluators.
+    config:
+        :class:`EngineConfig` (worker fan-out, disk cache) for the engine
+        built when ``engine`` is not supplied.
     """
 
     def __init__(
@@ -66,8 +69,9 @@ class MCMLPipeline:
         accmc_mode: str = "product",
         seed: int = 0,
         engine: CountingEngine | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
-        self.accmc = AccMC(counter=counter, mode=accmc_mode, engine=engine)
+        self.accmc = AccMC(counter=counter, mode=accmc_mode, engine=engine, config=config)
         self.engine = self.accmc.engine
         self.seed = seed
 

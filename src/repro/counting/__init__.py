@@ -19,22 +19,31 @@ back-ends used for validation and ablation:
 * :mod:`repro.counting.legacy` — the tuple-based predecessor of the packed
   exact counter, kept as a differential baseline.
 * :mod:`repro.counting.engine` — :class:`CountingEngine`, the shared,
-  memoizing facade AccMC/DiffMC and the experiment drivers count through.
+  memoizing facade AccMC/DiffMC and the experiment drivers count through,
+  configured by :class:`EngineConfig` (worker processes, disk cache).
+* :mod:`repro.counting.parallel` — multiprocess fan-out for batches of
+  independent counting problems (:func:`count_parallel`).
+* :mod:`repro.counting.store` — :class:`CountStore`, the disk-persistent
+  count cache keyed on canonical CNF signatures.
 """
 
 from repro.counting.approxmc import ApproxMCCounter, approx_count
 from repro.counting.bdd import BDDCounter, bdd_count
 from repro.counting.brute import brute_force_count, brute_force_models
-from repro.counting.engine import CountingEngine, shared_engine
+from repro.counting.engine import CountingEngine, EngineConfig, shared_engine
 from repro.counting.exact import ExactCounter, exact_count
 from repro.counting.legacy import LegacyExactCounter
 from repro.counting.oracles import closed_form_count
+from repro.counting.parallel import count_parallel
+from repro.counting.store import CountStore, signature_key
 from repro.counting.vector import FormulaBruteCounter, count_formula
 
 __all__ = [
     "ApproxMCCounter",
     "BDDCounter",
+    "CountStore",
     "CountingEngine",
+    "EngineConfig",
     "ExactCounter",
     "FormulaBruteCounter",
     "LegacyExactCounter",
@@ -44,6 +53,8 @@ __all__ = [
     "brute_force_models",
     "closed_form_count",
     "count_formula",
+    "count_parallel",
     "exact_count",
     "shared_engine",
+    "signature_key",
 ]

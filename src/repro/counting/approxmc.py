@@ -105,6 +105,10 @@ class ApproxMCCounter:
     """(ε, δ) approximate projected model counter."""
 
     name = "approxmc"
+    #: (ε, δ) estimates: not portable across backends, not persisted, and
+    #: not fanned out by the engine (worker RNG clones would diverge from
+    #: the serial estimate stream).
+    exact = False
 
     def __init__(
         self,
@@ -164,7 +168,10 @@ class ApproxMCCounter:
         m = min(max(prev_m, 1), max_m)
         ok, size = small_enough(m)
         if ok:
-            # Walk down until the cell saturates again.
+            # Walk down until the cell saturates again.  When the walk
+            # reaches m = 1, ``size`` already holds cell(1) — either from
+            # the initial probe (m started at 1) or from the last
+            # successful ``small_enough(m - 1)`` — so no re-enumeration.
             while m > 1:
                 ok_below, size_below = small_enough(m - 1)
                 if ok_below:
@@ -172,10 +179,6 @@ class ApproxMCCounter:
                     size = size_below
                 else:
                     break
-            if m == 1:
-                ok1, size1 = small_enough(1)
-                if ok1:
-                    size = size1
             return size * (1 << m), m
         # Walk up until the cell becomes small.
         while m < max_m:

@@ -124,6 +124,7 @@ class BDDCounter:
     """
 
     name = "bdd"
+    exact = True
 
     def __init__(self, max_nodes: int = 2_000_000) -> None:
         self.max_nodes = max_nodes

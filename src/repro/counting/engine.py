@@ -1,16 +1,25 @@
-"""CountingEngine: a shared, memoizing facade over the counting back-ends.
+"""CountingEngine: a shared, memoizing, parallel counting service.
 
 Every MCML metric is a handful of projected model-counting calls, and the
 experiment drivers repeat large parts of the work across rows: the same
 ground-truth translation at every training ratio, the same symmetry-space
 CNF for all sixteen properties of a table, the same tree regions when a
-model is evaluated twice.  The engine makes that reuse automatic:
+model is evaluated twice.  The engine makes that reuse automatic — and
+scales the cold remainder across processes and sessions:
 
 * ``count`` / ``count_many`` memoize model counts keyed on the CNF's
   canonical packed signature (:meth:`repro.logic.cnf.CNF.signature`), so a
   cache hit is bit-identical to the cold call by construction;
+* with ``EngineConfig(cache_dir=...)`` the count memo is backed by a
+  disk-persistent :class:`repro.counting.store.CountStore`, so a table
+  re-run in a fresh process performs zero backend counts;
+* with ``EngineConfig(workers=N)`` a ``count_many`` batch is partitioned
+  into memo hits, disk-store hits and cold problems, and the cold problems
+  fan out over a ``multiprocessing`` pool
+  (:func:`repro.counting.parallel.count_parallel`);
 * ``translate`` memoizes grounded-property compilations (property × scope ×
-  symmetry × polarity);
+  symmetry × polarity), keyed on the property's *structural* identity —
+  two distinct properties sharing a name never collide;
 * ``ground_truth`` memoizes the :class:`repro.core.accmc.GroundTruth`
   objects built on those translations;
 * ``region`` memoizes decision-tree label-region CNFs keyed on the paths.
@@ -18,23 +27,60 @@ model is evaluated twice.  The engine makes that reuse automatic:
 Attribute access falls through to the wrapped backend, so the engine is a
 drop-in ``counter`` anywhere one is accepted (``name``, ``count_formula``,
 … keep working).  One engine is meant to be shared across every ``AccMC``,
-``DiffMC`` and pipeline in a process; ``clear()`` resets it.
+``DiffMC`` and pipeline in a process; ``clear()`` resets the in-memory
+memos (the disk store, if any, survives — that is its point).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.counting.exact import ExactCounter
+from repro.counting.parallel import count_parallel, default_workers
+from repro.counting.store import CountStore, signature_key
 from repro.logic.cnf import CNF
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Scaling knobs for a :class:`CountingEngine`.
+
+    Parameters
+    ----------
+    workers:
+        Processes a cold ``count_many`` batch fans out over.  ``1`` (the
+        default) keeps everything in-process; ``0`` or negative means one
+        per core; results are bit-identical either way.
+    cache_dir:
+        Directory for the disk-persistent count store.  ``None`` disables
+        persistence; any path makes counts survive (and warm) across
+        processes and sessions.
+
+    Both knobs take effect only for backends declaring ``exact = True``
+    (the exact counter, BDD, brute, legacy): approximate estimates are
+    neither portable to other backends through a shared store nor
+    reproducible when a seeded counter is cloned into workers, so engines
+    over such backends quietly stay serial and unpersisted.
+    """
+
+    workers: int = 1
+    cache_dir: str | Path | None = None
 
 
 @dataclass
 class EngineStats:
-    """Cache telemetry: calls vs hits per memo table."""
+    """Cache telemetry: calls vs hits per memo table.
+
+    ``count_calls`` splits exactly into ``count_hits`` (in-memory memo),
+    ``store_hits`` (disk store) and ``backend_calls`` (actual counting
+    work, serial or parallel) — a warm re-run shows ``backend_calls == 0``.
+    """
 
     count_calls: int = 0
     count_hits: int = 0
+    store_hits: int = 0
+    backend_calls: int = 0
     translate_calls: int = 0
     translate_hits: int = 0
     region_calls: int = 0
@@ -48,6 +94,8 @@ class EngineStats:
         return {
             "count_calls": self.count_calls,
             "count_hits": self.count_hits,
+            "store_hits": self.store_hits,
+            "backend_calls": self.backend_calls,
             "translate_calls": self.translate_calls,
             "translate_hits": self.translate_hits,
             "region_calls": self.region_calls,
@@ -55,8 +103,29 @@ class EngineStats:
         }
 
 
+def _prop_key(prop) -> object:
+    """Structural memo identity of a property.
+
+    :class:`repro.spec.properties.Property` is a frozen dataclass over a
+    frozen-dataclass formula AST, so the object itself hashes and compares
+    structurally — two distinct ``Property`` objects sharing a *name* but
+    differing in formula get distinct keys (and two structurally equal ones
+    correctly share).  Unhashable stand-ins fall back to a name + formula
+    repr, which still separates same-named properties.
+    """
+    try:
+        hash(prop)
+    except TypeError:
+        return (
+            type(prop).__name__,
+            getattr(prop, "name", None),
+            repr(getattr(prop, "formula", prop)),
+        )
+    return prop
+
+
 class CountingEngine:
-    """Memoizing front door to a counting backend.
+    """Memoizing, optionally parallel and disk-backed counting front door.
 
     Parameters
     ----------
@@ -64,12 +133,31 @@ class CountingEngine:
         Any object with ``count(cnf) -> int`` and a ``name`` attribute
         (default: :class:`repro.counting.exact.ExactCounter`).  Passing an
         engine returns its backend wrapped afresh — engines do not nest.
+    config:
+        :class:`EngineConfig` with the parallelism / persistence knobs.
     """
 
-    def __init__(self, counter=None) -> None:
+    def __init__(self, counter=None, config: EngineConfig | None = None) -> None:
         if isinstance(counter, CountingEngine):
             counter = counter.counter
         self.counter = counter if counter is not None else ExactCounter()
+        self.config = config if config is not None else EngineConfig()
+        # Persistence and fan-out are reserved for backends that declare
+        # ``exact = True``: exact counts are interchangeable across
+        # backends and sessions, whereas an (ε, δ) estimate persisted to a
+        # shared cache_dir would silently poison later exact runs, and a
+        # seeded approximate backend cloned into workers would diverge
+        # from its serial estimate stream.
+        self._exact_backend = bool(getattr(self.counter, "exact", False))
+        # workers <= 0 means "one per core".
+        self._workers = (
+            self.config.workers if self.config.workers > 0 else default_workers()
+        )
+        self.store: CountStore | None = (
+            CountStore(self.config.cache_dir)
+            if self.config.cache_dir is not None and self._exact_backend
+            else None
+        )
         self.stats = EngineStats()
         self._counts: dict[tuple, int] = {}
         self._translations: dict[tuple, object] = {}
@@ -87,20 +175,104 @@ class CountingEngine:
     # -- counting ------------------------------------------------------------------
 
     def count(self, cnf: CNF) -> int:
-        """Memoized projected model count of ``cnf``."""
-        key = cnf.signature()
+        """Memoized (and disk-cached) projected model count of ``cnf``."""
         self.stats.count_calls += 1
+        key = cnf.signature()
         cached = self._counts.get(key)
         if cached is not None:
             self.stats.count_hits += 1
             return cached
+        store_key = signature_key(key) if self.store is not None else None
+        if store_key is not None:
+            stored = self.store.get(store_key)
+            if stored is not None:
+                self.stats.store_hits += 1
+                self._counts[key] = stored
+                return stored
+        self.stats.backend_calls += 1
         value = self.counter.count(cnf)
         self._counts[key] = value
+        if store_key is not None:
+            self.store.put(store_key, value)
         return value
 
     def count_many(self, cnfs) -> list[int]:
-        """Count a batch of CNFs; duplicates inside the batch hit the memo."""
-        return [self.count(cnf) for cnf in cnfs]
+        """Count a batch of CNFs, reusing every cache layer.
+
+        The batch is partitioned into in-memory memo hits, disk-store hits
+        and cold problems (duplicates inside the batch collapse onto the
+        first occurrence and report as memo hits).  Cold problems run on
+        the backend — across ``config.workers`` processes when the batch
+        and the configuration allow — and their results merge back into
+        the memo and the disk store, so the parallel path is bit-identical
+        to the serial one by construction.
+        """
+        cnfs = list(cnfs)
+        results: list[int | None] = [None] * len(cnfs)
+        positions: dict[tuple, list[int]] = {}
+        order: list[tuple] = []
+        cold: dict[tuple, CNF] = {}
+        for i, cnf in enumerate(cnfs):
+            self.stats.count_calls += 1
+            key = cnf.signature()
+            cached = self._counts.get(key)
+            if cached is not None:
+                self.stats.count_hits += 1
+                results[i] = cached
+                continue
+            if key in positions:
+                # Duplicate of a colder batch member: one backend count
+                # will serve both, exactly like a serial memo hit.
+                self.stats.count_hits += 1
+                positions[key].append(i)
+                continue
+            positions[key] = [i]
+            cold[key] = cnf
+            order.append(key)
+
+        missing = order
+        hashed: dict[tuple, str] = {}
+        if self.store is not None and order:
+            hashed = {key: signature_key(key) for key in order}
+            found = self.store.get_many([hashed[key] for key in order])
+            missing = []
+            for key in order:
+                value = found.get(hashed[key])
+                if value is None:
+                    missing.append(key)
+                    continue
+                self.stats.store_hits += 1
+                self._counts[key] = value
+                for i in positions[key]:
+                    results[i] = value
+
+        if missing:
+            batch = [cold[key] for key in missing]
+            values: list[int] = []
+            try:
+                if self._workers > 1 and len(batch) > 1 and self._exact_backend:
+                    count_parallel(
+                        self.counter, batch, self._workers, partial_sink=values
+                    )
+                else:
+                    for cnf in batch:
+                        values.append(self.counter.count(cnf))
+            finally:
+                # Merge whatever completed even when a later problem raised
+                # (CounterBudgetExceeded acts as a timeout): counts already
+                # paid for must reach the memo and the disk store, so a
+                # retry resumes instead of re-counting from scratch.
+                self.stats.backend_calls += len(values)
+                fresh: list[tuple[str, int]] = []
+                for key, value in zip(missing, values):
+                    self._counts[key] = value
+                    for i in positions[key]:
+                        results[i] = value
+                    if self.store is not None:
+                        fresh.append((hashed[key], value))
+                if fresh and self.store is not None:
+                    self.store.put_many(fresh)
+        return results
 
     # -- compilation memos -----------------------------------------------------------
 
@@ -109,7 +281,7 @@ class CountingEngine:
         from repro.spec.translate import translate
 
         key = (
-            getattr(prop, "name", str(prop)),
+            _prop_key(prop),
             scope,
             symmetry.kind if symmetry is not None else None,
             negate,
@@ -128,7 +300,7 @@ class CountingEngine:
         from repro.core.accmc import GroundTruth
 
         key = (
-            getattr(prop, "name", str(prop)),
+            _prop_key(prop),
             scope,
             symmetry.kind if symmetry is not None else None,
         )
@@ -155,24 +327,44 @@ class CountingEngine:
     # -- maintenance -----------------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop every memo table and reset the statistics."""
+        """Drop the in-memory memos and reset the statistics.
+
+        The disk store (if configured) is intentionally left intact —
+        surviving resets and sessions is its purpose; use
+        ``engine.store.clear()`` to wipe it too.
+        """
         self._counts.clear()
         self._translations.clear()
         self._ground_truths.clear()
         self._regions.clear()
         self.stats = EngineStats()
 
+    def close(self) -> None:
+        """Release the disk store's database handle (idempotent)."""
+        if self.store is not None:
+            self.store.close()
+
     def __repr__(self) -> str:
         backend = getattr(self.counter, "name", type(self.counter).__name__)
         s = self.stats
+        extras = ""
+        if self.config.workers > 1:
+            extras += f", workers={self.config.workers}"
+        if self.store is not None:
+            extras += f", store={str(self.store.path)!r}"
         return (
             f"CountingEngine(backend={backend!r}, counts={len(self._counts)}, "
-            f"hits={s.count_hits}/{s.count_calls})"
+            f"hits={s.count_hits}/{s.count_calls}{extras})"
         )
 
 
-def shared_engine(counter=None) -> CountingEngine:
-    """Wrap ``counter`` in an engine unless it already is one."""
+def shared_engine(counter=None, config: EngineConfig | None = None) -> CountingEngine:
+    """Wrap ``counter`` in an engine unless it already is one.
+
+    When ``counter`` is already an engine it is returned as-is and
+    ``config`` is ignored — the existing engine's configuration (and its
+    caches, which are the point of sharing) win.
+    """
     if isinstance(counter, CountingEngine):
         return counter
-    return CountingEngine(counter)
+    return CountingEngine(counter, config=config)

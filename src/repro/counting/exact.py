@@ -55,6 +55,8 @@ class ExactCounter:
     """
 
     name = "exact"
+    #: Counts are exact, hence portable across backends and safe to persist.
+    exact = True
 
     def __init__(self, max_nodes: int = 5_000_000) -> None:
         self.max_nodes = max_nodes

@@ -33,6 +33,7 @@ class LegacyExactCounter:
     """
 
     name = "exact-legacy"
+    exact = True
 
     def __init__(self, max_nodes: int = 5_000_000) -> None:
         self.max_nodes = max_nodes

@@ -137,6 +137,14 @@ def closed_form_count(property_name: str, n: int) -> int:
     if key == "function":
         return n**n
     if key == "injective":
+        # Deliberately equal to "function": the study's Injective predicate
+        # is ``all t: S | one r.t`` — exactly one *pre-image* per atom (the
+        # column-wise mirror of a total function), giving n choices per
+        # column and n^n relations.  This is the only reading compatible
+        # with Table 1's count of 16,777,216 at scope 8, and it is pinned
+        # to the exact counter at scopes 2–4 by the closed-form
+        # differential test.  It is *not* the count of injective partial
+        # functions (Σ_k C(n,k)²·k!) — the paper's predicate is stronger.
         return n**n
     if key in ("surjective", "bijective", "totalorder"):
         return math.factorial(n)

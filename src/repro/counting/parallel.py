@@ -1,0 +1,131 @@
+"""Multiprocess fan-out for batches of independent counting problems.
+
+Every MCML metric is a *batch* of projected counting calls with no shared
+state — AccMC's four confusion problems, DiffMC's four region overlaps,
+Table 1's per-property pairs — so the batch parallelizes embarrassingly.
+Clauses are tuples of plain ints (and the packed hot-path representation is
+rebuilt per ``count`` anyway), so a problem pickles cheaply as a
+``(clauses, num_vars, projection, aux_unique)`` tuple and the only cost of
+crossing a process boundary is the fork itself.
+
+The backend counter is pickled once per pool (via the worker initializer),
+not once per task; each worker therefore owns an independent counter clone,
+which preserves serial semantics exactly — ``ExactCounter.count`` resets
+its node budget and component cache per call, and a
+:class:`~repro.counting.exact.CounterBudgetExceeded` raised in a worker
+propagates to the caller just as it would serially.
+
+:func:`count_parallel` is deliberately dumb: no shared memo, no disk store.
+Deduplication and caching happen in :class:`repro.counting.engine
+.CountingEngine`, which hands this module only the cold, unique problems.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from collections.abc import Iterable, Sequence
+
+from repro.logic.cnf import CNF, Clause
+
+#: A counting problem flattened for pickling:
+#: ``(clauses, num_vars, projection, aux_unique)``.
+ProblemPayload = tuple[
+    tuple[Clause, ...], int, tuple[int, ...] | None, bool
+]
+
+
+def cnf_to_payload(cnf: CNF) -> ProblemPayload:
+    """Flatten a CNF into its picklable payload tuple."""
+    projection = (
+        tuple(sorted(cnf.projection)) if cnf.projection is not None else None
+    )
+    return (tuple(cnf.clauses), cnf.num_vars, projection, cnf.aux_unique)
+
+
+def payload_to_cnf(payload: ProblemPayload) -> CNF:
+    """Rebuild the CNF a payload came from (clauses are already normalised)."""
+    clauses, num_vars, projection, aux_unique = payload
+    cnf = CNF(num_vars=num_vars, projection=projection, aux_unique=aux_unique)
+    cnf.clauses = [tuple(clause) for clause in clauses]
+    return cnf
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine."""
+    return os.cpu_count() or 1
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, POSIX) over spawn (portable)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# Worker-side state: the counter clone this process counts with, installed
+# once by the pool initializer instead of being re-pickled per task.
+_WORKER_COUNTER = None
+
+
+def _initialize_worker(counter_blob: bytes) -> None:
+    global _WORKER_COUNTER
+    _WORKER_COUNTER = pickle.loads(counter_blob)
+
+
+def _count_payload(payload: ProblemPayload) -> int:
+    return _WORKER_COUNTER.count(payload_to_cnf(payload))
+
+
+def count_parallel(
+    counter,
+    cnfs: Iterable[CNF] | Sequence[CNF],
+    workers: int,
+    *,
+    start_method: str | None = None,
+    partial_sink: list[int] | None = None,
+) -> list[int]:
+    """Count ``cnfs`` across ``workers`` processes with ``counter`` clones.
+
+    Bit-identical to the serial loop ``[counter.count(c) for c in cnfs]``:
+    every backend here is deterministic given its own state (ExactCounter
+    trivially; ApproxMCCounter via its seeded RNG — though note each worker
+    clone starts from the *initial* RNG state, so approximate backends
+    should be fanned out only when that is acceptable).  Falls back to the
+    serial loop when the batch or the machine cannot use a pool: a single
+    problem, ``workers <= 1``, or a backend that does not pickle.
+    ``workers <= 0`` means "one per core" (:func:`default_workers`).
+
+    ``partial_sink``, when given, receives each result in batch order as it
+    completes — if a problem raises (e.g. ``CounterBudgetExceeded``), the
+    sink holds the completed prefix, so callers can keep counts that were
+    already paid for.
+    """
+    cnfs = list(cnfs)
+    out = partial_sink if partial_sink is not None else []
+    if not cnfs:
+        return list(out)
+    workers = int(workers)
+    if workers <= 0:
+        workers = default_workers()
+    workers = min(workers, len(cnfs))
+    try:
+        counter_blob = pickle.dumps(counter) if workers > 1 else None
+    except Exception:
+        counter_blob = None  # unpicklable backend: count serially
+    if workers == 1 or counter_blob is None:
+        for cnf in cnfs:
+            out.append(counter.count(cnf))
+        return list(out)
+    payloads = [cnf_to_payload(cnf) for cnf in cnfs]
+    context = multiprocessing.get_context(start_method or _start_method())
+    with context.Pool(
+        processes=workers,
+        initializer=_initialize_worker,
+        initargs=(counter_blob,),
+    ) as pool:
+        # imap (not map): results arrive in batch order as they finish, so
+        # a failure at position k still delivers the first k results.
+        for value in pool.imap(_count_payload, payloads, chunksize=1):
+            out.append(value)
+    return list(out)

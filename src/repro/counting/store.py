@@ -1,0 +1,185 @@
+"""Disk-persistent count cache keyed on canonical CNF signatures.
+
+:meth:`repro.logic.cnf.CNF.signature` is a canonical, machine-independent
+identity of a counting problem (packed variable order, order-insensitive
+clause bitmask set, projection), so a count computed once is valid forever,
+anywhere.  :class:`CountStore` spills the :class:`CountingEngine`'s count
+memo to a small sqlite database under a cache directory: a table re-run in
+a fresh process warms itself from disk and performs zero backend counts.
+
+Keys are the SHA-256 hex digest of a canonical JSON rendering of the
+signature (:func:`signature_key`); values are the counts rendered as
+decimal strings, because projected model counts are arbitrary-precision
+integers far beyond sqlite's 64-bit INTEGER range (2^{n²} spaces).
+
+The store is a *cache*, so it degrades rather than fails: a corrupted
+database file is rotated aside and recreated, and a corrupted row (text
+that does not parse back to an int) reads as a miss and is overwritten by
+the recount.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+#: File name of the sqlite database inside the cache directory.
+STORE_FILENAME = "counts.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS counts (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+)
+"""
+
+
+def _canonical(obj):
+    """Render signature components as JSON-stable nested lists.
+
+    Signatures mix tuples, frozensets of (arbitrary-precision) ints and the
+    ``("all", num_vars)`` marker; sets are sorted so the rendering does not
+    depend on Python hash order.
+    """
+    if isinstance(obj, (frozenset, set)):
+        return ["set", sorted(_canonical(item) for item in obj)]
+    if isinstance(obj, (tuple, list)):
+        return [_canonical(item) for item in obj]
+    return obj
+
+
+def signature_key(signature: tuple) -> str:
+    """Stable hex key for a :meth:`CNF.signature` value.
+
+    Canonical across processes, platforms and sessions: the signature is
+    rendered to sorted JSON and hashed with SHA-256.
+    """
+    payload = json.dumps(_canonical(signature), separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class CountStore:
+    """Persistent ``signature key -> model count`` map under ``cache_dir``.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the database (created if missing).  Distinct
+        engines and sessions pointing at the same directory share counts.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.cache_dir / STORE_FILENAME
+        self._connection = self._connect()
+
+    # -- connection handling ---------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = None
+        try:
+            connection = sqlite3.connect(self.path)
+            connection.execute(_SCHEMA)
+            connection.commit()
+            return connection
+        except sqlite3.DatabaseError:
+            if connection is not None:
+                connection.close()
+            # Not a database (truncated write, foreign file, …): a cache is
+            # disposable, so rotate the wreck aside and start fresh.
+            corrupt = self.path.with_suffix(self.path.suffix + ".corrupt")
+            try:
+                os.replace(self.path, corrupt)
+            except OSError:
+                self.path.unlink(missing_ok=True)
+            connection = sqlite3.connect(self.path)
+            connection.execute(_SCHEMA)
+            connection.commit()
+            return connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "CountStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reads -----------------------------------------------------------------------
+
+    def get(self, key: str) -> int | None:
+        """The stored count for ``key``, or None (missing or unreadable)."""
+        return self.get_many([key]).get(key)
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, int]:
+        """Batch lookup; unreadable rows are simply absent from the result."""
+        keys = list(keys)
+        if not keys or self._connection is None:
+            return {}
+        found: dict[str, int] = {}
+        try:
+            placeholders = ",".join("?" for _ in keys)
+            rows = self._connection.execute(
+                f"SELECT key, value FROM counts WHERE key IN ({placeholders})",
+                keys,
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            return {}
+        for key, value in rows:
+            try:
+                found[key] = int(value)
+            except (TypeError, ValueError):
+                continue  # corrupted row: treat as a miss, recount repairs it
+        return found
+
+    # -- writes ----------------------------------------------------------------------
+
+    def put(self, key: str, value: int) -> None:
+        self.put_many([(key, value)])
+
+    def put_many(self, items: Iterable[tuple[str, int]]) -> None:
+        """Insert or overwrite counts in one transaction."""
+        rows = [(key, str(value)) for key, value in items]
+        if not rows or self._connection is None:
+            return
+        try:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO counts (key, value) VALUES (?, ?)", rows
+            )
+            self._connection.commit()
+        except sqlite3.DatabaseError:
+            pass  # a cache write failure must never break counting
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Delete every stored count (the file itself is kept)."""
+        if self._connection is None:
+            return
+        try:
+            self._connection.execute("DELETE FROM counts")
+            self._connection.commit()
+        except sqlite3.DatabaseError:
+            pass
+
+    def __len__(self) -> int:
+        if self._connection is None:
+            return 0
+        try:
+            (total,) = self._connection.execute(
+                "SELECT COUNT(*) FROM counts"
+            ).fetchone()
+            return int(total)
+        except sqlite3.DatabaseError:
+            return 0
+
+    def __repr__(self) -> str:
+        return f"CountStore(path={str(self.path)!r}, entries={len(self)})"

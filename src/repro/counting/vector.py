@@ -91,6 +91,7 @@ class FormulaBruteCounter:
     """
 
     name = "brute"
+    exact = True
 
     def count(self, cnf: CNF) -> int:
         return brute_force_count(cnf)

@@ -69,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--paper-scopes", action="store_true",
         help="table1 only: report at paper scopes using closed forms",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes to fan cold counting batches out over "
+        "(default 1; 0 = one per core)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist model counts to DIR so re-runs skip counting (default: off)",
+    )
     return parser
 
 
@@ -80,6 +89,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         train_fraction=args.train_fraction,
         max_positives=args.max_positives,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     if args.properties:
         kwargs["properties"] = tuple(args.properties)

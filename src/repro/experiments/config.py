@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.counting import ApproxMCCounter, ExactCounter, FormulaBruteCounter
+from repro.counting import (
+    ApproxMCCounter,
+    CountingEngine,
+    EngineConfig,
+    ExactCounter,
+    FormulaBruteCounter,
+)
 from repro.spec.properties import PROPERTIES, Property, get_property
 
 #: Fast out-of-the-box-ish model settings for the experiment grids.  The
@@ -47,6 +53,10 @@ class ExperimentConfig:
     property uses its reduced default (``Property.repro_scope``).
     ``max_positives`` caps bounded-exhaustive sets so dense properties
     (Reflexive has 4096 positives at scope 4) do not dominate runtime.
+    ``workers`` fans cold ``count_many`` batches out over that many
+    processes, and ``cache_dir`` persists every count to disk so table
+    re-runs across sessions skip counting entirely (see
+    :class:`repro.counting.EngineConfig`).
     """
 
     properties: tuple[str, ...] = tuple(p.name for p in PROPERTIES)
@@ -56,6 +66,8 @@ class ExperimentConfig:
     seed: int = 0
     train_fraction: float = 0.10
     max_positives: int | None = 5000
+    workers: int = 1
+    cache_dir: str | None = None
     model_params: dict[str, dict] = field(
         default_factory=lambda: {k: dict(v) for k, v in EXPERIMENT_MODEL_PARAMS.items()}
     )
@@ -68,3 +80,11 @@ class ExperimentConfig:
 
     def build_counter(self):
         return make_counter(self.counter, seed=self.seed)
+
+    def engine_config(self) -> EngineConfig:
+        """The counting-engine scaling knobs this experiment asked for."""
+        return EngineConfig(workers=self.workers, cache_dir=self.cache_dir)
+
+    def build_engine(self) -> CountingEngine:
+        """A fresh engine over ``build_counter()`` with the scaling knobs."""
+        return CountingEngine(self.build_counter(), config=self.engine_config())

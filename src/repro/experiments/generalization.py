@@ -58,7 +58,10 @@ def generalization_table(
     data_sb, eval_sb = TABLE_SETTINGS[table_number]
     config = config or ExperimentConfig()
     pipeline = MCMLPipeline(
-        counter=config.build_counter(), accmc_mode=config.accmc_mode, seed=config.seed
+        counter=config.build_counter(),
+        accmc_mode=config.accmc_mode,
+        seed=config.seed,
+        config=config.engine_config(),
     )
 
     rows: list[GeneralizationRow] = []

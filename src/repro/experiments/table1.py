@@ -53,8 +53,10 @@ def table1(config: ExperimentConfig | None = None, paper_scopes: bool = False) -
     symmetry = SymmetryBreaking("adjacent")
     # One engine for the whole table: translations and counts are memoized,
     # so re-rendering (or computing Table 1 after another experiment that
-    # shares the engine) does no counting work twice.
-    engine = CountingEngine()
+    # shares the engine) does no counting work twice.  The config's
+    # workers/cache_dir knobs apply here: per-property symbr/plain pairs
+    # fan out, and a cache-dir re-run performs zero backend counts.
+    engine = CountingEngine(config=config.engine_config())
     rows: list[Table1Row] = []
     for prop in config.selected_properties():
         scope = prop.paper_scope if paper_scopes else config.scope_for(prop)

@@ -34,7 +34,10 @@ def table8(
 ) -> list[Table8Row]:
     config = config or ExperimentConfig()
     pipeline = MCMLPipeline(seed=config.seed)
-    diff = DiffMC(counter=config.build_counter() if config.counter != "brute" else None)
+    diff = DiffMC(
+        counter=config.build_counter() if config.counter != "brute" else None,
+        config=config.engine_config(),
+    )
 
     rows: list[Table8Row] = []
     for prop in config.selected_properties():

@@ -41,7 +41,11 @@ def table9(
     prop = get_property(property_name)
     scope = config.scope_for(prop)
     pipeline = MCMLPipeline(seed=config.seed)
-    accmc = AccMC(counter=config.build_counter(), mode=config.accmc_mode)
+    accmc = AccMC(
+        counter=config.build_counter(),
+        mode=config.accmc_mode,
+        config=config.engine_config(),
+    )
     # Memoized through the engine: the φ translation (and its counts) are
     # shared by all seven class-ratio rows instead of recompiled per row.
     ground_truth = accmc.ground_truth(prop, scope)

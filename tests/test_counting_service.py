@@ -1,0 +1,379 @@
+"""Tests for the parallel counting service and its satellite bugfixes.
+
+Covers:
+
+* :class:`CountStore` — round-trips of arbitrary-precision counts, graceful
+  handling of corrupted rows and corrupted database files;
+* :mod:`repro.counting.parallel` — payload round-trips and the differential
+  guarantee that ``count_many`` with ``workers=4`` is bit-identical to
+  serial across the PR-1 property/scope matrix;
+* the engine's disk persistence — a cold run populates the store, a warm
+  run in a fresh engine performs *zero* backend calls (``EngineStats``);
+* the ``translate``/``ground_truth`` memo-key regression — two distinct
+  properties sharing a name must not collide;
+* the ApproxMC ``m = 1`` frontier — no duplicated cell enumeration;
+* the closed-form oracle audit — all 16 closed forms pinned to the exact
+  counter at scopes 2–4 (the Injective = n^n reading included).
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.counting import (
+    ApproxMCCounter,
+    CountingEngine,
+    CountStore,
+    EngineConfig,
+    ExactCounter,
+    closed_form_count,
+    count_parallel,
+    signature_key,
+)
+from repro.counting.parallel import cnf_to_payload, payload_to_cnf
+from repro.counting.store import STORE_FILENAME
+from repro.logic import CNF
+from repro.spec import SymmetryBreaking, get_property, translate
+from repro.spec.properties import PROPERTIES, Property
+
+#: The PR-1 differential matrix (kept to the cheap scopes: parallelism does
+#: not change the counter, so this pins plumbing, not search).
+MATRIX_CASES = [
+    (prop, scope, symmetry)
+    for prop in PROPERTIES
+    for scope in (2, 3)
+    for symmetry in (None, SymmetryBreaking())
+]
+
+
+class TestCountStore:
+    def test_round_trip_arbitrary_precision(self, tmp_path):
+        store = CountStore(tmp_path)
+        huge = 2**400 + 12345
+        store.put("k1", huge)
+        store.put_many([("k2", 0), ("k3", 7)])
+        assert store.get("k1") == huge
+        assert store.get_many(["k1", "k2", "k3", "k4"]) == {
+            "k1": huge,
+            "k2": 0,
+            "k3": 7,
+        }
+        assert store.get("missing") is None
+        assert len(store) == 3
+        store.close()
+        # A fresh handle over the same directory sees the same counts.
+        with CountStore(tmp_path) as reopened:
+            assert reopened.get("k1") == huge
+
+    def test_signature_key_is_stable_and_projection_sensitive(self):
+        narrow = CNF([[1]], num_vars=1, projection=[1])
+        wide = CNF([[1]], num_vars=3, projection=[1, 2, 3])
+        assert signature_key(narrow.signature()) == signature_key(
+            narrow.copy().signature()
+        )
+        assert signature_key(narrow.signature()) != signature_key(wide.signature())
+
+    def test_corrupted_row_reads_as_miss(self, tmp_path):
+        store = CountStore(tmp_path)
+        store.put("good", 42)
+        store.put("bad", 7)
+        with sqlite3.connect(store.path) as raw:
+            raw.execute("UPDATE counts SET value = 'not-a-number' WHERE key = 'bad'")
+            raw.commit()
+        assert store.get("good") == 42
+        assert store.get("bad") is None
+        # Recounting repairs the row.
+        store.put("bad", 8)
+        assert store.get("bad") == 8
+
+    def test_corrupted_database_file_is_rotated(self, tmp_path):
+        wreck = tmp_path / STORE_FILENAME
+        wreck.write_bytes(b"this is definitely not a sqlite database")
+        store = CountStore(tmp_path)
+        assert len(store) == 0
+        store.put("k", 3)
+        assert store.get("k") == 3
+        assert wreck.with_suffix(wreck.suffix + ".corrupt").exists()
+
+    def test_clear_keeps_file(self, tmp_path):
+        store = CountStore(tmp_path)
+        store.put("k", 1)
+        store.clear()
+        assert len(store) == 0
+        assert store.path.exists()
+
+
+class TestParallelFanOut:
+    def test_payload_round_trip_preserves_signature(self):
+        cnf = translate(get_property("PartialOrder"), 3, symmetry=SymmetryBreaking()).cnf
+        rebuilt = payload_to_cnf(cnf_to_payload(cnf))
+        assert rebuilt.signature() == cnf.signature()
+        assert rebuilt.num_vars == cnf.num_vars
+        assert rebuilt.aux_unique == cnf.aux_unique
+
+    def test_empty_batch(self):
+        assert count_parallel(ExactCounter(), [], 4) == []
+
+    def test_unpicklable_backend_falls_back_to_serial(self):
+        class Unpicklable:
+            name = "closure"
+
+            def __init__(self):
+                self.fn = lambda cnf: ExactCounter().count(cnf)  # defeats pickle
+
+            def count(self, cnf):
+                return self.fn(cnf)
+
+        cnf = CNF([[1, 2]], projection=[1, 2])
+        assert count_parallel(Unpicklable(), [cnf, cnf.copy()], 4) == [3, 3]
+
+    def test_worker_exceptions_propagate(self):
+        from repro.counting.exact import CounterBudgetExceeded
+
+        hard = translate(get_property("Transitive"), 3).cnf
+        with pytest.raises(CounterBudgetExceeded):
+            count_parallel(ExactCounter(max_nodes=1), [hard, hard.copy()], 2)
+
+    def test_count_many_workers4_bit_identical_to_serial(self):
+        batch = [
+            translate(prop, scope, symmetry=symmetry).cnf
+            for prop, scope, symmetry in MATRIX_CASES
+        ]
+        serial = CountingEngine(config=EngineConfig(workers=1)).count_many(batch)
+        parallel = CountingEngine(config=EngineConfig(workers=4)).count_many(batch)
+        assert serial == parallel
+
+    def test_workers_zero_means_one_per_core(self):
+        batch = [translate(get_property(name), 2).cnf for name in ("Reflexive", "Connex")]
+        engine = CountingEngine(config=EngineConfig(workers=0))
+        assert engine._workers >= 1
+        assert engine.count_many(batch) == CountingEngine().count_many(batch)
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_completed_counts_survive_a_mid_batch_failure(self, workers, tmp_path):
+        from repro.counting.exact import CounterBudgetExceeded
+
+        easy = CNF([[1, 2]], projection=[1, 2])  # 3 models, two search nodes
+        hard = translate(get_property("Transitive"), 3).cnf  # blows a 10-node budget
+        config = EngineConfig(workers=workers, cache_dir=tmp_path)
+        engine = CountingEngine(ExactCounter(max_nodes=10), config=config)
+        with pytest.raises(CounterBudgetExceeded):
+            engine.count_many([easy, hard])
+        # The count paid for before the failure reached memo *and* store.
+        assert engine.stats.backend_calls == 1
+        assert engine.count(easy.copy()) == 3
+        assert engine.stats.count_hits == 1
+        assert engine.store.get(signature_key(easy.signature())) == 3
+        engine.close()
+
+    def test_parallel_results_merge_into_memo(self):
+        batch = [
+            translate(get_property(name), 3).cnf
+            for name in ("Reflexive", "Transitive", "Connex", "Function")
+        ]
+        engine = CountingEngine(config=EngineConfig(workers=4))
+        first = engine.count_many(batch)
+        assert engine.stats.backend_calls == len(batch)
+        second = engine.count_many(batch)
+        assert second == first
+        assert engine.stats.backend_calls == len(batch)  # all memo hits now
+        assert engine.stats.count_hits == len(batch)
+
+
+class TestDiskPersistentEngine:
+    def _batch(self):
+        return [
+            translate(get_property(name), 3, symmetry=symmetry).cnf
+            for name in ("PartialOrder", "Equivalence", "Function")
+            for symmetry in (None, SymmetryBreaking())
+        ]
+
+    def test_cold_populates_warm_hits_with_zero_backend_calls(self, tmp_path):
+        config = EngineConfig(cache_dir=tmp_path)
+        batch = self._batch()
+
+        cold = CountingEngine(config=config)
+        first = cold.count_many(batch)
+        assert cold.stats.backend_calls == len(batch)
+        assert cold.stats.store_hits == 0
+        assert len(cold.store) == len(batch)
+        cold.close()
+
+        warm = CountingEngine(config=config)
+        second = warm.count_many(batch)
+        assert second == first
+        assert warm.stats.backend_calls == 0
+        assert warm.stats.store_hits == len(batch)
+        warm.close()
+
+    def test_singular_count_uses_store(self, tmp_path):
+        config = EngineConfig(cache_dir=tmp_path)
+        cnf = translate(get_property("Transitive"), 3).cnf
+        cold = CountingEngine(config=config)
+        value = cold.count(cnf)
+        cold.close()
+        warm = CountingEngine(config=config)
+        assert warm.count(cnf.copy()) == value
+        assert warm.stats.backend_calls == 0
+        assert warm.stats.store_hits == 1
+        # Second call in the same engine is an in-memory memo hit.
+        assert warm.count(cnf) == value
+        assert warm.stats.count_hits == 1
+        warm.close()
+
+    def test_corrupted_entry_triggers_recount_and_repair(self, tmp_path):
+        config = EngineConfig(cache_dir=tmp_path)
+        cnf = translate(get_property("Connex"), 3).cnf
+        cold = CountingEngine(config=config)
+        value = cold.count(cnf)
+        key = signature_key(cnf.signature())
+        cold.close()
+        with sqlite3.connect(tmp_path / STORE_FILENAME) as raw:
+            raw.execute("UPDATE counts SET value = 'garbage' WHERE key = ?", (key,))
+            raw.commit()
+        warm = CountingEngine(config=config)
+        assert warm.count(cnf) == value  # graceful miss → recount
+        assert warm.stats.backend_calls == 1
+        assert warm.store.get(key) == value  # …and the row is repaired
+        warm.close()
+
+    def test_clear_keeps_disk_store(self, tmp_path):
+        config = EngineConfig(cache_dir=tmp_path)
+        engine = CountingEngine(config=config)
+        cnf = translate(get_property("Reflexive"), 2).cnf
+        engine.count(cnf)
+        engine.clear()
+        assert engine.count(cnf) == 1 << 2  # reflexive scope 2: 2 free bits
+        assert engine.stats.store_hits == 1
+        assert engine.stats.backend_calls == 0
+        engine.close()
+
+    def test_approximate_backend_never_touches_the_store(self, tmp_path):
+        # An (ε, δ) estimate persisted under a signature-only key would be
+        # served to later *exact* runs sharing the cache_dir — so engines
+        # over non-exact backends must neither write nor read the store.
+        config = EngineConfig(cache_dir=tmp_path)
+        cnf = CNF(num_vars=12, projection=range(1, 13))
+        approx_engine = CountingEngine(ApproxMCCounter(seed=3), config=config)
+        assert approx_engine.store is None
+        approx_engine.count(cnf)  # would have persisted 4096±ε
+        exact_engine = CountingEngine(config=config)
+        assert exact_engine.count(cnf) == 4096
+        assert exact_engine.stats.store_hits == 0
+        assert exact_engine.stats.backend_calls == 1
+        exact_engine.close()
+
+    def test_approximate_backend_stays_serial_under_workers(self):
+        # Worker clones of a seeded RNG diverge from the serial estimate
+        # stream, so count_many must not fan a non-exact backend out.
+        batch = [
+            CNF(num_vars=n, projection=range(1, n + 1)) for n in (10, 11, 12, 13)
+        ]
+        serial = CountingEngine(ApproxMCCounter(seed=9)).count_many(batch)
+        fanned = CountingEngine(
+            ApproxMCCounter(seed=9), config=EngineConfig(workers=4)
+        ).count_many(batch)
+        assert fanned == serial
+
+    def test_engines_share_a_cache_dir(self, tmp_path):
+        config = EngineConfig(cache_dir=tmp_path, workers=2)
+        batch = self._batch()
+        producer = CountingEngine(config=config)
+        counts = producer.count_many(batch)
+        producer.close()
+        consumer = CountingEngine(config=EngineConfig(cache_dir=tmp_path))
+        assert consumer.count_many(batch) == counts
+        assert consumer.stats.backend_calls == 0
+        consumer.close()
+
+
+class TestMemoKeyRegression:
+    """Two distinct same-named properties must never share a memo entry."""
+
+    def _twins(self):
+        reflexive = get_property("Reflexive")
+        transitive = get_property("Transitive")
+        first = Property("Twin", reflexive.formula, 5, 3, "reflexive")
+        second = Property("Twin", transitive.formula, 6, 3, "transitive")
+        return first, second
+
+    def test_translate_does_not_collide_on_names(self):
+        first, second = self._twins()
+        engine = CountingEngine()
+        problem_first = engine.translate(first, 3)
+        problem_second = engine.translate(second, 3)
+        assert problem_first is not problem_second
+        assert engine.stats.translate_hits == 0
+        # Reflexive at scope 3 leaves the 6 off-diagonal bits free (2^6);
+        # Transitive counts 171 — a name-keyed memo returns 64 for both.
+        assert engine.count(problem_first.cnf) == 64
+        assert engine.count(problem_second.cnf) == 171
+
+    def test_translate_still_memoizes_structural_equals(self):
+        first, _ = self._twins()
+        clone = Property("Twin", first.formula, 5, 3, "reflexive")
+        engine = CountingEngine()
+        assert engine.translate(first, 3) is engine.translate(clone, 3)
+        assert engine.stats.translate_hits == 1
+
+    def test_ground_truth_does_not_collide_on_names(self):
+        first, second = self._twins()
+        engine = CountingEngine()
+        gt_first = engine.ground_truth(first, 3)
+        gt_second = engine.ground_truth(second, 3)
+        assert gt_first is not gt_second
+        assert engine.count(gt_first.positive().cnf) == 64
+        assert engine.count(gt_second.positive().cnf) == 171
+
+
+class TestApproxMCFrontier:
+    """The m = 1 frontier must be enumerated exactly once per round."""
+
+    def _spy(self, monkeypatch):
+        calls: list[int] = []
+        original = ApproxMCCounter._cell_size
+
+        def recording(self, cnf, projection, xors, m):
+            calls.append(m)
+            return original(self, cnf, projection, xors, m)
+
+        monkeypatch.setattr(ApproxMCCounter, "_cell_size", recording)
+        return calls
+
+    def test_no_duplicate_cell_enumeration_in_a_round(self, monkeypatch):
+        calls = self._spy(monkeypatch)
+        # 2^7 = 128 models > threshold 72; one hash halves the cell below
+        # the pivot, so every round's frontier sits at m = 1.
+        cnf = CNF(num_vars=7, projection=range(1, 8))
+        counter = ApproxMCCounter(seed=5, rounds=1)
+        counter.count(cnf)
+        assert calls, "hashing rounds never ran"
+        # One round: the walk-down may probe several distinct m values but
+        # must never enumerate the same cell twice (the seed re-ran m=1).
+        assert len(calls) == len(set(calls))
+
+    def test_m1_frontier_estimate_is_sound(self):
+        cnf = CNF(num_vars=7, projection=range(1, 8))
+        epsilon = 0.8
+        estimate = ApproxMCCounter(epsilon=epsilon, delta=0.2, seed=11).count(cnf)
+        assert 128 / (1 + epsilon) <= estimate <= 128 * (1 + epsilon)
+
+
+class TestClosedFormAudit:
+    """All 16 closed forms pinned to the exact counter at scopes 2–4."""
+
+    @pytest.mark.parametrize("prop", PROPERTIES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("scope", (2, 3, 4))
+    def test_closed_form_matches_exact_counter(self, prop, scope):
+        cnf = translate(prop, scope).cnf
+        assert ExactCounter().count(cnf) == closed_form_count(prop.oracle, scope)
+
+    def test_injective_reading_is_the_column_function(self):
+        # The audit's conclusion, pinned explicitly: the study's Injective
+        # predicate (one pre-image per atom) counts n^n like Function, and
+        # both match the exact counter — not the injective-partial-function
+        # count, which differs from scope 2 on (7 vs 4).
+        assert closed_form_count("injective", 8) == closed_form_count("function", 8)
+        injective_partial_functions_n2 = 7  # Σ_k C(2,k)²·k! = 1 + 4 + 2
+        assert closed_form_count("injective", 2) == 4
+        assert closed_form_count("injective", 2) != injective_partial_functions_n2

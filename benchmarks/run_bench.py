@@ -4,15 +4,26 @@
 Runs the ``TestCounterAblation`` benchmarks of ``bench_substrates.py``
 through pytest-benchmark, extracts the per-backend median times, runs the
 counting-service ablations (1-vs-N worker fan-out on the AccMC
-product-mode batch, warm-vs-cold disk cache on a Table 1 slice), and
-writes (or updates) ``BENCH_counting.json`` next to this script's
-repository root.  The JSON keeps a ``history`` list so successive PRs
-append their numbers instead of overwriting the trajectory::
+product-mode batch, warm-vs-cold disk cache on a Table 1 slice, shared
+component cache on the same-φ/many-regions AccMC ratio sweep, a
+``CountStore`` round-trip micro-bench), and writes (or updates)
+``BENCH_counting.json`` next to this script's repository root.  The JSON
+keeps a ``history`` list so successive PRs append their numbers instead of
+overwriting the trajectory::
 
     PYTHONPATH=src python benchmarks/run_bench.py --label "PR 7 (…)"
 
-``--quick`` runs only the two ablations on small instances and writes
-nothing — the CI smoke mode that keeps the harness from rotting.
+``--quick`` runs only the ablations on small instances and writes nothing
+— the CI smoke mode that keeps the harness from rotting.  It also fails
+(exit 1) when the exact counter's median on the ablation instance has
+regressed more than 3x against the last recorded ``history`` entry, which
+turns every CI push into a coarse perf-regression gate (3x because CI
+hardware differs from the recording machine; a genuine algorithmic
+regression is typically much larger).
+
+``--profile`` cProfiles the exact counter on a scope-5-sized instance and
+prints the hottest functions — the loop used to pick per-PR hot-path work
+(PR 3 replaced the occurrence-list unit propagation this way).
 
 See ``benchmarks/README.md`` for how to interpret the output.
 """
@@ -150,6 +161,105 @@ def workers_ablation(workers: int, scope: int) -> dict:
     }
 
 
+def component_cache_ablation(scope: int, fractions: tuple[float, ...]) -> dict:
+    """Shared-vs-per-call component cache on a same-φ/many-regions batch.
+
+    The batch is an AccMC product-mode *training-ratio sweep*: one
+    property's φ/¬φ conjoined with the true/false regions of a decision
+    tree retrained at each fraction — the exact shape Tables 3–7 and 9
+    produce, where successive trees overlap heavily.  Every problem is
+    unique (the engine's count memo never hits), so the measured speedup
+    isolates the cross-call component cache: the per-call run uses
+    ``component_cache_mb=0``, the shared run the default budget.
+    Bit-identity between the two runs is enforced hard.
+    """
+    from repro.core.pipeline import MCMLPipeline
+    from repro.core.tree2cnf import label_region_cnf
+    from repro.counting import CountingEngine, EngineConfig
+    from repro.spec import SymmetryBreaking, get_property, translate
+
+    prop = get_property("PartialOrder")
+    symmetry = SymmetryBreaking()
+    m = scope * scope
+    phi = translate(prop, scope, symmetry=symmetry).cnf
+    not_phi = translate(prop, scope, symmetry=symmetry, negate=True).cnf
+    pipeline = MCMLPipeline(seed=0)
+    dataset = pipeline.make_dataset(prop, scope, symmetry=symmetry)
+    problems = []
+    for fraction in fractions:
+        train, _ = dataset.split(fraction, rng=0)
+        tree = pipeline.train("DT", train)
+        paths = tree.decision_paths()
+        for region in (label_region_cnf(paths, 1, m), label_region_cnf(paths, 0, m)):
+            problems.append(phi.conjoin(region))
+            problems.append(not_phi.conjoin(region))
+
+    per_call_engine = CountingEngine(config=EngineConfig(component_cache_mb=0))
+    started = perf_counter()
+    per_call = per_call_engine.count_many(problems)
+    per_call_s = perf_counter() - started
+    shared_engine = CountingEngine(config=EngineConfig())
+    started = perf_counter()
+    shared = shared_engine.count_many(problems)
+    shared_s = perf_counter() - started
+    if shared != per_call:
+        raise SystemExit(
+            f"shared-cache counts diverge from per-call: {shared} != {per_call}"
+        )
+    cache = shared_engine.component_cache
+    return {
+        "instance": (
+            f"AccMC product-mode ratio sweep: PartialOrder scope {scope}, "
+            f"adjacent symmetry breaking, DT retrained at {len(fractions)} "
+            f"training fractions, φ/¬φ × true/false regions "
+            f"({len(problems)} unique counting problems)"
+        ),
+        "problems": len(problems),
+        "per_call_s": round(per_call_s, 4),
+        "shared_s": round(shared_s, 4),
+        "speedup_x": round(per_call_s / shared_s, 2),
+        "cache_entries": len(cache),
+        "cache_hits": cache.hits,
+        "cache_evictions": cache.evictions,
+        "cache_approx_mb": round(cache.approximate_bytes() / (1 << 20), 1),
+        "bit_identical": True,
+    }
+
+
+def store_roundtrip_bench(entries: int = 2000) -> dict:
+    """CountStore micro-bench: buffered single puts, then a batch read-back.
+
+    Writes ``entries`` counts through the single-``put`` path (exercising
+    the WAL + one-transaction-per-AUTOFLUSH batching), flushes, reopens the
+    store cold and reads everything back via ``get_many``.
+    """
+    from repro.counting.store import CountStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        keys = [f"bench-{i:06d}" for i in range(entries)]
+        store = CountStore(tmp)
+        started = perf_counter()
+        for i, key in enumerate(keys):
+            store.put(key, 1 << (i % 512))
+        store.flush()
+        put_s = perf_counter() - started
+        store.close()
+        store = CountStore(tmp)
+        started = perf_counter()
+        found = store.get_many(keys)
+        get_s = perf_counter() - started
+        store.close()
+    if len(found) != entries:
+        raise SystemExit(f"store round-trip lost entries: {len(found)} != {entries}")
+    return {
+        "entries": entries,
+        "put_s": round(put_s, 4),
+        "get_s": round(get_s, 4),
+        "puts_per_s": round(entries / put_s),
+        "gets_per_s": round(entries / get_s),
+    }
+
+
 def cache_ablation(scope: int, property_names: tuple[str, ...]) -> dict:
     """Warm-vs-cold disk cache on a Table 1 slice (the two exact columns).
 
@@ -203,7 +313,12 @@ def cache_ablation(scope: int, property_names: tuple[str, ...]) -> dict:
     }
 
 
-def _print_ablations(workers_result: dict, cache_result: dict) -> None:
+def _print_ablations(
+    workers_result: dict,
+    cache_result: dict,
+    component_result: dict | None = None,
+    store_result: dict | None = None,
+) -> None:
     print(
         f"  workers fan-out: serial {workers_result['serial_s']:.3f} s, "
         f"{workers_result['workers']} workers {workers_result['parallel_s']:.3f} s "
@@ -216,6 +331,92 @@ def _print_ablations(workers_result: dict, cache_result: dict) -> None:
         f"warm {cache_result['warm_s']:.3f} s "
         f"({cache_result['warm_backend_counts']} backend counts)"
     )
+    if component_result is not None:
+        print(
+            f"  component cache: per-call {component_result['per_call_s']:.3f} s, "
+            f"shared {component_result['shared_s']:.3f} s "
+            f"({component_result['speedup_x']}x over "
+            f"{component_result['problems']} unique problems, "
+            f"{component_result['cache_hits']} component hits), bit-identical"
+        )
+    if store_result is not None:
+        print(
+            f"  store round-trip: {store_result['entries']} entries, "
+            f"{store_result['puts_per_s']} puts/s, {store_result['gets_per_s']} gets/s"
+        )
+
+
+def perf_regression_smoke(output: Path, tolerance: float = 3.0) -> None:
+    """Fail when the exact counter regressed > ``tolerance``x vs history.
+
+    Re-times the ablation instance (median of three) and compares against
+    the last recorded ``history`` entry of ``BENCH_counting.json``.  The
+    wide tolerance absorbs hardware differences between CI and the
+    recording machine — a genuine algorithmic regression (e.g. losing the
+    packed representation) is orders of magnitude, not percents.
+    """
+    from statistics import median
+
+    from repro.counting import ExactCounter
+    from repro.spec import SymmetryBreaking, get_property, translate
+
+    if not output.exists():
+        print("  perf gate: no BENCH_counting.json, skipping")
+        return
+    history = json.loads(output.read_text()).get("history", [])
+    if not history:
+        print("  perf gate: empty history, skipping")
+        return
+    recorded = history[-1]["exact_median_s"]
+    cnf = translate(
+        get_property("PartialOrder"), 4, symmetry=SymmetryBreaking()
+    ).cnf
+    timings = []
+    for _ in range(3):
+        started = perf_counter()
+        ExactCounter().count(cnf)
+        timings.append(perf_counter() - started)
+    current = median(timings)
+    ratio = current / recorded
+    print(
+        f"  perf gate: exact median {current * 1000:.1f} ms vs recorded "
+        f"{recorded * 1000:.1f} ms ({ratio:.2f}x, tolerance {tolerance}x)"
+    )
+    if ratio > tolerance:
+        raise SystemExit(
+            f"exact counter regressed {ratio:.2f}x vs the last recorded "
+            f"history entry {history[-1].get('label')!r} (tolerance {tolerance}x)"
+        )
+
+
+def profile_hot_path(scope: int = 5) -> None:
+    """cProfile the exact counter on a scope-``scope`` instance and print.
+
+    The instance (PartialOrder with adjacent symmetry breaking) has ~10x
+    the clauses of the scope-4 ablation instance, which is what makes
+    per-node costs visible — this is the loop that identified the
+    occurrence-list propagation rebuild as the PR-3 hot spot.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.counting import ExactCounter
+    from repro.spec import SymmetryBreaking, get_property, translate
+
+    cnf = translate(
+        get_property("PartialOrder"), scope, symmetry=SymmetryBreaking()
+    ).cnf
+    counter = ExactCounter(max_nodes=50_000_000, component_cache=None)
+    print(f"profiling ExactCounter on PartialOrder scope {scope} ({cnf!r})")
+    profile = cProfile.Profile()
+    profile.enable()
+    count = counter.count(cnf)
+    profile.disable()
+    stream = io.StringIO()
+    pstats.Stats(profile, stream=stream).sort_stats("tottime").print_stats(15)
+    print(f"count = {count}")
+    print(stream.getvalue())
 
 
 def _ablation_properties() -> tuple[str, ...]:
@@ -241,17 +442,31 @@ def main() -> None:
     )
     parser.add_argument(
         "--quick", action="store_true",
-        help="smoke mode: ablations only, small instances, no JSON update",
+        help="smoke mode: ablations on small instances, perf-regression "
+        "gate vs the last history entry, no JSON update",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the exact counter on a scope-5 instance and exit",
     )
     args = parser.parse_args()
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+    if args.profile:
+        profile_hot_path()
+        return
+
     if args.quick:
         print("quick smoke: counting-service ablations on reduced instances")
         workers_result = workers_ablation(workers=2, scope=3)
         cache_result = cache_ablation(scope=3, property_names=_ablation_properties()[:4])
-        _print_ablations(workers_result, cache_result)
+        component_result = component_cache_ablation(
+            scope=3, fractions=(0.75, 0.5, 0.25)
+        )
+        store_result = store_roundtrip_bench(entries=500)
+        _print_ablations(workers_result, cache_result, component_result, store_result)
+        perf_regression_smoke(args.output)
         print("ok (quick mode writes nothing)")
         return
 
@@ -260,6 +475,14 @@ def main() -> None:
         raise SystemExit("no exact-counter benchmark result found")
     workers_result = workers_ablation(workers=args.workers, scope=4)
     cache_result = cache_ablation(scope=4, property_names=_ablation_properties())
+    component_result = component_cache_ablation(
+        scope=4,
+        fractions=(
+            0.75, 0.7, 0.65, 0.6, 0.55, 0.5, 0.45, 0.4, 0.35, 0.3, 0.25, 0.2,
+            0.15, 0.1,
+        ),
+    )
+    store_result = store_roundtrip_bench()
 
     document = {"instance": INSTANCE, "unit": "seconds", "history": []}
     if args.output.exists():
@@ -270,6 +493,8 @@ def main() -> None:
     document["ablations"] = {
         "workers_fanout": workers_result,
         "disk_cache": cache_result,
+        "component_cache": component_result,
+        "store_roundtrip": store_result,
     }
     history = [
         entry for entry in document.get("history", []) if entry.get("label") != args.label
@@ -282,6 +507,8 @@ def main() -> None:
             "workers_fanout_cpu_count": workers_result["cpu_count"],
             "warm_cache_backend_counts": cache_result["warm_backend_counts"],
             "warm_cache_speedup_x": cache_result["speedup_x"],
+            "component_cache_speedup_x": component_result["speedup_x"],
+            "store_roundtrip_puts_per_s": store_result["puts_per_s"],
         }
     )
     document["history"] = history
@@ -293,7 +520,7 @@ def main() -> None:
     print(f"wrote {args.output}")
     for label, stats in sorted(backends.items()):
         print(f"  {label:>14}: median {stats['median_s'] * 1000:8.2f} ms")
-    _print_ablations(workers_result, cache_result)
+    _print_ablations(workers_result, cache_result, component_result, store_result)
 
 
 if __name__ == "__main__":

@@ -20,9 +20,14 @@ back-ends used for validation and ablation:
   exact counter, kept as a differential baseline.
 * :mod:`repro.counting.engine` — :class:`CountingEngine`, the shared,
   memoizing facade AccMC/DiffMC and the experiment drivers count through,
-  configured by :class:`EngineConfig` (worker processes, disk cache).
+  configured by :class:`EngineConfig` (worker processes, disk cache,
+  shared component cache).
+* :mod:`repro.counting.component_cache` — :class:`ComponentCache`, the
+  bounded LRU of counted components that persists across counting calls
+  and is shared engine-wide.
 * :mod:`repro.counting.parallel` — multiprocess fan-out for batches of
-  independent counting problems (:func:`count_parallel`).
+  independent counting problems: the engine-owned persistent
+  :class:`WorkerPool` and the one-shot :func:`count_parallel`.
 * :mod:`repro.counting.store` — :class:`CountStore`, the disk-persistent
   count cache keyed on canonical CNF signatures.
 """
@@ -30,23 +35,26 @@ back-ends used for validation and ablation:
 from repro.counting.approxmc import ApproxMCCounter, approx_count
 from repro.counting.bdd import BDDCounter, bdd_count
 from repro.counting.brute import brute_force_count, brute_force_models
+from repro.counting.component_cache import ComponentCache
 from repro.counting.engine import CountingEngine, EngineConfig, shared_engine
 from repro.counting.exact import ExactCounter, exact_count
 from repro.counting.legacy import LegacyExactCounter
 from repro.counting.oracles import closed_form_count
-from repro.counting.parallel import count_parallel
+from repro.counting.parallel import WorkerPool, count_parallel
 from repro.counting.store import CountStore, signature_key
 from repro.counting.vector import FormulaBruteCounter, count_formula
 
 __all__ = [
     "ApproxMCCounter",
     "BDDCounter",
+    "ComponentCache",
     "CountStore",
     "CountingEngine",
     "EngineConfig",
     "ExactCounter",
     "FormulaBruteCounter",
     "LegacyExactCounter",
+    "WorkerPool",
     "approx_count",
     "bdd_count",
     "brute_force_count",

@@ -15,8 +15,16 @@ scales the cold remainder across processes and sessions:
   re-run in a fresh process performs zero backend counts;
 * with ``EngineConfig(workers=N)`` a ``count_many`` batch is partitioned
   into memo hits, disk-store hits and cold problems, and the cold problems
-  fan out over a ``multiprocessing`` pool
-  (:func:`repro.counting.parallel.count_parallel`);
+  fan out over an engine-owned *persistent*
+  :class:`repro.counting.parallel.WorkerPool` — forked lazily on the first
+  cold batch, reused across batches and table rows, released by
+  ``engine.close()`` (the engine is a context manager);
+* the engine owns a bounded LRU
+  :class:`repro.counting.component_cache.ComponentCache` installed on the
+  exact backend, so the *sub-problems* of different counting calls share
+  work too — conjunctions of the same φ with different tree regions hit
+  components earlier problems already solved, serially or via the worker
+  delta protocol (``EngineConfig(component_cache_mb=…)``, 0 to opt out);
 * ``translate`` memoizes grounded-property compilations (property × scope ×
   symmetry × polarity), keyed on the property's *structural* identity —
   two distinct properties sharing a name never collide;
@@ -25,19 +33,23 @@ scales the cold remainder across processes and sessions:
 * ``region`` memoizes decision-tree label-region CNFs keyed on the paths.
 
 Attribute access falls through to the wrapped backend, so the engine is a
-drop-in ``counter`` anywhere one is accepted (``name``, ``count_formula``,
-… keep working).  One engine is meant to be shared across every ``AccMC``,
-``DiffMC`` and pipeline in a process; ``clear()`` resets the in-memory
-memos (the disk store, if any, survives — that is its point).
+drop-in ``counter`` anywhere one is accepted (``name``, ``max_nodes``, …
+keep working; ``count_formula`` is served memoized when the backend counts
+formulas and rejected with a pointer to ``count`` when it does not).  One
+engine is meant to be shared across every ``AccMC``, ``DiffMC`` and
+pipeline in a process; ``clear()`` resets the in-memory memos (the disk
+store, if any, survives — that is its point).
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.counting.component_cache import ComponentCache
 from repro.counting.exact import ExactCounter
-from repro.counting.parallel import count_parallel, default_workers
+from repro.counting.parallel import WorkerPool, default_workers
 from repro.counting.store import CountStore, signature_key
 from repro.logic.cnf import CNF
 
@@ -51,13 +63,25 @@ class EngineConfig:
     workers:
         Processes a cold ``count_many`` batch fans out over.  ``1`` (the
         default) keeps everything in-process; ``0`` or negative means one
-        per core; results are bit-identical either way.
+        per core; results are bit-identical either way.  The pool is owned
+        by the engine: forked lazily on the first cold parallel batch,
+        reused across ``count_many`` calls, released by ``engine.close()``
+        (and lazily re-forked should the engine count again afterwards).
     cache_dir:
         Directory for the disk-persistent count store.  ``None`` disables
         persistence; any path makes counts survive (and warm) across
         processes and sessions.
+    component_cache_mb:
+        Approximate byte budget (in MiB) of the engine-owned
+        :class:`~repro.counting.component_cache.ComponentCache` shared
+        across every ``count``/``count_many`` call — conjunctions of the
+        same φ with different tree regions hit components the previous
+        problems already solved.  ``0`` opts out (the backend falls back to
+        per-call component caching).  Warm hits are bit-identical to cold
+        recounts by construction; only backends exposing a
+        ``component_cache`` attribute (the exact counter) participate.
 
-    Both knobs take effect only for backends declaring ``exact = True``
+    The knobs take effect only for backends declaring ``exact = True``
     (the exact counter, BDD, brute, legacy): approximate estimates are
     neither portable to other backends through a shared store nor
     reproducible when a seeded counter is cloned into workers, so engines
@@ -66,6 +90,7 @@ class EngineConfig:
 
     workers: int = 1
     cache_dir: str | Path | None = None
+    component_cache_mb: float = 512.0
 
 
 @dataclass
@@ -158,6 +183,21 @@ class CountingEngine:
             if self.config.cache_dir is not None and self._exact_backend
             else None
         )
+        # The engine owns the component cache and installs it on the
+        # backend, so serial counts, every problem of a batch, and (via the
+        # worker delta protocol) parallel counts all warm one shared cache.
+        # ``component_cache_mb=0`` opts out: the backend reverts to
+        # per-call caching.  Backends without the attribute (BDD, brute,
+        # legacy, approx) are left untouched.
+        self.component_cache: ComponentCache | None = None
+        if self._exact_backend and hasattr(self.counter, "component_cache"):
+            mb = self.config.component_cache_mb
+            if mb and mb > 0:
+                self.component_cache = ComponentCache(max_bytes=int(mb * (1 << 20)))
+                self.counter.component_cache = self.component_cache
+            else:
+                self.counter.component_cache = None
+        self._pool: WorkerPool | None = None
         self.stats = EngineStats()
         self._counts: dict[tuple, int] = {}
         self._translations: dict[tuple, object] = {}
@@ -166,10 +206,20 @@ class CountingEngine:
 
     def __getattr__(self, name: str):
         # Fall through to the backend for everything the engine does not
-        # define (``name``, ``count_formula``, ``max_nodes``, …), so the
-        # engine is a drop-in counter.
+        # define (``name``, ``max_nodes``, …), so the engine is a drop-in
+        # counter.  ``count_formula`` is special-cased: when the backend
+        # counts formulas the engine serves a memoizing wrapper (so the
+        # call stops silently bypassing memo and stats); when it does not,
+        # the AttributeError points at ``count``.
         if name == "counter":  # guard against recursion before __init__ ran
             raise AttributeError(name)
+        if name == "count_formula":
+            if hasattr(self.counter, "count_formula"):
+                return self._memoized_count_formula
+            raise AttributeError(
+                f"backend {getattr(self.counter, 'name', self.counter)!r} does "
+                "not count formulas; Tseitin-translate and use engine.count(cnf)"
+            )
         return getattr(self.counter, name)
 
     # -- counting ------------------------------------------------------------------
@@ -249,15 +299,22 @@ class CountingEngine:
         if missing:
             batch = [cold[key] for key in missing]
             values: list[int] = []
+            deltas: list = []
             try:
+                pool = None
                 if self._workers > 1 and len(batch) > 1 and self._exact_backend:
-                    count_parallel(
-                        self.counter, batch, self._workers, partial_sink=values
-                    )
+                    pool = self._ensure_pool()
+                if pool is not None:
+                    pool.run(batch, partial_sink=values, delta_sink=deltas)
                 else:
                     for cnf in batch:
                         values.append(self.counter.count(cnf))
             finally:
+                # Components the workers solved warm the shared cache, so
+                # the serial paths (and later batches' pickled clones)
+                # start from them too.
+                if deltas and self.component_cache is not None:
+                    self.component_cache.absorb(deltas)
                 # Merge whatever completed even when a later problem raised
                 # (CounterBudgetExceeded acts as a timeout): counts already
                 # paid for must reach the memo and the disk store, so a
@@ -273,6 +330,47 @@ class CountingEngine:
                 if fresh and self.store is not None:
                     self.store.put_many(fresh)
         return results
+
+    def _ensure_pool(self) -> WorkerPool | None:
+        """The engine's persistent worker pool, forked lazily.
+
+        Created on the first cold parallel batch and reused across
+        ``count_many`` calls; ``close()`` releases it, and counting again
+        after a close simply forks a fresh one.  Returns ``None`` when the
+        backend does not pickle — the caller then counts serially, exactly
+        like :func:`repro.counting.parallel.count_parallel` would.
+        """
+        if self._pool is not None and not self._pool.closed:
+            return self._pool
+        try:
+            blob = pickle.dumps(self.counter)
+        except Exception:
+            return None
+        self._pool = WorkerPool(
+            blob,
+            self._workers,
+            record_deltas=self.component_cache is not None,
+        )
+        return self._pool
+
+    def _memoized_count_formula(self, formula, num_vars: int) -> int:
+        """Memoized whole-space formula count (backends with the fast path).
+
+        Served through ``engine.count_formula`` only when the backend
+        counts formulas; keys the count memo on the formula's structural
+        hash (``Formula`` nodes hash structurally).  Formula counts stay
+        in-memory only — the disk store is keyed on CNF signatures.
+        """
+        self.stats.count_calls += 1
+        key = ("formula", formula, num_vars)
+        cached = self._counts.get(key)
+        if cached is not None:
+            self.stats.count_hits += 1
+            return cached
+        self.stats.backend_calls += 1
+        value = self.counter.count_formula(formula, num_vars)
+        self._counts[key] = value
+        return value
 
     # -- compilation memos -----------------------------------------------------------
 
@@ -329,27 +427,49 @@ class CountingEngine:
     def clear(self) -> None:
         """Drop the in-memory memos and reset the statistics.
 
-        The disk store (if configured) is intentionally left intact —
-        surviving resets and sessions is its purpose; use
-        ``engine.store.clear()`` to wipe it too.
+        The shared component cache is a memo too, so it is dropped with the
+        rest.  The disk store (if configured) and the worker pool are
+        intentionally left intact — surviving resets is their purpose; use
+        ``engine.store.clear()`` / ``engine.close()`` for those.  (Workers
+        keep their own warmed cache clones regardless: they are process
+        state, re-cloned only when a pool is re-forked.)
         """
         self._counts.clear()
         self._translations.clear()
         self._ground_truths.clear()
         self._regions.clear()
+        if self.component_cache is not None:
+            self.component_cache.clear()
         self.stats = EngineStats()
 
     def close(self) -> None:
-        """Release the disk store's database handle (idempotent)."""
+        """Release the worker pool and the disk store handle (idempotent).
+
+        Counting again after a close works: the store stays closed (counts
+        fall through to the backend) but the pool re-forks lazily.
+        """
+        if self._pool is not None:
+            self._pool.close()
         if self.store is not None:
             self.store.close()
+
+    def __enter__(self) -> "CountingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         backend = getattr(self.counter, "name", type(self.counter).__name__)
         s = self.stats
         extras = ""
-        if self.config.workers > 1:
-            extras += f", workers={self.config.workers}"
+        if self._workers > 1:
+            # The *resolved* worker count: config.workers == 0 means "one
+            # per core", which is > 1 on any multi-core machine.
+            pool = "+pool" if self._pool is not None and not self._pool.closed else ""
+            extras += f", workers={self._workers}{pool}"
+        if self.component_cache is not None:
+            extras += f", components={len(self.component_cache)}"
         if self.store is not None:
             extras += f", store={str(self.store.path)!r}"
         return (

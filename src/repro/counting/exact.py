@@ -3,11 +3,22 @@
 The counter is a DPLL-style projected #SAT procedure in the
 sharpSAT/ProjMC lineage:
 
-* unit propagation with failure detection, driven by literal-occurrence
-  lists so each asserted unit touches only the clauses containing it;
+* unit propagation with failure detection as whole-formula mask sweeps:
+  each pass applies the accumulated true/false masks to every clause with a
+  handful of integer ops and collects the units it exposes, repeating until
+  a pass assigns nothing.  (An occurrence-list variant was profiled out:
+  rebuilding the per-literal lists at every search node dominated the whole
+  counter — see ``benchmarks/run_bench.py --profile``);
 * decomposition of the residual formula into connected components (on the
   clause/variable incidence graph), counted independently and multiplied;
-* component caching keyed on packed clause signatures;
+* component caching keyed on packed clause signatures.  The cache is a
+  bounded LRU (:class:`repro.counting.component_cache.ComponentCache`) that
+  *persists across* ``count()`` calls — every cached count is a pure
+  function of its key, so warm hits are bit-identical to cold recounts —
+  and it can be injected, which is how
+  :class:`repro.counting.engine.CountingEngine` shares one cache across
+  every problem of a batch (pass ``component_cache=None`` to restore the
+  old per-call behaviour);
 * branching restricted to *projection* variables (the ``n²`` relation
   bits), choosing the most-occurring one; auxiliary Tseitin variables are
   never decision variables — they are fixed by propagation, and a residual
@@ -35,9 +46,15 @@ supplied CNFs.
 
 from __future__ import annotations
 
-from itertools import compress as _compress
-
+from repro.counting.component_cache import ComponentCache
 from repro.logic.cnf import CNF, MaskClause
+
+#: Sentinel: "build me a private persistent cache" (the default).
+_FRESH_CACHE = object()
+
+#: Byte cap on the component-cache slice pickled along with the counter
+#: (worker clones get the MRU slice and warm the rest themselves).
+_PICKLED_CACHE_BYTES = 64 << 20
 
 
 class CounterBudgetExceeded(Exception):
@@ -52,23 +69,70 @@ class ExactCounter:
     max_nodes:
         Budget on search nodes; ``CounterBudgetExceeded`` is raised when
         exhausted.  This substitutes for the paper's 5000-second timeout.
+        The budget is per ``count()`` call; a warm component cache makes a
+        call spend fewer nodes, never more.
+    component_cache:
+        The component cache counted through.  By default the counter owns a
+        private bounded :class:`ComponentCache` that survives across
+        ``count()`` calls; pass a shared instance to pool components across
+        counters (what :class:`repro.counting.engine.CountingEngine` does),
+        or ``None`` to restore the historical per-call scratch dict.
+        Cached counts are pure functions of their keys, so any of the three
+        modes produces bit-identical counts.
     """
 
     name = "exact"
     #: Counts are exact, hence portable across backends and safe to persist.
     exact = True
 
-    def __init__(self, max_nodes: int = 5_000_000) -> None:
+    def __init__(
+        self,
+        max_nodes: int = 5_000_000,
+        component_cache: ComponentCache | None | object = _FRESH_CACHE,
+    ) -> None:
         self.max_nodes = max_nodes
         self._nodes = 0
-        self._cache: dict[tuple, int] = {}
+        if component_cache is _FRESH_CACHE:
+            component_cache = ComponentCache()
+        self.component_cache: ComponentCache | None = component_cache
+
+    def __getstate__(self):
+        # The per-call cache bindings are bound methods of unpicklable
+        # builtins; workers rebind them on their first count().  A warm
+        # component cache is shipped only as its MRU slice — serializing
+        # the full budget (hundreds of MiB) would stall pool creation and
+        # multiply resident memory per worker clone.
+        state = self.__dict__.copy()
+        state.pop("_cache_get", None)
+        state.pop("_cache_put", None)
+        cache = state.get("component_cache")
+        if cache is not None and (
+            cache.max_bytes is None
+            or cache.max_bytes > _PICKLED_CACHE_BYTES
+            or cache.approximate_bytes() > _PICKLED_CACHE_BYTES
+        ):
+            # The clone is capped too, so an N-worker pool holds N small
+            # caches, not N copies of the parent's full budget.
+            state["component_cache"] = cache.snapshot(_PICKLED_CACHE_BYTES)
+        return state
 
     # -- public API ---------------------------------------------------------------
 
     def count(self, cnf: CNF) -> int:
         """Number of models of ``cnf`` projected onto ``cnf.projected_vars()``."""
         self._nodes = 0
-        self._cache = {}
+        # Bind the cache pair for this call: the persistent (possibly
+        # engine-shared) cache when one is attached, a scratch dict
+        # otherwise.  Rebinding per call keeps an engine free to attach a
+        # shared cache after construction.
+        cache = self.component_cache
+        if cache is not None:
+            self._cache_get = cache.get
+            self._cache_put = cache.put
+        else:
+            scratch: dict[tuple, int] = {}
+            self._cache_get = scratch.get
+            self._cache_put = scratch.__setitem__
         if any(len(clause) == 0 for clause in cnf.clauses):
             return 0  # an empty clause is unsatisfiable
         projection = cnf.projected_vars()
@@ -91,15 +155,12 @@ class ExactCounter:
         simplified = _propagate(packed.clauses)
         if simplified is None:
             return 0
-        residual, true_mask, false_mask = simplified
+        residual, true_mask, false_mask, residual_vars = simplified
         occurring = (1 << packed.num_vars) - 1  # the dense space is exactly
         # the occurring variables
-        residual_vars = 0
-        for pos, neg in residual:
-            residual_vars |= pos | neg
         vanished = occurring & ~residual_vars & ~(true_mask | false_mask)
         multiplier <<= (vanished & proj_mask).bit_count()
-        eliminated = _eliminate(residual, proj_mask)
+        eliminated = self._eliminate_memoized(residual, proj_mask)
         if eliminated is None:
             return 0
         eliminated_vars = 0
@@ -107,74 +168,129 @@ class ExactCounter:
             eliminated_vars |= pos | neg
         # Projection variables whose every constraint resolved away are free.
         multiplier <<= ((residual_vars & proj_mask) & ~eliminated_vars).bit_count()
-        return multiplier * self._sharp(eliminated, proj_mask)
+        return multiplier * self._sharp(eliminated, proj_mask, eliminated_vars)
+
+    def _eliminate_memoized(
+        self, residual: list[MaskClause], proj_mask: int
+    ) -> list[MaskClause] | None:
+        """Top-level auxiliary elimination, memoized in the persistent cache.
+
+        Davis-Putnam elimination only ever rewrites clauses containing an
+        auxiliary pivot; clauses entirely inside the projection are inert —
+        they can never hold a pivot, and the NiVER bound only counts pivot
+        clauses.  So the input splits into an *active* (aux-touching) part
+        and an inert remainder, and only the active part is eliminated —
+        keyed in the component cache, because MCML batches conjoin one φ
+        with many projection-only tree regions: every problem of such a
+        batch shares φ's active part exactly, and elimination (~40% of a
+        conjunction's count time, see ``run_bench.py --profile``) is paid
+        once per batch instead of once per problem.
+        """
+        cache = self.component_cache
+        if cache is None:
+            return _eliminate(residual, proj_mask)
+        active: list[MaskClause] = []
+        inert: list[MaskClause] = []
+        for clause in residual:
+            if (clause[0] | clause[1]) & ~proj_mask:
+                active.append(clause)
+            else:
+                inert.append(clause)
+        if not active:
+            return residual
+        key = ("elim", frozenset(active), proj_mask)
+        cached = cache.get(key)
+        if cached is not None:
+            return None if cached == "unsat" else inert + list(cached)
+        eliminated = _eliminate(active, proj_mask)
+        cache.put(key, "unsat" if eliminated is None else tuple(eliminated))
+        if eliminated is None:
+            return None
+        return inert + eliminated
 
     # -- projected #SAT with component caching --------------------------------------
 
-    def _sharp(self, clauses: list[MaskClause], proj: int) -> int:
+    def _sharp(
+        self,
+        clauses: list[MaskClause],
+        proj: int,
+        occurring: int | None = None,
+        has_units: bool = True,
+    ) -> int:
         """#projected models over the variables occurring in ``clauses``.
 
         ``proj`` is the packed mask of projection variables *in the dense
         space the clauses currently live in* — component subproblems are
         re-packed into their own narrower space (see :func:`_repack`).
+        ``occurring`` (the union of the clauses' variable masks) is passed
+        down by callers that already computed it; ``has_units=False`` lets
+        :meth:`_count_component` skip propagation for branches ``_assign``
+        proved unit-free.
+
+        Every cached value is a pure function of its key — the clause set
+        plus the projection restricted to the occurring variables — which is
+        what makes the cache shareable across calls and problems.
         """
         if not clauses:
             return 1
-        key = (frozenset(clauses), proj)
-        cached = self._cache.get(key)
+        if occurring is None:
+            occurring = 0
+            for pos, neg in clauses:
+                occurring |= pos | neg
+        # Restricting ``proj`` to the occurring variables canonicalises the
+        # key: the count never depends on projection bits outside them.
+        key = (frozenset(clauses), proj & occurring)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         self._nodes += 1
         if self._nodes > self.max_nodes:
             raise CounterBudgetExceeded(f"exceeded {self.max_nodes} nodes")
 
-        simplified = _propagate(clauses)
-        if simplified is None:
-            self._cache[key] = 0
-            return 0
-        residual, true_mask, false_mask = simplified
-        original_vars = 0
-        for pos, neg in clauses:
-            original_vars |= pos | neg
-        residual_vars = 0
-        for pos, neg in residual:
-            residual_vars |= pos | neg
-        # Projection variables fixed by propagation contribute a single
-        # assignment each; projection variables that *disappeared* without
-        # being fixed are free.  Auxiliary variables never multiply.
-        vanished = original_vars & ~residual_vars & ~(true_mask | false_mask)
-        total = 1 << (vanished & proj).bit_count()
+        if has_units:
+            simplified = _propagate(clauses)
+            if simplified is None:
+                self._cache_put(key, 0)
+                return 0
+            residual, true_mask, false_mask, residual_vars = simplified
+            # Projection variables fixed by propagation contribute a single
+            # assignment each; projection variables that *disappeared*
+            # without being fixed are free.  Auxiliaries never multiply.
+            vanished = occurring & ~residual_vars & ~(true_mask | false_mask)
+            total = 1 << (vanished & proj).bit_count()
+        else:
+            residual, residual_vars, total = clauses, occurring, 1
         if residual:
             product = 1
-            for component in _split_components(residual):
-                product *= self._count_component(component, proj)
+            for component_vars, component in _split_components(residual):
+                product *= self._count_component(component, component_vars, proj)
                 if product == 0:
                     break
             total *= product
-        self._cache[key] = total
+        self._cache_put(key, total)
         return total
 
-    def _count_component(self, clauses: list[MaskClause], proj: int) -> int:
-        component_vars = 0
-        for pos, neg in clauses:
-            component_vars |= pos | neg
+    def _count_component(
+        self, clauses: list[MaskClause], component_vars: int, proj: int
+    ) -> int:
         # Re-pack sparse components into their own dense space: masks shrink
         # to popcount-many bits (often a single machine word) and the cache
         # key becomes canonical, so isomorphic components met anywhere in
-        # the search share one entry.
+        # the search — including in *other* problems sharing the cache —
+        # share one entry.
         if component_vars.bit_length() - component_vars.bit_count() >= 64:
             clauses, proj = _repack(clauses, component_vars, proj)
             component_vars = (1 << component_vars.bit_count()) - 1
         projected = component_vars & proj
         key = (frozenset(clauses), projected)
-        cached = self._cache.get(key)
+        cached = self._cache_get(key)
         if cached is not None:
             return cached
         if not projected:
             # Auxiliary-only component: it contributes one choice per
             # projected model if satisfiable, none otherwise.
             total = 1 if self._satisfiable(clauses) else 0
-            self._cache[key] = total
+            self._cache_put(key, total)
             return total
         bit = _most_frequent_bit(clauses, projected)
         residual_projected = projected & ~bit
@@ -183,12 +299,12 @@ class ExactCounter:
             branch = _assign(clauses, bit, positive)
             if branch is None:
                 continue
-            branch_vars = 0
-            for pos, neg in branch:
-                branch_vars |= pos | neg
+            residual, has_units, branch_vars = branch
             free = (residual_projected & ~branch_vars).bit_count()
-            total += (1 << free) * self._sharp(branch, proj)
-        self._cache[key] = total
+            total += (1 << free) * self._sharp(
+                residual, proj, branch_vars, has_units
+            )
+        self._cache_put(key, total)
         return total
 
     def _satisfiable(self, clauses: list[MaskClause]) -> bool:
@@ -207,7 +323,7 @@ class ExactCounter:
         bit = mask & -mask
         for positive in (True, False):
             branch = _assign(residual, bit, positive)
-            if branch is not None and self._satisfiable(branch):
+            if branch is not None and self._satisfiable(branch[0]):
                 return True
         return False
 
@@ -324,115 +440,131 @@ def _repack(
 
 def _assign(
     clauses: list[MaskClause], bit: int, positive: bool
-) -> list[MaskClause] | None:
-    """Residual clauses after asserting packed var ``bit``; None on conflict."""
+) -> tuple[list[MaskClause], bool, int] | None:
+    """Residual clauses after asserting packed var ``bit``; None on conflict.
+
+    Returns ``(residual, has_units, residual_vars)``: whether the
+    assignment exposed any unit clause, and the union of the residual's
+    variable masks — both computed for free during the sweep so callers
+    skip a rescan.  ``has_units`` assumes the *input* is unit-free, which
+    holds at every call site (inputs are post-propagation residuals).
+    """
     out: list[MaskClause] = []
+    append = out.append
+    has_units = False
+    residual_vars = 0
     if positive:
         for pos, neg in clauses:
             if pos & bit:
                 continue  # satisfied
             if neg & bit:
-                neg &= ~bit
-                if not (pos | neg):
+                neg ^= bit
+                mask = pos | neg
+                if not mask:
                     return None
-            out.append((pos, neg))
+                if mask & (mask - 1) == 0:
+                    has_units = True
+                residual_vars |= mask
+            else:
+                residual_vars |= pos | neg
+            append((pos, neg))
     else:
         for pos, neg in clauses:
             if neg & bit:
                 continue
             if pos & bit:
-                pos &= ~bit
-                if not (pos | neg):
+                pos ^= bit
+                mask = pos | neg
+                if not mask:
                     return None
-            out.append((pos, neg))
-    return out
+                if mask & (mask - 1) == 0:
+                    has_units = True
+                residual_vars |= mask
+            else:
+                residual_vars |= pos | neg
+            append((pos, neg))
+    return out, has_units, residual_vars
 
 
 def _propagate(
     clauses: list[MaskClause],
-) -> tuple[list[MaskClause], int, int] | None:
-    """Exhaustive unit propagation over packed clauses via occurrence lists.
+) -> tuple[list[MaskClause], int, int, int] | None:
+    """Exhaustive unit propagation over packed clauses via mask sweeps.
 
-    Returns ``(residual clauses, true_mask, false_mask)`` — the masks of
-    variables fixed true/false by propagation — or ``None`` on conflict.
-    Each asserted unit only visits the clauses containing its variable.
+    Returns ``(residual clauses, true_mask, false_mask, residual_vars)`` —
+    the masks of variables fixed true/false by propagation and the union of
+    the residual's variable masks — or ``None`` on conflict.
+
+    Each pass applies the accumulated assignment masks to every clause
+    (satisfied → dropped, falsified literals → stripped, exposed units →
+    absorbed into the masks) and repeats until a pass assigns nothing.
+    Units are applied *live* within a pass, so forward implication chains
+    collapse in one sweep.  This replaced an occurrence-list propagator
+    whose per-node list construction dominated the whole counter's profile
+    (~40% of total time at scope 5): a pass is a handful of int ops per
+    clause, with no per-literal dict traffic at all.
     """
-    # Occurrence lists keyed by packed bit: occurrences[bit] holds the ids
-    # of clauses mentioning that variable.  Entries are never invalidated —
-    # liveness and membership are re-checked at use time.
-    occurrences: dict[int, list[int]] = {}
-    stack: list[int] = []
-    for ci, (pos, neg) in enumerate(clauses):
-        mask = pos | neg
-        if mask & (mask - 1) == 0:
-            stack.append(ci)
-        while mask:
-            bit = mask & -mask
-            mask ^= bit
-            entry = occurrences.get(bit)
-            if entry is None:
-                occurrences[bit] = [ci]
-            else:
-                entry.append(ci)
-    if not stack:
-        return clauses, 0, 0
-
-    pos_of, neg_of = map(list, zip(*clauses))
-    alive = [True] * len(clauses)
     true_mask = 0
     false_mask = 0
-    while stack:
-        ci = stack.pop()
-        if not alive[ci]:
-            continue
-        pos, neg = pos_of[ci], neg_of[ci]
-        bit = pos | neg
-        positive = pos != 0
-        if positive:
-            if bit & true_mask:
-                alive[ci] = False
+    work = clauses
+    while True:
+        residual: list[MaskClause] = []
+        append = residual.append
+        assigned = true_mask | false_mask
+        residual_vars = 0
+        progressed = False
+        for pos, neg in work:
+            mask = pos | neg
+            if not (mask & assigned):
+                # Untouched by any assignment so far (a unit is impossible
+                # here: inputs are unit-free after the first sweep, and the
+                # first sweep's masks start empty only until its first unit).
+                if mask & (mask - 1):
+                    residual_vars |= mask
+                    append((pos, neg))
+                else:
+                    if pos:
+                        true_mask |= mask
+                    else:
+                        false_mask |= mask
+                    assigned |= mask
+                    progressed = True
                 continue
-            if bit & false_mask:
-                return None
-            true_mask |= bit
-        else:
-            if bit & false_mask:
-                alive[ci] = False
-                continue
-            if bit & true_mask:
-                return None
-            false_mask |= bit
-        alive[ci] = False  # the unit clause itself is now satisfied
-        for cj in occurrences[bit]:
-            if not alive[cj]:
-                continue
-            pos_j, neg_j = pos_of[cj], neg_of[cj]
-            if positive:
-                if pos_j & bit:
-                    alive[cj] = False
-                    continue
-                neg_j &= ~bit
-                neg_of[cj] = neg_j
+            if pos & true_mask or neg & false_mask:
+                continue  # satisfied by an assignment made so far
+            pos &= ~false_mask
+            neg &= ~true_mask
+            mask = pos | neg
+            if not mask:
+                return None  # every literal falsified: conflict
+            if mask & (mask - 1) == 0:
+                # A unit: absorb it into the assignment.  A contradicting
+                # unit later in the sweep strips to the empty clause above.
+                if pos:
+                    true_mask |= mask
+                else:
+                    false_mask |= mask
+                assigned |= mask
+                progressed = True
             else:
-                if neg_j & bit:
-                    alive[cj] = False
-                    continue
-                pos_j &= ~bit
-                pos_of[cj] = pos_j
-            remainder = pos_j | neg_j
-            if remainder == 0:
-                return None
-            if remainder & (remainder - 1) == 0:
-                stack.append(cj)
-    residual = list(_compress(zip(pos_of, neg_of), alive))
-    return residual, true_mask, false_mask
+                residual_vars |= mask
+                append((pos, neg))
+        if not progressed:
+            # Nothing assigned this pass, so every surviving clause was
+            # checked against the final masks: the residual is exact.
+            return residual, true_mask, false_mask, residual_vars
+        work = residual
 
 
-def _split_components(clauses: list[MaskClause]) -> list[list[MaskClause]]:
+def _split_components(
+    clauses: list[MaskClause],
+) -> list[tuple[int, list[MaskClause]]]:
     """Partition clauses into connected components by shared variables.
 
     Components are grown by merging variable masks: a clause joins every
-    existing group its mask intersects, fusing them.
+    existing group its mask intersects, fusing them.  Returns
+    ``(component_vars, component clauses)`` pairs — the mask comes free
+    from the merge, sparing callers a rescan.
     """
     # First merge variable masks only (no clause lists to copy around) …
     masks: list[int] = []
@@ -447,7 +579,7 @@ def _split_components(clauses: list[MaskClause]) -> list[list[MaskClause]]:
         kept.append(mask)
         masks = kept
     if len(masks) == 1:
-        return [clauses]
+        return [(masks[0], clauses)]
     # … then distribute the clauses over the (disjoint) final masks.
     buckets: list[list[MaskClause]] = [[] for _ in masks]
     for clause in clauses:
@@ -456,7 +588,7 @@ def _split_components(clauses: list[MaskClause]) -> list[list[MaskClause]]:
             if group_mask & mask:
                 buckets[gi].append(clause)
                 break
-    return buckets
+    return list(zip(masks, buckets))
 
 
 def _most_frequent_bit(clauses: list[MaskClause], candidates: int) -> int:

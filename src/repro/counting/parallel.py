@@ -8,16 +8,26 @@ rebuilt per ``count`` anyway), so a problem pickles cheaply as a
 ``(clauses, num_vars, projection, aux_unique)`` tuple and the only cost of
 crossing a process boundary is the fork itself.
 
-The backend counter is pickled once per pool (via the worker initializer),
-not once per task; each worker therefore owns an independent counter clone,
-which preserves serial semantics exactly — ``ExactCounter.count`` resets
-its node budget and component cache per call, and a
-:class:`~repro.counting.exact.CounterBudgetExceeded` raised in a worker
-propagates to the caller just as it would serially.
+Two entry points share the same worker protocol:
 
-:func:`count_parallel` is deliberately dumb: no shared memo, no disk store.
-Deduplication and caching happen in :class:`repro.counting.engine
-.CountingEngine`, which hands this module only the cold, unique problems.
+* :class:`WorkerPool` — a *persistent* pool meant to be owned by a
+  :class:`repro.counting.engine.CountingEngine`: created lazily on the
+  first cold batch, reused across ``count_many`` calls and table rows
+  (amortizing the fork cost that a per-batch pool pays every time), closed
+  by ``engine.close()``.  The backend counter is pickled once per pool via
+  the worker initializer, so each worker owns an independent clone — which
+  preserves serial semantics exactly, and means a worker's component cache
+  (:class:`repro.counting.component_cache.ComponentCache`) warms up over
+  the pool's lifetime.  With ``record_deltas=True`` workers additionally
+  ship the component-cache entries each problem inserted back to the
+  parent, so the engine's *shared* cache warms from parallel runs too.
+* :func:`count_parallel` — the stateless one-shot wrapper (an ephemeral
+  pool per call), kept for direct use and as the reference the engine's
+  pool path is differentially tested against.
+
+Neither deduplicates nor persists: caching happens in
+:class:`repro.counting.engine.CountingEngine`, which hands this module only
+the cold, unique problems.
 """
 
 from __future__ import annotations
@@ -63,18 +73,115 @@ def _start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
-# Worker-side state: the counter clone this process counts with, installed
-# once by the pool initializer instead of being re-pickled per task.
+# Worker-side state, installed once per process by the pool initializer
+# instead of being re-pickled per task: the counter clone this process
+# counts with, and whether to ship component-cache deltas back.
 _WORKER_COUNTER = None
+_WORKER_RECORDS_DELTAS = False
 
 
-def _initialize_worker(counter_blob: bytes) -> None:
-    global _WORKER_COUNTER
+def _initialize_worker(counter_blob: bytes, record_deltas: bool) -> None:
+    global _WORKER_COUNTER, _WORKER_RECORDS_DELTAS
     _WORKER_COUNTER = pickle.loads(counter_blob)
+    _WORKER_RECORDS_DELTAS = False
+    if record_deltas:
+        cache = getattr(_WORKER_COUNTER, "component_cache", None)
+        if cache is not None:
+            cache.start_recording()
+            _WORKER_RECORDS_DELTAS = True
 
 
-def _count_payload(payload: ProblemPayload) -> int:
-    return _WORKER_COUNTER.count(payload_to_cnf(payload))
+def _count_payload(payload: ProblemPayload) -> tuple[int, list]:
+    """Count one problem; returns ``(count, component-cache delta)``."""
+    value = _WORKER_COUNTER.count(payload_to_cnf(payload))
+    if _WORKER_RECORDS_DELTAS:
+        return value, _WORKER_COUNTER.component_cache.drain_delta()
+    return value, []
+
+
+class WorkerPool:
+    """A persistent pool of worker processes, each owning a counter clone.
+
+    Parameters
+    ----------
+    counter_blob:
+        The pickled backend counter (``pickle.dumps(counter)``) each worker
+        unpickles once in its initializer.  Pickling is the caller's job so
+        an unpicklable backend fails *before* any process is forked.
+    workers:
+        Number of worker processes.  Fixed for the pool's lifetime; batches
+        smaller than the pool simply leave workers idle.
+    record_deltas:
+        When True, workers record the component-cache entries each problem
+        inserts and ship them back with the count, so the caller can warm a
+        shared cache (:meth:`ComponentCache.absorb`).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+    """
+
+    def __init__(
+        self,
+        counter_blob: bytes,
+        workers: int,
+        *,
+        record_deltas: bool = False,
+        start_method: str | None = None,
+    ) -> None:
+        context = multiprocessing.get_context(start_method or _start_method())
+        self.workers = max(1, int(workers))
+        self.record_deltas = record_deltas
+        self.batches = 0  #: completed ``run`` calls (pool-reuse telemetry)
+        self.closed = False
+        self._pool = context.Pool(
+            processes=self.workers,
+            initializer=_initialize_worker,
+            initargs=(counter_blob, record_deltas),
+        )
+
+    def run(
+        self,
+        cnfs: Sequence[CNF],
+        *,
+        partial_sink: list[int] | None = None,
+        delta_sink: list | None = None,
+    ) -> list[int]:
+        """Count ``cnfs`` across the pool, in batch order.
+
+        ``partial_sink`` receives each count as it completes, so a failure
+        at position k still delivers the first k results (a worker
+        exception — e.g. ``CounterBudgetExceeded`` — propagates here but
+        leaves the pool alive and reusable).  ``delta_sink`` receives the
+        workers' component-cache deltas when ``record_deltas`` is on.
+        """
+        if self.closed:
+            raise RuntimeError("WorkerPool is closed")
+        out = partial_sink if partial_sink is not None else []
+        payloads = [cnf_to_payload(cnf) for cnf in cnfs]
+        # imap (not map): results arrive in batch order as they finish.
+        for value, delta in self._pool.imap(_count_payload, payloads, chunksize=1):
+            out.append(value)
+            if delta and delta_sink is not None:
+                delta_sink.extend(delta)
+        self.batches += 1
+        return list(out)
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "alive"
+        return f"WorkerPool(workers={self.workers}, batches={self.batches}, {state})"
 
 
 def count_parallel(
@@ -100,6 +207,9 @@ def count_parallel(
     completes — if a problem raises (e.g. ``CounterBudgetExceeded``), the
     sink holds the completed prefix, so callers can keep counts that were
     already paid for.
+
+    The pool here is ephemeral (forked and torn down per call); an engine
+    that counts many batches should own a :class:`WorkerPool` instead.
     """
     cnfs = list(cnfs)
     out = partial_sink if partial_sink is not None else []
@@ -117,15 +227,6 @@ def count_parallel(
         for cnf in cnfs:
             out.append(counter.count(cnf))
         return list(out)
-    payloads = [cnf_to_payload(cnf) for cnf in cnfs]
-    context = multiprocessing.get_context(start_method or _start_method())
-    with context.Pool(
-        processes=workers,
-        initializer=_initialize_worker,
-        initargs=(counter_blob,),
-    ) as pool:
-        # imap (not map): results arrive in batch order as they finish, so
-        # a failure at position k still delivers the first k results.
-        for value in pool.imap(_count_payload, payloads, chunksize=1):
-            out.append(value)
+    with WorkerPool(counter_blob, workers, start_method=start_method) as pool:
+        pool.run(cnfs, partial_sink=out)
     return list(out)

@@ -16,6 +16,17 @@ The store is a *cache*, so it degrades rather than fails: a corrupted
 database file is rotated aside and recreated, and a corrupted row (text
 that does not parse back to an int) reads as a miss and is overwritten by
 the recount.
+
+Write path.  The database runs in WAL mode (readers of other processes are
+not blocked by a writer mid-table, and commits are one sequential append),
+and single ``put`` calls are *buffered*: they land in an in-memory pending
+map and reach sqlite in one transaction per :data:`AUTOFLUSH_PUTS` puts —
+an engine counting through ``count()`` row by row no longer pays one
+commit (an fsync!) per count.  Reads observe the buffer, so a put is
+always visible to its own process; ``flush()``/``close()`` force the disk
+write.  The buffer is the cache trade-off: a process killed before a flush
+loses at most the last ``AUTOFLUSH_PUTS`` single puts (``put_many`` — the
+batch path — flushes through in its own transaction immediately).
 """
 
 from __future__ import annotations
@@ -29,6 +40,9 @@ from pathlib import Path
 
 #: File name of the sqlite database inside the cache directory.
 STORE_FILENAME = "counts.sqlite"
+
+#: Single ``put`` calls buffered before one transaction writes them out.
+AUTOFLUSH_PUTS = 256
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS counts (
@@ -76,20 +90,36 @@ class CountStore:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.cache_dir / STORE_FILENAME
+        self._pending: dict[str, int] = {}
         self._connection = self._connect()
 
     # -- connection handling ---------------------------------------------------------
 
-    def _connect(self) -> sqlite3.Connection:
-        connection = None
+    def _open(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self.path)
         try:
-            connection = sqlite3.connect(self.path)
+            try:
+                # WAL keeps concurrent readers (other engines sharing the
+                # cache_dir) unblocked during writes; NORMAL sync is plenty
+                # for a cache that can always be recounted.  Best-effort on
+                # a *valid* database: some filesystems refuse WAL and the
+                # rollback journal is fine — but "file is not a database"
+                # must still escape so the wreck gets rotated aside.
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+            except sqlite3.DatabaseError:
+                pass
             connection.execute(_SCHEMA)
             connection.commit()
             return connection
         except sqlite3.DatabaseError:
-            if connection is not None:
-                connection.close()
+            connection.close()
+            raise
+
+    def _connect(self) -> sqlite3.Connection:
+        try:
+            return self._open()
+        except sqlite3.DatabaseError:
             # Not a database (truncated write, foreign file, …): a cache is
             # disposable, so rotate the wreck aside and start fresh.
             corrupt = self.path.with_suffix(self.path.suffix + ".corrupt")
@@ -97,13 +127,11 @@ class CountStore:
                 os.replace(self.path, corrupt)
             except OSError:
                 self.path.unlink(missing_ok=True)
-            connection = sqlite3.connect(self.path)
-            connection.execute(_SCHEMA)
-            connection.commit()
-            return connection
+            return self._open()
 
     def close(self) -> None:
         if self._connection is not None:
+            self.flush()
             self._connection.close()
             self._connection = None
 
@@ -125,6 +153,16 @@ class CountStore:
         if not keys or self._connection is None:
             return {}
         found: dict[str, int] = {}
+        pending = self._pending
+        if pending:
+            # Buffered puts are newer than any row, so they win.
+            for key in keys:
+                value = pending.get(key)
+                if value is not None:
+                    found[key] = value
+            keys = [key for key in keys if key not in found]
+            if not keys:
+                return found
         try:
             placeholders = ",".join("?" for _ in keys)
             rows = self._connection.execute(
@@ -132,7 +170,7 @@ class CountStore:
                 keys,
             ).fetchall()
         except sqlite3.DatabaseError:
-            return {}
+            return found
         for key, value in rows:
             try:
                 found[key] = int(value)
@@ -143,13 +181,28 @@ class CountStore:
     # -- writes ----------------------------------------------------------------------
 
     def put(self, key: str, value: int) -> None:
-        self.put_many([(key, value)])
+        """Record one count; buffered — written out every AUTOFLUSH_PUTS."""
+        if self._connection is None:
+            return  # closed store: a cache accepts and drops the write
+        self._pending[key] = value
+        if len(self._pending) >= AUTOFLUSH_PUTS:
+            self.flush()
 
     def put_many(self, items: Iterable[tuple[str, int]]) -> None:
-        """Insert or overwrite counts in one transaction."""
-        rows = [(key, str(value)) for key, value in items]
-        if not rows or self._connection is None:
+        """Insert or overwrite counts in one transaction (with the buffer)."""
+        if self._connection is None:
             return
+        self._pending.update(items)
+        self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered puts to sqlite in one transaction."""
+        if self._connection is None:
+            self._pending.clear()  # nothing can ever drain a closed buffer
+            return
+        if not self._pending:
+            return
+        rows = [(key, str(value)) for key, value in self._pending.items()]
         try:
             self._connection.executemany(
                 "INSERT OR REPLACE INTO counts (key, value) VALUES (?, ?)", rows
@@ -157,11 +210,15 @@ class CountStore:
             self._connection.commit()
         except sqlite3.DatabaseError:
             pass  # a cache write failure must never break counting
+        # Dropped even on failure: a cache entry is always recountable, and
+        # keeping a poisoned buffer would re-fail every later flush.
+        self._pending.clear()
 
     # -- maintenance -----------------------------------------------------------------
 
     def clear(self) -> None:
         """Delete every stored count (the file itself is kept)."""
+        self._pending.clear()
         if self._connection is None:
             return
         try:
@@ -173,6 +230,7 @@ class CountStore:
     def __len__(self) -> int:
         if self._connection is None:
             return 0
+        self.flush()
         try:
             (total,) = self._connection.execute(
                 "SELECT COUNT(*) FROM counts"

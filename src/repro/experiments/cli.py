@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="persist model counts to DIR so re-runs skip counting (default: off)",
     )
+    parser.add_argument(
+        "--component-cache-mb", type=float, default=512.0, metavar="MB",
+        help="budget of the cross-call component cache shared by all "
+        "counting problems of a run (default 512; 0 disables sharing)",
+    )
     return parser
 
 
@@ -91,6 +96,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         max_positives=args.max_positives,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        component_cache_mb=args.component_cache_mb,
     )
     if args.properties:
         kwargs["properties"] = tuple(args.properties)

@@ -54,9 +54,12 @@ class ExperimentConfig:
     ``max_positives`` caps bounded-exhaustive sets so dense properties
     (Reflexive has 4096 positives at scope 4) do not dominate runtime.
     ``workers`` fans cold ``count_many`` batches out over that many
-    processes, and ``cache_dir`` persists every count to disk so table
-    re-runs across sessions skip counting entirely (see
-    :class:`repro.counting.EngineConfig`).
+    processes, ``cache_dir`` persists every count to disk so table
+    re-runs across sessions skip counting entirely, and
+    ``component_cache_mb`` bounds the engine-shared component cache that
+    lets overlapping counting problems (same φ, different tree regions)
+    reuse each other's sub-counts (see
+    :class:`repro.counting.EngineConfig`; 0 opts out).
     """
 
     properties: tuple[str, ...] = tuple(p.name for p in PROPERTIES)
@@ -68,6 +71,7 @@ class ExperimentConfig:
     max_positives: int | None = 5000
     workers: int = 1
     cache_dir: str | None = None
+    component_cache_mb: float = 512.0
     model_params: dict[str, dict] = field(
         default_factory=lambda: {k: dict(v) for k, v in EXPERIMENT_MODEL_PARAMS.items()}
     )
@@ -83,7 +87,11 @@ class ExperimentConfig:
 
     def engine_config(self) -> EngineConfig:
         """The counting-engine scaling knobs this experiment asked for."""
-        return EngineConfig(workers=self.workers, cache_dir=self.cache_dir)
+        return EngineConfig(
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            component_cache_mb=self.component_cache_mb,
+        )
 
     def build_engine(self) -> CountingEngine:
         """A fresh engine over ``build_counter()`` with the scaling knobs."""

@@ -65,36 +65,40 @@ def generalization_table(
     )
 
     rows: list[GeneralizationRow] = []
-    for prop in config.selected_properties():
-        scope = config.scope_for(prop)
-        result: PipelineResult = pipeline.run(
-            prop,
-            scope,
-            model_name="DT",
-            train_fraction=config.train_fraction,
-            data_symmetry=SymmetryBreaking() if data_sb else None,
-            eval_symmetry=SymmetryBreaking() if eval_sb else None,
-            max_positives=config.max_positives,
-            whole_space=True,
-        )
-        assert result.whole_space is not None
-        test = result.test_counts
-        phi = result.whole_space
-        rows.append(
-            GeneralizationRow(
-                property_name=prop.name,
-                scope=scope,
-                test_accuracy=test.accuracy,
-                test_precision=test.precision,
-                test_recall=test.recall,
-                test_f1=test.f1,
-                phi_accuracy=phi.accuracy,
-                phi_precision=phi.precision,
-                phi_recall=phi.recall,
-                phi_f1=phi.f1,
-                time_seconds=phi.elapsed_seconds,
+    try:
+        for prop in config.selected_properties():
+            scope = config.scope_for(prop)
+            result: PipelineResult = pipeline.run(
+                prop,
+                scope,
+                model_name="DT",
+                train_fraction=config.train_fraction,
+                data_symmetry=SymmetryBreaking() if data_sb else None,
+                eval_symmetry=SymmetryBreaking() if eval_sb else None,
+                max_positives=config.max_positives,
+                whole_space=True,
             )
-        )
+            assert result.whole_space is not None
+            test = result.test_counts
+            phi = result.whole_space
+            rows.append(
+                GeneralizationRow(
+                    property_name=prop.name,
+                    scope=scope,
+                    test_accuracy=test.accuracy,
+                    test_precision=test.precision,
+                    test_recall=test.recall,
+                    test_f1=test.f1,
+                    phi_accuracy=phi.accuracy,
+                    phi_precision=phi.precision,
+                    phi_recall=phi.recall,
+                    phi_f1=phi.f1,
+                    time_seconds=phi.elapsed_seconds,
+                )
+            )
+    finally:
+        # Release the engine-owned worker pool and flush the disk store.
+        pipeline.engine.close()
     return rows
 
 

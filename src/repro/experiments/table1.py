@@ -50,13 +50,22 @@ HEADERS = [
 def table1(config: ExperimentConfig | None = None, paper_scopes: bool = False) -> list[Table1Row]:
     """Compute Table 1 rows (live at reduced scopes, analytic at paper scopes)."""
     config = config or ExperimentConfig()
-    symmetry = SymmetryBreaking("adjacent")
     # One engine for the whole table: translations and counts are memoized,
     # so re-rendering (or computing Table 1 after another experiment that
     # shares the engine) does no counting work twice.  The config's
     # workers/cache_dir knobs apply here: per-property symbr/plain pairs
     # fan out, and a cache-dir re-run performs zero backend counts.
-    engine = CountingEngine(config=config.engine_config())
+    # ``with``: releases the engine's worker pool and flushes its disk
+    # store when the table is done (counting after close still works —
+    # memos survive, the pool would re-fork lazily).
+    with CountingEngine(config=config.engine_config()) as engine:
+        return _table1_rows(engine, config, paper_scopes)
+
+
+def _table1_rows(
+    engine: CountingEngine, config: ExperimentConfig, paper_scopes: bool
+) -> list[Table1Row]:
+    symmetry = SymmetryBreaking("adjacent")
     rows: list[Table1Row] = []
     for prop in config.selected_properties():
         scope = prop.paper_scope if paper_scopes else config.scope_for(prop)

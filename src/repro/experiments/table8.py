@@ -40,18 +40,22 @@ def table8(
     )
 
     rows: list[Table8Row] = []
-    for prop in config.selected_properties():
-        scope = config.scope_for(prop)
-        dataset = pipeline.make_dataset(
-            prop,
-            scope,
-            symmetry=SymmetryBreaking() if symmetry_breaking else None,
-            max_positives=config.max_positives,
-        )
-        train, _ = dataset.split(0.75, rng=config.seed)
-        first = pipeline.train("DT", train, **FIRST_TREE_PARAMS)
-        second = pipeline.train("DT", train, **SECOND_TREE_PARAMS)
-        rows.append(Table8Row(prop.name, scope, diff.evaluate(first, second)))
+    try:
+        for prop in config.selected_properties():
+            scope = config.scope_for(prop)
+            dataset = pipeline.make_dataset(
+                prop,
+                scope,
+                symmetry=SymmetryBreaking() if symmetry_breaking else None,
+                max_positives=config.max_positives,
+            )
+            train, _ = dataset.split(0.75, rng=config.seed)
+            first = pipeline.train("DT", train, **FIRST_TREE_PARAMS)
+            second = pipeline.train("DT", train, **SECOND_TREE_PARAMS)
+            rows.append(Table8Row(prop.name, scope, diff.evaluate(first, second)))
+    finally:
+        # Release the engine-owned worker pool and flush the disk store.
+        diff.engine.close()
     return rows
 
 

@@ -51,24 +51,28 @@ def table9(
     ground_truth = accmc.ground_truth(prop, scope)
 
     rows: list[Table9Row] = []
-    for valid, invalid in CLASS_RATIOS:
-        dataset = pipeline.make_dataset(
-            prop,
-            scope,
-            negative_ratio=invalid / valid,
-            max_positives=config.max_positives,
-        )
-        train, test = dataset.split(train_fraction, rng=config.seed)
-        tree = pipeline.train("DT", train)
-        traditional = confusion_counts(test.y, tree.predict(test.X.astype(float)))
-        whole_space = accmc.evaluate(tree, ground_truth)
-        rows.append(
-            Table9Row(
-                ratio=f"{valid}:{invalid}",
-                traditional_precision=traditional.precision,
-                mcml_precision=whole_space.precision,
+    try:
+        for valid, invalid in CLASS_RATIOS:
+            dataset = pipeline.make_dataset(
+                prop,
+                scope,
+                negative_ratio=invalid / valid,
+                max_positives=config.max_positives,
             )
-        )
+            train, test = dataset.split(train_fraction, rng=config.seed)
+            tree = pipeline.train("DT", train)
+            traditional = confusion_counts(test.y, tree.predict(test.X.astype(float)))
+            whole_space = accmc.evaluate(tree, ground_truth)
+            rows.append(
+                Table9Row(
+                    ratio=f"{valid}:{invalid}",
+                    traditional_precision=traditional.precision,
+                    mcml_precision=whole_space.precision,
+                )
+            )
+    finally:
+        # Release the engine-owned worker pool and flush the disk store.
+        accmc.engine.close()
     return rows
 
 

@@ -111,7 +111,7 @@ def _normalize_clause(literals: Iterable[int]) -> Clause | None:
 class CNF:
     """A propositional formula in conjunctive normal form."""
 
-    __slots__ = ("clauses", "num_vars", "projection", "aux_unique")
+    __slots__ = ("clauses", "num_vars", "projection", "aux_unique", "_signature")
 
     def __init__(
         self,
@@ -121,6 +121,7 @@ class CNF:
         aux_unique: bool = False,
     ) -> None:
         self.clauses: list[Clause] = []
+        self._signature: tuple | None = None
         self.num_vars = num_vars
         self.projection: frozenset[int] | None = (
             frozenset(projection) if projection is not None else None
@@ -142,6 +143,7 @@ class CNF:
         if clause:
             self.num_vars = max(self.num_vars, max(abs(l) for l in clause))
         self.clauses.append(clause)
+        self._signature = None
 
     def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
         for clause in clauses:
@@ -150,6 +152,7 @@ class CNF:
     def new_var(self) -> int:
         """Allocate a fresh variable id."""
         self.num_vars += 1
+        self._signature = None  # the ("all", num_vars) projection marker moved
         return self.num_vars
 
     def copy(self) -> "CNF":
@@ -222,14 +225,23 @@ class CNF:
         packed bitmask signature (order- and duplicate-insensitive); the
         projection is included because free projected variables multiply the
         count.
+
+        Memoized on the instance — the engine consults the signature on
+        every ``count``/``count_many`` call, typically for the same CNF
+        object — and invalidated by the mutating methods (``add_clause``,
+        ``new_var``).  Mutating ``clauses``/``num_vars`` *directly* after a
+        signature has been taken is not supported.
         """
+        if self._signature is not None:
+            return self._signature
         packed = self.packed_view()
         projection: tuple | frozenset
         if self.projection is not None:
             projection = self.projection
         else:
             projection = ("all", self.num_vars)
-        return (packed.variables, packed.signature(), projection)
+        self._signature = (packed.variables, packed.signature(), projection)
+        return self._signature
 
     def evaluate(self, assignment: Mapping[int, bool] | Sequence[bool]) -> bool:
         """Evaluate under a total assignment.

@@ -77,6 +77,7 @@ class TestCountStore:
         store = CountStore(tmp_path)
         store.put("good", 42)
         store.put("bad", 7)
+        store.flush()  # singles are buffered; corrupt the *written* row
         with sqlite3.connect(store.path) as raw:
             raw.execute("UPDATE counts SET value = 'not-a-number' WHERE key = 'bad'")
             raw.commit()

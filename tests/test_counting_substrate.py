@@ -1,0 +1,400 @@
+"""Tests for the persistent counting substrate (PR 3).
+
+Covers:
+
+* :class:`ComponentCache` — LRU eviction under tiny caps, recency refresh,
+  byte accounting, delta recording/absorption;
+* the shared component cache's differential guarantee — counts through a
+  shared (and warm) cache are bit-identical to fresh-counter counts, over
+  the 16-property matrix at scopes 2–4 and over randomized CNFs;
+* the engine-owned persistent :class:`WorkerPool` — reuse across batches,
+  idempotent close, fork-after-close recreation, worker component-cache
+  deltas warming the engine's shared cache;
+* the satellite fixes — ``CountingEngine.__repr__`` reporting the resolved
+  worker count, ``count_formula`` routed through the count memo (or
+  rejected with a pointer to ``count``), lazy ``CNF.signature()``
+  memoization with invalidation, and ``CountStore`` write batching + WAL.
+"""
+
+import random
+
+import pytest
+
+from repro.counting import (
+    ComponentCache,
+    CountingEngine,
+    CountStore,
+    EngineConfig,
+    ExactCounter,
+    FormulaBruteCounter,
+    LegacyExactCounter,
+    closed_form_count,
+)
+from repro.counting.component_cache import entry_cost
+from repro.logic import CNF
+from repro.logic.formula import And, Or, Var
+from repro.spec import SymmetryBreaking, get_property, translate
+from repro.spec.properties import PROPERTIES
+
+
+def _key(*clauses, proj=1):
+    return (frozenset(clauses), proj)
+
+
+class TestComponentCacheLRU:
+    def test_round_trip_and_zero_values(self):
+        cache = ComponentCache()
+        key = _key((1, 2), (4, 0))
+        assert cache.get(key) is None
+        cache.put(key, 0)  # 0 is a valid model count, not a miss
+        assert cache.get(key) == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_entry_cap_evicts_least_recently_used(self):
+        cache = ComponentCache(max_bytes=None, max_entries=3)
+        keys = [_key((1 << i, 0)) for i in range(4)]
+        for i, key in enumerate(keys[:3]):
+            cache.put(key, i)
+        # Refresh key 0 so key 1 becomes the LRU entry.
+        assert cache.get(keys[0]) == 0
+        cache.put(keys[3], 3)
+        assert len(cache) == 3
+        assert cache.get(keys[1]) is None  # evicted
+        assert cache.get(keys[0]) == 0  # survived thanks to the refresh
+        assert cache.get(keys[2]) == 2
+        assert cache.evictions == 1
+
+    def test_byte_cap_evicts(self):
+        small = _key((1, 2))
+        cost = entry_cost(small, 1)
+        cache = ComponentCache(max_bytes=int(cost * 2.5))
+        cache.put(_key((1, 2)), 1)
+        cache.put(_key((2, 1)), 2)
+        cache.put(_key((3, 4)), 3)
+        assert cache.evictions >= 1
+        assert len(cache) < 3
+        assert cache.approximate_bytes() <= int(cost * 2.5)
+
+    def test_put_is_idempotent_for_pure_values(self):
+        cache = ComponentCache()
+        key = _key((1, 0))
+        cache.put(key, 7)
+        cache.put(key, 7)
+        assert len(cache) == 1
+        assert cache.get(key) == 7
+
+    def test_delta_recording_and_absorb(self):
+        producer = ComponentCache()
+        producer.start_recording()
+        producer.put(_key((1, 0)), 1)
+        producer.put(_key((0, 1)), 2)
+        delta = producer.drain_delta()
+        assert len(delta) == 2
+        assert producer.drain_delta() == []  # drained
+        consumer = ComponentCache()
+        consumer.absorb(delta)
+        assert consumer.get(_key((1, 0))) == 1
+        assert consumer.get(_key((0, 1))) == 2
+
+    def test_clear_resets_bytes(self):
+        cache = ComponentCache()
+        cache.put(_key((1, 2)), 5)
+        assert cache.approximate_bytes() > 0
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.approximate_bytes() == 0
+
+
+def _random_cnf(rng: random.Random) -> CNF:
+    num_vars = rng.randint(3, 14)
+    num_clauses = rng.randint(1, 30)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, min(4, num_vars))
+        variables = rng.sample(range(1, num_vars + 1), width)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    projection = None
+    if rng.random() < 0.6:
+        k = rng.randint(1, num_vars)
+        projection = rng.sample(range(1, num_vars + 1), k)
+    return CNF(clauses, num_vars=num_vars, projection=projection)
+
+
+class TestSharedCacheDifferential:
+    """Shared-cache counts must be bit-identical to fresh-counter counts."""
+
+    def test_matrix_scopes_2_3_shared_vs_fresh(self):
+        cases = [
+            translate(prop, scope, symmetry=symmetry).cnf
+            for prop in PROPERTIES
+            for scope in (2, 3)
+            for symmetry in (None, SymmetryBreaking())
+        ]
+        shared = ExactCounter()  # owns one persistent cache across all calls
+        for cnf in cases:
+            fresh = ExactCounter(component_cache=None).count(cnf)
+            assert shared.count(cnf) == fresh
+            # A second, fully warm call must agree too.
+            assert shared.count(cnf) == fresh
+
+    @pytest.mark.parametrize("prop", PROPERTIES, ids=lambda p: p.name)
+    def test_matrix_scope_4_warm_cache_vs_closed_form(self, prop, shared_scope4_counter):
+        # One persistent counter across all 16 properties: later properties
+        # count through a cache warmed by earlier ones, and every count
+        # must still match the independent analytic oracle.
+        cnf = translate(prop, 4).cnf
+        assert shared_scope4_counter.count(cnf) == closed_form_count(prop.oracle, 4)
+
+    def test_randomized_differential(self):
+        rng = random.Random(20260726)
+        shared = ExactCounter()
+        tiny = ExactCounter(component_cache=ComponentCache(max_bytes=None, max_entries=64))
+        for _ in range(150):
+            cnf = _random_cnf(rng)
+            fresh = ExactCounter(component_cache=None).count(cnf)
+            legacy = LegacyExactCounter().count(cnf.copy())
+            assert fresh == legacy
+            assert shared.count(cnf) == fresh
+            # Eviction-heavy cache: correctness must survive mid-search
+            # evictions under a cap far below the working set.
+            assert tiny.count(cnf) == fresh
+
+    def test_engine_opt_out_restores_per_call_cache(self):
+        engine = CountingEngine(config=EngineConfig(component_cache_mb=0))
+        assert engine.component_cache is None
+        assert engine.counter.component_cache is None
+        cnf = translate(get_property("Transitive"), 3).cnf
+        assert engine.count(cnf) == 171
+
+
+@pytest.fixture(scope="class")
+def shared_scope4_counter():
+    return ExactCounter()
+
+
+class TestPersistentPool:
+    def _cold_batch(self, names, scope=2):
+        return [translate(get_property(name), scope).cnf for name in names]
+
+    def test_pool_reused_across_batches(self):
+        engine = CountingEngine(config=EngineConfig(workers=2))
+        engine.count_many(self._cold_batch(("Reflexive", "Irreflexive")))
+        pool = engine._pool
+        assert pool is not None and not pool.closed
+        assert pool.batches == 1
+        engine.count_many(self._cold_batch(("Connex", "Functional")))
+        assert engine._pool is pool  # same pool, no re-fork
+        assert pool.batches == 2
+        engine.close()
+
+    def test_close_is_idempotent_and_fork_after_close_recreates(self):
+        engine = CountingEngine(config=EngineConfig(workers=2))
+        engine.count_many(self._cold_batch(("Reflexive", "Irreflexive")))
+        first_pool = engine._pool
+        engine.close()
+        engine.close()  # idempotent
+        assert first_pool.closed
+        counts = engine.count_many(self._cold_batch(("Connex", "Functional")))
+        assert engine._pool is not first_pool
+        assert not engine._pool.closed
+        assert counts == CountingEngine().count_many(
+            self._cold_batch(("Connex", "Functional"))
+        )
+        engine.close()
+
+    def test_serial_engine_never_forks(self):
+        engine = CountingEngine()
+        engine.count_many(self._cold_batch(("Reflexive", "Irreflexive")))
+        assert engine._pool is None
+        engine.close()
+
+    def test_worker_deltas_warm_the_shared_cache(self):
+        engine = CountingEngine(config=EngineConfig(workers=2))
+        assert len(engine.component_cache) == 0
+        engine.count_many(self._cold_batch(("PartialOrder", "Equivalence"), scope=3))
+        # The components were solved in worker processes, yet the parent's
+        # shared cache holds them now (the delta protocol shipped them back).
+        assert len(engine.component_cache) > 0
+        engine.close()
+
+    def test_pool_survives_a_worker_exception(self):
+        from repro.counting.exact import CounterBudgetExceeded
+
+        # Two *distinct* infeasible problems (duplicates would collapse onto
+        # one cold problem and skip the pool entirely).
+        hard = [
+            translate(get_property("Transitive"), 3).cnf,
+            translate(get_property("TotalOrder"), 3).cnf,
+        ]
+        engine = CountingEngine(
+            ExactCounter(max_nodes=10), config=EngineConfig(workers=2)
+        )
+        with pytest.raises(CounterBudgetExceeded):
+            engine.count_many(hard)
+        pool = engine._pool
+        assert pool is not None and not pool.closed
+        # The same pool serves the next (feasible) batch.
+        assert engine.count_many(self._cold_batch(("Reflexive", "Connex"))) == (
+            CountingEngine().count_many(self._cold_batch(("Reflexive", "Connex")))
+        )
+        assert engine._pool is pool
+        engine.close()
+
+    def test_engine_is_a_context_manager(self):
+        with CountingEngine(config=EngineConfig(workers=2)) as engine:
+            engine.count_many(self._cold_batch(("Reflexive", "Irreflexive")))
+            pool = engine._pool
+        assert pool.closed
+
+
+class TestSatelliteFixes:
+    def test_repr_reports_resolved_workers(self):
+        # workers=0 means one per core; the repr must show the resolved
+        # count, not hide behind config.workers > 1.
+        engine = CountingEngine(config=EngineConfig(workers=0))
+        if engine._workers > 1:
+            assert f"workers={engine._workers}" in repr(engine)
+        else:  # single-core machine: resolved count is 1, nothing to show
+            assert "workers=" not in repr(engine)
+        explicit = CountingEngine(config=EngineConfig(workers=7))
+        assert "workers=7" in repr(explicit)
+
+    def test_count_formula_memoized_through_engine(self):
+        engine = CountingEngine(FormulaBruteCounter())
+        formula = Or(And(Var(1), Var(2)), Var(3))
+        first = engine.count_formula(formula, 3)
+        assert first == 5
+        assert engine.count_formula(formula, 3) == 5
+        assert engine.stats.count_calls == 2
+        assert engine.stats.count_hits == 1
+        assert engine.stats.backend_calls == 1
+        # A different variable space is a different counting problem.
+        assert engine.count_formula(formula, 4) == 10
+        assert engine.stats.backend_calls == 2
+
+    def test_count_formula_rejected_for_cnf_only_backends(self):
+        engine = CountingEngine()
+        with pytest.raises(AttributeError, match="engine.count"):
+            engine.count_formula
+        assert not hasattr(engine, "count_formula")
+        # AccMC's capability probe must still route CNF backends to CNFs.
+        assert hasattr(CountingEngine(FormulaBruteCounter()), "count_formula")
+
+    def test_signature_is_memoized_and_invalidated(self):
+        cnf = CNF([[1, 2], [-1, 3]], projection=[1, 2, 3])
+        first = cnf.signature()
+        assert cnf.signature() is first  # memo hit: identical object
+        cnf.add_clause([2, 3])
+        second = cnf.signature()
+        assert second != first  # mutation invalidated the memo
+        assert cnf.signature() is second
+
+    def test_signature_memo_and_new_var(self):
+        cnf = CNF([[1]], num_vars=1)  # no projection: counts all vars
+        assert cnf.signature() == cnf.signature()
+        before = cnf.signature()
+        cnf.new_var()
+        assert cnf.signature() != before  # ("all", num_vars) marker moved
+
+    def test_copies_do_not_share_the_memo(self):
+        cnf = CNF([[1, 2]], projection=[1, 2])
+        cnf.signature()
+        other = cnf.copy()
+        other.add_clause([-1])
+        assert other.signature() != cnf.signature()
+        assert cnf.signature() == CNF([[1, 2]], projection=[1, 2]).signature()
+
+
+class TestStoreBatching:
+    def test_single_puts_are_buffered_and_flushed(self, tmp_path):
+        store = CountStore(tmp_path)
+        store.put("a", 2**200)
+        store.put("b", 0)
+        # Visible to the owning process before any flush …
+        assert store.get("a") == 2**200
+        assert store.get_many(["a", "b"]) == {"a": 2**200, "b": 0}
+        store.flush()
+        store.close()
+        # … and to a fresh handle after it.
+        with CountStore(tmp_path) as reopened:
+            assert reopened.get_many(["a", "b"]) == {"a": 2**200, "b": 0}
+
+    def test_close_flushes_the_buffer(self, tmp_path):
+        store = CountStore(tmp_path)
+        store.put("k", 42)
+        store.close()
+        with CountStore(tmp_path) as reopened:
+            assert reopened.get("k") == 42
+
+    def test_autoflush_threshold(self, tmp_path):
+        from repro.counting.store import AUTOFLUSH_PUTS
+
+        store = CountStore(tmp_path)
+        for i in range(AUTOFLUSH_PUTS):
+            store.put(f"k{i}", i)
+        assert not store._pending  # the threshold write drained the buffer
+        with CountStore(tmp_path) as other:
+            assert other.get("k0") == 0
+            assert other.get(f"k{AUTOFLUSH_PUTS - 1}") == AUTOFLUSH_PUTS - 1
+        store.close()
+
+    def test_wal_mode_is_active(self, tmp_path):
+        store = CountStore(tmp_path)
+        (mode,) = store._connection.execute("PRAGMA journal_mode").fetchone()
+        assert mode.lower() == "wal"
+        store.close()
+
+    def test_pending_values_win_over_stale_rows(self, tmp_path):
+        store = CountStore(tmp_path)
+        store.put("k", 1)
+        store.flush()
+        store.put("k", 2)  # buffered overwrite
+        assert store.get("k") == 2
+        store.close()
+
+    def test_closed_store_drops_writes_instead_of_buffering(self, tmp_path):
+        # Counting after engine.close() is supported; the closed store must
+        # not accumulate an unbounded (and unreadable) pending buffer.
+        store = CountStore(tmp_path)
+        store.close()
+        store.put("k", 1)
+        store.put_many([("a", 2), ("b", 3)])
+        store.flush()
+        assert store._pending == {}
+        assert len(store) == 0
+        assert store.get("k") is None
+
+
+class TestCacheSnapshot:
+    def test_snapshot_keeps_mru_entries_within_budget(self):
+        cache = ComponentCache(max_bytes=None)
+        keys = [_key((1 << i, 0)) for i in range(10)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        one = entry_cost(keys[0], 0)
+        clone = cache.snapshot(one * 3)
+        assert 0 < len(clone) <= 3
+        # The retained entries are the most recently used ones.
+        for key in keys[-len(clone):]:
+            assert key in clone
+        assert keys[0] not in clone
+
+    def test_pickled_counter_ships_a_bounded_cache(self):
+        import pickle
+
+        from repro.counting.exact import _PICKLED_CACHE_BYTES
+
+        counter = ExactCounter()
+        cache = counter.component_cache
+        # Force the estimate far over the shipping cap without allocating
+        # real memory: one entry, then inflate the byte accounting.
+        cache.put(_key((1, 2)), 1)
+        cache._bytes = _PICKLED_CACHE_BYTES * 4
+        clone = pickle.loads(pickle.dumps(counter))
+        assert clone.component_cache is not None
+        assert clone.component_cache.approximate_bytes() <= _PICKLED_CACHE_BYTES
+        # The clone's own budget is capped too: an N-worker pool must hold
+        # N small caches, not N copies of the parent's full budget.
+        assert clone.component_cache.max_bytes <= _PICKLED_CACHE_BYTES
+        # The original counter is untouched.
+        assert cache.approximate_bytes() == _PICKLED_CACHE_BYTES * 4

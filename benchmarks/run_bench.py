@@ -346,6 +346,63 @@ def _print_ablations(
         )
 
 
+def backend_smoke(name: str, scope: int = 3) -> dict:
+    """Exercise one registered backend end-to-end against ground truth.
+
+    Builds the backend by registry name, picks an instance its declared
+    capabilities can serve — a translated property CNF for
+    projection-capable backends, the pre-Tseitin formula for
+    formula-counting ones, a trained tree's label region for the rest —
+    and checks the count: bit-identity against the closed form / exact
+    counter for exact backends, the (ε, δ) envelope for approximate ones.
+    CI runs this for a non-default backend so registry entries cannot rot
+    silently.
+    """
+    from repro.core.pipeline import MCMLPipeline
+    from repro.core.tree2cnf import label_region_cnf
+    from repro.counting import ExactCounter, closed_form_count, make_backend
+    from repro.counting.api import backend_capabilities
+    from repro.counting.vector import count_formula as formula_count
+    from repro.spec import get_property, translate
+
+    prop = get_property("PartialOrder")
+    caps = backend_capabilities(name)
+    backend = make_backend(name)
+    truth = closed_form_count(prop.oracle, scope)
+    if caps.counts_formulas:
+        instance = f"{prop.name} formula at scope {scope}"
+        value = backend.count_formula(
+            translate(prop, scope).formula, scope * scope
+        )
+    elif caps.supports_projection:
+        instance = f"{prop.name} CNF at scope {scope}"
+        value = backend.count(translate(prop, scope).cnf)
+    else:
+        # Auxiliary-free backends (OBDD) serve decision-tree regions.
+        pipeline = MCMLPipeline(seed=0)
+        dataset = pipeline.make_dataset(prop, scope)
+        train, _ = dataset.split(0.75, rng=0)
+        tree = pipeline.train("DT", train)
+        region = label_region_cnf(tree.decision_paths(), 1, scope * scope)
+        instance = f"{prop.name} scope-{scope} DT true-region CNF"
+        truth = ExactCounter().count(region)
+        value = backend.count(region)
+    if caps.exact:
+        if value != truth:
+            raise SystemExit(
+                f"backend {name!r} smoke failed: {value} != {truth} on {instance}"
+            )
+    elif not truth / 4 <= value <= truth * 4:
+        raise SystemExit(
+            f"backend {name!r} estimate {value} implausible vs {truth} on {instance}"
+        )
+    print(
+        f"  backend smoke: {name!r} on {instance} -> {value} "
+        f"({'bit-identical' if caps.exact else 'within (eps, delta) envelope'})"
+    )
+    return {"backend": name, "instance": instance, "capabilities": caps.as_dict()}
+
+
 def perf_regression_smoke(output: Path, tolerance: float = 3.0) -> None:
     """Fail when the exact counter regressed > ``tolerance``x vs history.
 
@@ -446,6 +503,11 @@ def main() -> None:
         "gate vs the last history entry, no JSON update",
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="additionally smoke one registered backend by name against "
+        "ground truth (CI uses this so non-default backends cannot rot)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="cProfile the exact counter on a scope-5 instance and exit",
     )
@@ -466,6 +528,8 @@ def main() -> None:
         )
         store_result = store_roundtrip_bench(entries=500)
         _print_ablations(workers_result, cache_result, component_result, store_result)
+        if args.backend:
+            backend_smoke(args.backend)
         perf_regression_smoke(args.output)
         print("ok (quick mode writes nothing)")
         return
@@ -496,12 +560,22 @@ def main() -> None:
         "component_cache": component_result,
         "store_roundtrip": store_result,
     }
+    if args.backend:
+        backend_smoke(args.backend)
+
+    # Backend + capability provenance: trajectory comparisons are only
+    # apples-to-apples when successive entries counted with the same
+    # contract, so each history entry records what produced its numbers.
+    from repro.counting.api import backend_capabilities
+
     history = [
         entry for entry in document.get("history", []) if entry.get("label") != args.label
     ]
     history.append(
         {
             "label": args.label,
+            "backend": "exact",
+            "capabilities": backend_capabilities("exact").as_dict(),
             "exact_median_s": backends["exact"]["median_s"],
             "workers_fanout_speedup_x": workers_result["speedup_x"],
             "workers_fanout_cpu_count": workers_result["cpu_count"],

@@ -11,8 +11,8 @@ can provide.
 Run:  python examples/bnn_extension.py
 """
 
-from repro.core.accmc import GroundTruth
-from repro.core.bnnmc import diff_bnn, quantify_bnn
+from repro.core.bnnmc import diff_bnn
+from repro.core.session import MCMLSession
 from repro.core.tree2cnf import tree_paths_formula
 from repro.data import generate_dataset
 from repro.logic.formula import dag_size
@@ -36,7 +36,8 @@ def main() -> None:
     region = bnn.to_formula()
     print(f"\ncompiled BNN region: {dag_size(region)} distinct formula nodes")
 
-    result = quantify_bnn(bnn, GroundTruth(PROPERTY, SCOPE))
+    with MCMLSession() as session:
+        result = session.bnnmc(bnn, PROPERTY, SCOPE)
     print(f"\nBNN whole-space metrics (all 2^{SCOPE * SCOPE} inputs):")
     print(
         f"  accuracy {result.accuracy:.4f}  precision {result.precision:.4f}  "

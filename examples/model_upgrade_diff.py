@@ -13,7 +13,7 @@ and the semantic diff makes the call obvious.
 Run:  python examples/model_upgrade_diff.py
 """
 
-from repro.core import DiffMC
+from repro.core.session import MCMLSession
 from repro.data import generate_dataset
 from repro.ml import DecisionTreeClassifier
 from repro.spec import get_property
@@ -32,17 +32,19 @@ def main() -> None:
     stump = DecisionTreeClassifier(max_depth=2).fit(X, y)
 
     print(f"deployed model: {deployed.n_leaves()} leaves")
-    diff = DiffMC()
-    for name, candidate in [("pruned (depth<=8)", pruned), ("stump (depth<=2)", stump)]:
-        result = diff.evaluate(deployed, candidate)
-        print(f"\ncandidate {name}: {candidate.n_leaves()} leaves")
-        print(
-            f"  TT={result.tt}  TF={result.tf}  FT={result.ft}  FF={result.ff}"
-            f"  (of 2^{result.num_inputs} inputs)"
-        )
-        print(f"  semantic diff: {100 * result.diff:.3f}%  similarity: {100 * result.sim:.3f}%")
-        verdict = "safe swap" if result.diff < 0.01 else "behavioural change - audit first"
-        print(f"  verdict: {verdict}")
+    # One session fronts the substrate: both candidate diffs share its
+    # engine, so the deployed tree's regions are compiled and counted once.
+    with MCMLSession() as session:
+        for name, candidate in [("pruned (depth<=8)", pruned), ("stump (depth<=2)", stump)]:
+            result = session.diffmc(deployed, candidate)
+            print(f"\ncandidate {name}: {candidate.n_leaves()} leaves")
+            print(
+                f"  TT={result.tt}  TF={result.tf}  FT={result.ft}  FF={result.ff}"
+                f"  (of 2^{result.num_inputs} inputs)"
+            )
+            print(f"  semantic diff: {100 * result.diff:.3f}%  similarity: {100 * result.sim:.3f}%")
+            verdict = "safe swap" if result.diff < 0.01 else "behavioural change - audit first"
+            print(f"  verdict: {verdict}")
 
 
 if __name__ == "__main__":

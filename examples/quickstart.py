@@ -5,52 +5,56 @@ scores it the traditional way (held-out test set) and the MCML way (exact
 model counting over all 2^16 inputs) — reproducing the paper's headline
 observation that the two disagree wildly.
 
+Everything runs through one :class:`repro.core.session.MCMLSession`: the
+session owns the counting engine (backend by registered name, caches,
+optional worker fan-out / disk persistence) and fronts dataset generation,
+training and the whole-space metrics.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.core import AccMC
-from repro.core.accmc import GroundTruth
-from repro.data import generate_dataset
-from repro.ml import DecisionTreeClassifier
-from repro.ml.metrics import confusion_counts
-from repro.spec import get_property
+from repro.core.session import MCMLSession
 
 SCOPE = 4
-PROPERTY = get_property("PartialOrder")
+PROPERTY = "PartialOrder"
 
 
 def main() -> None:
-    # 1. Bounded-exhaustive positives + rejection-sampled negatives.
-    dataset = generate_dataset(PROPERTY, SCOPE, rng=0)
-    train, test = dataset.split(train_fraction=0.10, rng=1)
-    print(
-        f"dataset: {len(dataset)} samples ({dataset.num_positive} positive), "
-        f"training on {len(train)}"
-    )
+    with MCMLSession(backend="exact", seed=0) as session:
+        # 1. Bounded-exhaustive positives + rejection-sampled negatives.
+        dataset = session.pipeline.make_dataset(PROPERTY, SCOPE)
+        train, test = dataset.split(train_fraction=0.10, rng=1)
+        print(
+            f"dataset: {len(dataset)} samples ({dataset.num_positive} positive), "
+            f"training on {len(train)}"
+        )
 
-    # 2. Train an out-of-the-box decision tree.
-    tree = DecisionTreeClassifier().fit(train.X.astype(float), train.y)
-    print(f"tree: {tree.n_leaves()} leaves, depth {tree.depth()}")
+        # 2. Train an out-of-the-box decision tree.
+        tree = session.pipeline.train("DT", train)
+        print(f"tree: {tree.n_leaves()} leaves, depth {tree.depth()}")
 
-    # 3. Traditional evaluation: looks excellent.
-    test_counts = confusion_counts(test.y, tree.predict(test.X.astype(float)))
-    print("\ntraditional metrics (held-out test set):")
-    for name, value in test_counts.as_dict().items():
-        print(f"  {name:9s} {value:.4f}")
+        # 3. Traditional evaluation: looks excellent.
+        from repro.ml.metrics import confusion_counts
 
-    # 4. MCML evaluation: the entire 2^16 input space, by model counting.
-    result = AccMC().evaluate(tree, GroundTruth(PROPERTY, SCOPE))
-    print(f"\nMCML metrics (all 2^{SCOPE * SCOPE} inputs, {result.counter} counter):")
-    for name, value in result.as_row().items():
-        if name != "time":
+        test_counts = confusion_counts(test.y, tree.predict(test.X.astype(float)))
+        print("\ntraditional metrics (held-out test set):")
+        for name, value in test_counts.as_dict().items():
             print(f"  {name:9s} {value:.4f}")
-    counts = result.counts
-    print(f"  counts    tp={counts.tp} fp={counts.fp} tn={counts.tn} fn={counts.fn}")
-    print(
-        "\nthe gap between test precision "
-        f"({test_counts.precision:.4f}) and whole-space precision "
-        f"({result.precision:.4f}) is the paper's point: test sets flatter."
-    )
+
+        # 4. MCML evaluation: the entire 2^16 input space, by model counting.
+        result = session.accmc(tree, PROPERTY, SCOPE)
+        print(f"\nMCML metrics (all 2^{SCOPE * SCOPE} inputs, {result.counter} counter):")
+        for name, value in result.as_row().items():
+            if name != "time":
+                print(f"  {name:9s} {value:.4f}")
+        counts = result.counts
+        print(f"  counts    tp={counts.tp} fp={counts.fp} tn={counts.tn} fn={counts.fn}")
+        print(
+            "\nthe gap between test precision "
+            f"({test_counts.precision:.4f}) and whole-space precision "
+            f"({result.precision:.4f}) is the paper's point: test sets flatter."
+        )
+        print(f"\nsession telemetry: {session.engine!r}")
 
 
 if __name__ == "__main__":

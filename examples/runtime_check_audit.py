@@ -15,8 +15,7 @@ Run:  python examples/runtime_check_audit.py
 
 import numpy as np
 
-from repro.core import AccMC
-from repro.core.accmc import GroundTruth
+from repro.core.session import MCMLSession
 from repro.data import generate_dataset
 from repro.ml import DecisionTreeClassifier
 from repro.ml.metrics import confusion_counts
@@ -37,7 +36,8 @@ def main() -> None:
     print(f"  accuracy {test_counts.accuracy:.3f}, precision {test_counts.precision:.3f}")
     print("  -> looks deployable.\n")
 
-    audit = AccMC().evaluate(check, GroundTruth(PROPERTY, SCOPE))
+    with MCMLSession() as session:
+        audit = session.accmc(check, PROPERTY, SCOPE)
     print("pre-deployment audit, the MCML way (entire input space):")
     print(f"  accuracy {audit.accuracy:.3f}, precision {audit.precision:.4f}")
     print(

@@ -10,12 +10,16 @@
   over the whole input space, no ground truth needed (Equations 5–11).
 * :mod:`repro.core.pipeline` — the end-to-end MCML workflow used by the
   experiments: generate data, train, evaluate traditionally and with MCML.
+* :mod:`repro.core.session` — :class:`MCMLSession`, the facade owning one
+  engine + config + stores, through which AccMC/DiffMC/BNN metrics, the
+  pipeline and every paper table run.
 """
 
 from repro.core.accmc import AccMC, AccMCResult
 from repro.core.diffmc import DiffMC, DiffMCResult
 from repro.core.tree2cnf import label_region_cnf, tree_paths_formula
 from repro.core.pipeline import MCMLPipeline, PipelineResult
+from repro.core.session import MCMLSession
 
 __all__ = [
     "AccMC",
@@ -23,6 +27,7 @@ __all__ = [
     "DiffMC",
     "DiffMCResult",
     "MCMLPipeline",
+    "MCMLSession",
     "PipelineResult",
     "label_region_cnf",
     "tree_paths_formula",

@@ -134,10 +134,12 @@ class GroundTruth:
 class AccMC:
     """Quantify a decision tree against a ground truth, via model counting.
 
-    ``counter`` is any object with a ``count(cnf) -> int`` method and a
-    ``name`` attribute — :class:`repro.counting.exact.ExactCounter` (the
-    ProjMC stand-in, default) or
-    :class:`repro.counting.approxmc.ApproxMCCounter`.
+    ``counter`` is any backend satisfying
+    :class:`repro.counting.api.CounterBackend` — build one by registered
+    name with :func:`repro.counting.api.make_backend` (``"exact"``, the
+    ProjMC stand-in, is the default).  The backend's declared capabilities
+    pick the evaluation route: formula-counting backends take the
+    vectorised sweep, the rest the paper's CNF construction.
     """
 
     def __init__(
@@ -187,7 +189,18 @@ class AccMC:
         true_region = self.engine.region(paths, 1, m)
         false_region = self.engine.region(paths, 0, m)
 
-        if hasattr(self.counter, "count_formula"):
+        caps = self.engine.capabilities
+        if not caps.counts_formulas and not caps.supports_projection:
+            # Fail at the routing layer, not deep inside the backend: the
+            # CNF route conjoins Tseitin formulas with auxiliaries, which
+            # projection-incapable backends (bdd) cannot serve.
+            raise ValueError(
+                f"backend {self.engine.backend_name!r} can serve neither AccMC "
+                "route: it counts no formulas and rejects CNFs with auxiliary "
+                "variables (capabilities.counts_formulas and "
+                ".supports_projection are both False)"
+            )
+        if caps.counts_formulas:
             # Vectorised-sweep backend: counts the pre-Tseitin formulas
             # directly, sidestepping CNF structure sensitivity entirely.
             counts = self._evaluate_by_formula(ground_truth, true_region, false_region, m)
@@ -198,7 +211,7 @@ class AccMC:
             scope=ground_truth.scope,
             counts=counts,
             mode=self.mode,
-            counter=getattr(self.counter, "name", type(self.counter).__name__),
+            counter=self.engine.backend_name,
             elapsed_seconds=time.perf_counter() - started,
         )
 
@@ -219,25 +232,35 @@ class AccMC:
     def _evaluate_by_cnf(
         self, ground_truth: GroundTruth, true_region: CNF, false_region: CNF, m: int
     ) -> ConfusionCounts:
-        """The paper's pipeline: conjoin CNFs, hand them to the counting engine."""
+        """The paper's pipeline: conjoin CNFs, hand them to the counting engine.
+
+        Counting goes through the typed ``solve_many`` path, so every
+        confusion count carries backend/cache provenance on the way in.
+        """
         phi = ground_truth.positive().cnf
         if self.mode == "product":
             not_phi = ground_truth.negative().cnf
-            tp, fp, fn, tn = self.engine.count_many(
-                [
-                    phi.conjoin(true_region),
-                    not_phi.conjoin(true_region),
-                    phi.conjoin(false_region),
-                    not_phi.conjoin(false_region),
-                ]
+            tp, fp, fn, tn = (
+                r.value
+                for r in self.engine.solve_many(
+                    [
+                        phi.conjoin(true_region),
+                        not_phi.conjoin(true_region),
+                        phi.conjoin(false_region),
+                        not_phi.conjoin(false_region),
+                    ]
+                )
             )
         else:
             space = ground_truth.space_cnf()
-            tp, phi_count, tau_count = self.engine.count_many(
-                [phi.conjoin(true_region), phi, space.conjoin(true_region)]
+            tp, phi_count, tau_count = (
+                r.value
+                for r in self.engine.solve_many(
+                    [phi.conjoin(true_region), phi, space.conjoin(true_region)]
+                )
             )
             space_count = self._space_count(
-                ground_truth, lambda: self.engine.count(space)
+                ground_truth, lambda: self.engine.solve(space).value
             )
             fn = phi_count - tp
             fp = tau_count - tp
@@ -259,21 +282,20 @@ class AccMC:
         phi_f = ground_truth.positive().formula
         space_f = ground_truth.space_formula()
         tau_f = region_formula(true_region)
-        tp = self.counter.count_formula(And(phi_f, tau_f), m)
+        count = lambda f: self.engine.solve_formula(f, m).value  # noqa: E731
+        tp = count(And(phi_f, tau_f))
         if self.mode == "product":
             # ¬φ stays inside the evaluation space (symmetry constraints);
             # the negative problem is compiled exactly that way.
             not_phi_f = ground_truth.negative().formula
             psi_f = region_formula(false_region)
-            fp = self.counter.count_formula(And(not_phi_f, tau_f), m)
-            fn = self.counter.count_formula(And(phi_f, psi_f), m)
-            tn = self.counter.count_formula(And(not_phi_f, psi_f), m)
+            fp = count(And(not_phi_f, tau_f))
+            fn = count(And(phi_f, psi_f))
+            tn = count(And(not_phi_f, psi_f))
         else:
-            phi_count = self.counter.count_formula(phi_f, m)
-            tau_count = self.counter.count_formula(And(space_f, tau_f), m)
-            space_count = self._space_count(
-                ground_truth, lambda: self.counter.count_formula(space_f, m)
-            )
+            phi_count = count(phi_f)
+            tau_count = count(And(space_f, tau_f))
+            space_count = self._space_count(ground_truth, lambda: count(space_f))
             fn = phi_count - tp
             fp = tau_count - tp
             tn = space_count - tp - fp - fn

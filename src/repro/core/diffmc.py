@@ -98,13 +98,16 @@ class DiffMC:
         true2 = self.engine.region(paths2, 1, m)
         false2 = self.engine.region(paths2, 0, m)
 
-        tt, tf, ft, ff = self.engine.count_many(
-            [
-                true1.conjoin(true2),
-                true1.conjoin(false2),
-                false1.conjoin(true2),
-                false1.conjoin(false2),
-            ]
+        tt, tf, ft, ff = (
+            r.value
+            for r in self.engine.solve_many(
+                [
+                    true1.conjoin(true2),
+                    true1.conjoin(false2),
+                    false1.conjoin(true2),
+                    false1.conjoin(false2),
+                ]
+            )
         )
         result = DiffMCResult(
             tt=tt,
@@ -117,7 +120,7 @@ class DiffMC:
         # The four regions partition the space — a cheap internal sanity
         # check that catches a mis-built region CNF immediately.  Only
         # meaningful for exact backends; approximate counts need not sum.
-        if getattr(self.counter, "name", "") in ("exact", "bdd", "brute"):
+        if self.engine.capabilities.exact:
             if tt + tf + ft + ff != result.total:
                 raise AssertionError(
                     "DiffMC counts do not partition the input space: "

@@ -1,0 +1,244 @@
+"""MCMLSession: one facade over the whole MCML pipeline.
+
+MCML's point is that one projected-#SAT substrate serves many consumers —
+AccMC accuracy tables, DiffMC model-pair diffs, BNN quantification, the
+paper's table drivers.  Before this facade each consumer wired its own
+engine/config/store plumbing by hand; a session owns that plumbing once:
+
+* one :class:`~repro.counting.engine.CountingEngine` over a backend chosen
+  by registered name (:func:`repro.counting.api.make_backend`), carrying
+  the scaling knobs (worker fan-out, disk-persistent count and compilation
+  stores, shared component cache);
+* one :class:`~repro.core.pipeline.MCMLPipeline` for dataset generation
+  and model training, sharing the session seed;
+* the metric entry points — :meth:`accmc`, :meth:`diffmc`, :meth:`bnnmc`,
+  :meth:`count`/:meth:`solve` — and the artifact entry point
+  :meth:`table`, which runs any of the paper's tables through this
+  session's engine instead of a private one.
+
+Quickstart::
+
+    from repro.core.session import MCMLSession
+
+    with MCMLSession(backend="exact", workers=4, cache_dir=".mcml-cache") as s:
+        data = s.pipeline.make_dataset("PartialOrder", 4)
+        train, test = data.split(0.10, rng=1)
+        tree = s.pipeline.train("DT", train)
+        result = s.accmc(tree, "PartialOrder", 4)   # whole-space metrics
+        print(result.accuracy, s.engine.stats.as_dict())
+
+Closing the session (or leaving the ``with`` block) releases the worker
+pool and flushes the disk stores; every consumer built through the session
+shares its caches, which is the point.
+"""
+
+from __future__ import annotations
+
+from repro.core.accmc import AccMC, AccMCResult, GroundTruth
+from repro.core.diffmc import DiffMC, DiffMCResult
+from repro.counting.api import Capabilities, CountRequest, CountResult, make_backend
+from repro.counting.engine import CountingEngine, EngineConfig
+from repro.logic.cnf import CNF
+from repro.spec.properties import Property, get_property
+from repro.spec.symmetry import SymmetryBreaking
+
+
+class MCMLSession:
+    """Owns one engine + config + stores; fronts every MCML workflow.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name (``exact``, ``legacy``, ``brute``,
+        ``bdd``, ``approxmc`` or an alias); ``backend_opts`` are passed to
+        the factory.  Ignored when ``engine`` is supplied.
+    engine:
+        An existing :class:`CountingEngine` to adopt instead of building
+        one — the session then shares (and on ``close()`` releases) it.
+    workers / cache_dir / component_cache_mb:
+        The :class:`EngineConfig` scaling knobs.
+    accmc_mode:
+        Default AccMC construction (``"derived"`` or the paper's
+        ``"product"``); overridable per :meth:`accmc` call.
+    seed:
+        Master seed for dataset generation, splitting and training.
+    """
+
+    def __init__(
+        self,
+        backend: str = "exact",
+        *,
+        engine: CountingEngine | None = None,
+        backend_opts: dict | None = None,
+        workers: int = 1,
+        cache_dir=None,
+        component_cache_mb: float = 512.0,
+        accmc_mode: str = "derived",
+        seed: int = 0,
+    ) -> None:
+        if engine is None:
+            counter = make_backend(backend, **(backend_opts or {}))
+            engine = CountingEngine(
+                counter,
+                config=EngineConfig(
+                    workers=workers,
+                    cache_dir=cache_dir,
+                    component_cache_mb=component_cache_mb,
+                ),
+            )
+        self.engine = engine
+        self.accmc_mode = accmc_mode
+        self.seed = seed
+        self._accmc: dict[str, AccMC] = {}
+        self._diffmc: DiffMC | None = None
+        self._pipeline = None
+
+    # -- substrate passthroughs ------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return self.engine.backend_name
+
+    @property
+    def capabilities(self) -> Capabilities:
+        return self.engine.capabilities
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    @property
+    def store(self):
+        """The disk-persistent count store, or None when not configured."""
+        return self.engine.store
+
+    def solve(self, problem: CountRequest | CNF) -> CountResult:
+        """Typed count of one problem through the session engine."""
+        return self.engine.solve(problem)
+
+    def solve_many(self, problems) -> list[CountResult]:
+        return self.engine.solve_many(problems)
+
+    def count(self, cnf: CNF) -> int:
+        """Bare-int convenience over :meth:`solve`."""
+        return self.engine.solve(cnf).value
+
+    # -- consumers -------------------------------------------------------------------
+
+    @property
+    def pipeline(self):
+        """The session's :class:`MCMLPipeline` (lazily built, engine-shared)."""
+        if self._pipeline is None:
+            from repro.core.pipeline import MCMLPipeline
+
+            self._pipeline = MCMLPipeline(
+                accmc_mode=self.accmc_mode, seed=self.seed, engine=self.engine
+            )
+        return self._pipeline
+
+    def run(self, *args, **kwargs):
+        """One (property, model, split) experiment — see :meth:`MCMLPipeline.run`."""
+        return self.pipeline.run(*args, **kwargs)
+
+    def ground_truth(
+        self,
+        prop: Property | str,
+        scope: int,
+        symmetry: SymmetryBreaking | None = None,
+    ) -> GroundTruth:
+        """A compiled (and memoized) ground truth sharing this engine."""
+        prop = get_property(prop) if isinstance(prop, str) else prop
+        return self.engine.ground_truth(prop, scope, symmetry=symmetry)
+
+    def _accmc_for(self, mode: str) -> AccMC:
+        accmc = self._accmc.get(mode)
+        if accmc is None:
+            accmc = AccMC(mode=mode, engine=self.engine)
+            self._accmc[mode] = accmc
+        return accmc
+
+    def accmc(
+        self,
+        tree,
+        prop: Property | str,
+        scope: int,
+        symmetry: SymmetryBreaking | None = None,
+        mode: str | None = None,
+    ) -> AccMCResult:
+        """Whole-input-space confusion metrics of ``tree`` against a property."""
+        ground_truth = self.ground_truth(prop, scope, symmetry=symmetry)
+        return self._accmc_for(mode or self.accmc_mode).evaluate(tree, ground_truth)
+
+    def diffmc(self, first, second) -> DiffMCResult:
+        """Whole-space semantic difference between two decision trees."""
+        if self._diffmc is None:
+            self._diffmc = DiffMC(engine=self.engine)
+        return self._diffmc.evaluate(first, second)
+
+    def bnnmc(
+        self,
+        bnn,
+        prop: Property | str,
+        scope: int,
+        symmetry: SymmetryBreaking | None = None,
+    ) -> AccMCResult:
+        """AccMC for a binarized network (QuantifyML-style quantification)."""
+        from repro.core.bnnmc import quantify_bnn
+
+        return quantify_bnn(bnn, self.ground_truth(prop, scope, symmetry=symmetry))
+
+    # -- artifacts -------------------------------------------------------------------
+
+    def table(self, number: int, config=None, paper_scopes: bool = False) -> str:
+        """Render one of the paper's tables through this session's engine.
+
+        ``config`` is an :class:`repro.experiments.config.ExperimentConfig`
+        (defaults to a fresh one with this session's seed); the driver
+        modules are imported lazily so the core layer stays importable
+        without the experiments package.
+        """
+        from repro.experiments import classification, generalization
+        from repro.experiments import table1 as table1_mod
+        from repro.experiments import table8 as table8_mod
+        from repro.experiments import table9 as table9_mod
+        from repro.experiments.config import ExperimentConfig
+
+        if config is None:
+            config = ExperimentConfig(seed=self.seed)
+        if number == 1:
+            return table1_mod.render(
+                table1_mod.table1(config, paper_scopes=paper_scopes, session=self)
+            )
+        if number in (2, 4):
+            rows = classification.classification_table(
+                config, symmetry_breaking=number == 2, session=self
+            )
+            return classification.render(rows, symmetry_breaking=number == 2)
+        if number in (3, 5, 6, 7):
+            return generalization.render(
+                generalization.generalization_table(number, config, session=self),
+                number,
+            )
+        if number == 8:
+            return table8_mod.render(table8_mod.table8(config, session=self))
+        if number == 9:
+            return table9_mod.render(table9_mod.table9(config, session=self))
+        raise ValueError(f"unknown table {number!r} (1-9)")
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool and flush/close the disk stores."""
+        self.engine.close()
+
+    def __enter__(self) -> "MCMLSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"MCMLSession(backend={self.backend_name!r}, "
+            f"mode={self.accmc_mode!r}, seed={self.seed}, engine={self.engine!r})"
+        )

@@ -18,10 +18,18 @@ back-ends used for validation and ablation:
   Table 1 at paper scopes without running a counter.
 * :mod:`repro.counting.legacy` — the tuple-based predecessor of the packed
   exact counter, kept as a differential baseline.
+* :mod:`repro.counting.api` — the typed service contract: frozen
+  :class:`CountRequest`/:class:`CountResult` objects, the
+  :class:`Capabilities` declaration every backend carries, the
+  :class:`CounterBackend` protocol, and the backend registry
+  (:func:`make_backend`, :func:`available_backends`) that ``mcml
+  --backend NAME`` and the conformance suite iterate over.
 * :mod:`repro.counting.engine` — :class:`CountingEngine`, the shared,
   memoizing facade AccMC/DiffMC and the experiment drivers count through,
   configured by :class:`EngineConfig` (worker processes, disk cache,
-  shared component cache).
+  shared component cache); ``solve``/``solve_many`` return typed
+  :class:`CountResult`\\ s, ``count``/``count_many`` remain bare-``int``
+  shims.
 * :mod:`repro.counting.component_cache` — :class:`ComponentCache`, the
   bounded LRU of counted components that persists across counting calls
   and is shared engine-wide.
@@ -32,6 +40,18 @@ back-ends used for validation and ablation:
   count cache keyed on canonical CNF signatures.
 """
 
+from repro.counting.api import (
+    Capabilities,
+    CountRequest,
+    CountResult,
+    CounterBackend,
+    EngineStats,
+    available_backends,
+    backend_capabilities,
+    capabilities_of,
+    make_backend,
+    register_backend,
+)
 from repro.counting.approxmc import ApproxMCCounter, approx_count
 from repro.counting.bdd import BDDCounter, bdd_count
 from repro.counting.brute import brute_force_count, brute_force_models
@@ -41,28 +61,40 @@ from repro.counting.exact import ExactCounter, exact_count
 from repro.counting.legacy import LegacyExactCounter
 from repro.counting.oracles import closed_form_count
 from repro.counting.parallel import WorkerPool, count_parallel
-from repro.counting.store import CountStore, signature_key
+from repro.counting.store import BlobStore, CountStore, signature_key, text_key
 from repro.counting.vector import FormulaBruteCounter, count_formula
 
 __all__ = [
     "ApproxMCCounter",
     "BDDCounter",
+    "BlobStore",
+    "Capabilities",
     "ComponentCache",
+    "CountRequest",
+    "CountResult",
     "CountStore",
+    "CounterBackend",
     "CountingEngine",
     "EngineConfig",
+    "EngineStats",
     "ExactCounter",
     "FormulaBruteCounter",
     "LegacyExactCounter",
     "WorkerPool",
     "approx_count",
+    "available_backends",
+    "backend_capabilities",
     "bdd_count",
     "brute_force_count",
     "brute_force_models",
+    "capabilities_of",
     "closed_form_count",
     "count_formula",
     "count_parallel",
     "exact_count",
+    "make_backend",
+    "register_backend",
     "shared_engine",
     "signature_key",
+    "text_key",
 ]

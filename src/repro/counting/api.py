@@ -1,0 +1,435 @@
+"""Counting service API v2: typed requests/results, capabilities, registry.
+
+MCML's substrate serves many consumers — AccMC confusion counts, DiffMC
+model diffs, BNN quantification — and before this module their contract
+with the backends was informal: duck-typed ``count`` objects, capability
+sniffing via ``hasattr``/class attributes, and hard-coded construction.
+This module makes the contract explicit:
+
+* :class:`CountRequest` / :class:`CountResult` — a frozen, picklable
+  description of one projected counting problem (CNF payload + precision
+  mode + node budget) and the typed answer (count, exactness, backend
+  name, wall time, cache provenance, engine-stats delta).  The
+  :class:`~repro.counting.engine.CountingEngine`'s ``solve``/``solve_many``
+  speak these; the historical ``count``/``count_many`` survive as thin
+  bare-``int`` shims over them.
+* :class:`Capabilities` — what a backend can actually do, declared once as
+  a dataclass instead of being sniffed per call site: exactness (counts
+  portable across backends/sessions), formula counting (AccMC's
+  vectorised fast path), projection support (Tseitin auxiliaries allowed
+  in clauses), parallel safety (worker clones reproduce the serial
+  stream), and component-cache ownership (the engine may install a shared
+  cache).  Engine routing, store/parallel gating and consumer fast paths
+  all negotiate through these flags only.
+* :class:`CounterBackend` — the structural protocol every backend
+  satisfies: ``name``, ``capabilities``, ``count(cnf) -> int``.
+* the **backend registry** — every backend is constructible by name via
+  :func:`make_backend` (``exact``, ``legacy``, ``brute``, ``bdd``,
+  ``approxmc``, plus aliases) and enumerable via
+  :func:`available_backends`, which is what ``mcml --backend NAME`` and
+  the conformance suite iterate over.  A new backend is a registry entry
+  plus a conformance-suite run.
+
+The module sits below the engine (it imports only :mod:`repro.logic.cnf`),
+so backends and the engine can both import from it without cycles; the
+concrete backend factories are imported lazily inside the registry.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field, fields
+from typing import Protocol, runtime_checkable
+
+from repro.logic.cnf import CNF, Clause
+
+__all__ = [
+    "Capabilities",
+    "CountRequest",
+    "CountResult",
+    "CounterBackend",
+    "EngineStats",
+    "available_backends",
+    "backend_capabilities",
+    "capabilities_of",
+    "make_backend",
+    "register_backend",
+]
+
+#: Attribute-absence sentinel (capability inference never uses ``hasattr``).
+_MISSING = object()
+
+
+# -- capabilities ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a counting backend can do, declared instead of sniffed.
+
+    Parameters
+    ----------
+    exact:
+        Counts are exact, hence portable across backends and sessions: the
+        engine may persist them to a shared disk store and fan batches out
+        to worker clones.  Approximate (ε, δ) estimates are neither.
+    counts_formulas:
+        The backend exposes ``count_formula(formula, num_vars)``; AccMC's
+        formula-sweep fast path and the engine's memoized
+        ``count_formula`` route negotiate on this flag.
+    supports_projection:
+        Clauses may mention variables outside the projection (Tseitin
+        auxiliaries); backends without it (brute sweep, OBDD) reject such
+        CNFs, so they only serve auxiliary-free problems like tree
+        regions.
+    parallel_safe:
+        A pickled clone reproduces the original's count stream, so the
+        engine may fan cold batches out over worker processes.  False for
+        seeded approximate backends (each clone restarts the RNG).
+    owns_component_cache:
+        The backend exposes a ``component_cache`` attribute the engine may
+        replace with a shared :class:`~repro.counting.component_cache.ComponentCache`.
+    """
+
+    exact: bool
+    counts_formulas: bool = False
+    supports_projection: bool = False
+    parallel_safe: bool = False
+    owns_component_cache: bool = False
+
+    def as_dict(self) -> dict[str, bool]:
+        """Flag mapping, e.g. for benchmark/CLI provenance records."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        """Compact ``flag+flag-…`` rendering for CLI listings."""
+        return " ".join(
+            f"{name}={'yes' if value else 'no'}"
+            for name, value in self.as_dict().items()
+        )
+
+
+@runtime_checkable
+class CounterBackend(Protocol):
+    """The structural contract of a counting backend.
+
+    Anything with a ``name``, declared :class:`Capabilities` and a
+    ``count(cnf) -> int`` method is a backend; registered implementations
+    additionally construct via :func:`make_backend`.
+    """
+
+    name: str
+    capabilities: Capabilities
+
+    def count(self, cnf: CNF) -> int:  # pragma: no cover - protocol stub
+        ...
+
+
+def capabilities_of(counter) -> Capabilities:
+    """The backend's declared capabilities, inferred for foreign objects.
+
+    Registered backends declare a ``capabilities`` class attribute and get
+    it back verbatim.  Duck-typed third-party counters (anything with a
+    ``count`` method handed straight to an engine) are profiled
+    conservatively from their public surface: an ``exact = True``
+    attribute in the historical convention, a callable ``count_formula``,
+    a ``component_cache`` attribute.  Projection support is assumed — a
+    foreign counter that cannot handle auxiliaries should declare
+    capabilities itself.
+    """
+    declared = getattr(counter, "capabilities", None)
+    if isinstance(declared, Capabilities):
+        return declared
+    exact = bool(getattr(counter, "exact", False))
+    return Capabilities(
+        exact=exact,
+        counts_formulas=callable(getattr(counter, "count_formula", None)),
+        supports_projection=True,
+        parallel_safe=exact,
+        owns_component_cache=getattr(counter, "component_cache", _MISSING)
+        is not _MISSING,
+    )
+
+
+# -- typed request / result -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CountRequest:
+    """One projected model-counting problem, frozen and picklable.
+
+    The CNF payload is flattened to hashable tuples (the same shape the
+    worker-pool protocol ships across processes), plus the two knobs a
+    caller can put on a single problem:
+
+    ``precision``
+        ``"exact"`` demands a backend whose counts are exact (the engine
+        raises otherwise); ``"any"`` (default) accepts whatever the
+        configured backend produces.
+    ``budget``
+        Per-problem search-node budget overriding the backend's default
+        (``max_nodes``); ``None`` keeps the backend's own.  Budgeted
+        requests are solved in-process so the override cannot leak into
+        worker clones.
+    """
+
+    clauses: tuple[Clause, ...]
+    num_vars: int
+    projection: tuple[int, ...] | None = None
+    aux_unique: bool = False
+    precision: str = "any"
+    budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.precision not in ("any", "exact"):
+            raise ValueError(
+                f"precision must be 'any' or 'exact', got {self.precision!r}"
+            )
+
+    @classmethod
+    def from_cnf(
+        cls,
+        cnf: CNF,
+        *,
+        precision: str = "any",
+        budget: int | None = None,
+    ) -> "CountRequest":
+        """Freeze a :class:`CNF` into a request."""
+        projection = (
+            tuple(sorted(cnf.projection)) if cnf.projection is not None else None
+        )
+        return cls(
+            clauses=tuple(cnf.clauses),
+            num_vars=cnf.num_vars,
+            projection=projection,
+            aux_unique=cnf.aux_unique,
+            precision=precision,
+            budget=budget,
+        )
+
+    def cnf(self) -> CNF:
+        """Rebuild the CNF this request describes (clauses are normalised)."""
+        cnf = CNF(
+            num_vars=self.num_vars,
+            projection=self.projection,
+            aux_unique=self.aux_unique,
+        )
+        cnf.clauses = [tuple(clause) for clause in self.clauses]
+        return cnf
+
+    def signature(self) -> tuple:
+        """The canonical counting identity (see :meth:`CNF.signature`).
+
+        Deliberately excludes ``precision`` and ``budget``: they control
+        *how* the count is produced, never its value, so requests differing
+        only in them share memo/store entries.
+        """
+        return self.cnf().signature()
+
+
+@dataclass(frozen=True)
+class CountResult:
+    """A typed model count with provenance.
+
+    ``value`` is the projected model count; ``exact`` whether the backend
+    guarantees it bit-exactly; ``backend`` the producing backend's
+    registered name; ``source`` where the answer came from (``"memo"``,
+    ``"store"`` or ``"backend"``); ``elapsed_seconds`` the wall time this
+    problem cost (≈0 for cache hits); ``stats_delta`` the
+    :class:`EngineStats` movement the solving call caused (per batch for
+    ``solve_many``).  ``int(result)`` returns the bare count.
+    """
+
+    value: int
+    exact: bool
+    backend: str
+    source: str
+    elapsed_seconds: float = 0.0
+    stats_delta: "EngineStats | None" = field(default=None, compare=False)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    @property
+    def cached(self) -> bool:
+        """True when no backend work was performed for this problem."""
+        return self.source != "backend"
+
+
+@dataclass
+class EngineStats:
+    """Cache telemetry: calls vs hits per memo table.
+
+    ``count_calls`` splits exactly into ``count_hits`` (in-memory memo),
+    ``store_hits`` (disk store) and ``backend_calls`` (actual counting
+    work, serial or parallel) — a warm re-run shows ``backend_calls == 0``.
+    ``translate_store_hits``/``region_store_hits`` count compilations
+    warmed from the disk-persistent memo store rather than recompiled.
+    """
+
+    count_calls: int = 0
+    count_hits: int = 0
+    store_hits: int = 0
+    backend_calls: int = 0
+    translate_calls: int = 0
+    translate_hits: int = 0
+    translate_store_hits: int = 0
+    region_calls: int = 0
+    region_hits: int = 0
+    region_store_hits: int = 0
+
+    @property
+    def count_misses(self) -> int:
+        return self.count_calls - self.count_hits
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def copy(self) -> "EngineStats":
+        return EngineStats(**self.as_dict())
+
+    def delta_since(self, before: "EngineStats") -> "EngineStats":
+        """Field-wise ``self - before`` (the movement a call caused)."""
+        return EngineStats(
+            **{
+                name: value - getattr(before, name)
+                for name, value in self.as_dict().items()
+            }
+        )
+
+
+# -- registry -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _BackendEntry:
+    factory: Callable[..., object]
+    aliases: tuple[str, ...] = ()
+
+
+#: canonical name -> entry; aliases resolve through :func:`_resolve`.
+_REGISTRY: dict[str, _BackendEntry] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., object],
+    *,
+    aliases: Iterable[str] = (),
+) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``factory(**opts)`` must return an object satisfying
+    :class:`CounterBackend`.  Aliases resolve to the canonical name but do
+    not show up in :func:`available_backends`.
+    """
+    _REGISTRY[name] = _BackendEntry(factory=factory, aliases=tuple(aliases))
+    _CAPABILITY_CACHE.pop(name, None)
+
+
+def _resolve(name: str) -> str:
+    if name in _REGISTRY:
+        return name
+    for canonical, entry in _REGISTRY.items():
+        if name in entry.aliases:
+            return canonical
+    known = ", ".join(sorted(_REGISTRY))
+    raise ValueError(f"unknown counter {name!r} (use one of: {known})")
+
+
+def make_backend(name: str, **opts):
+    """Construct a registered backend by (canonical or alias) name."""
+    return _REGISTRY[_resolve(name)].factory(**opts)
+
+
+def available_backends() -> list[str]:
+    """Canonical registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def backend_aliases(name: str) -> tuple[str, ...]:
+    """The aliases a canonical name is also reachable under."""
+    return _REGISTRY[_resolve(name)].aliases
+
+
+#: canonical name -> resolved Capabilities (declarations are class-level
+#: constants, so one default construction per backend suffices forever).
+_CAPABILITY_CACHE: dict[str, Capabilities] = {}
+
+
+def backend_capabilities(name: str) -> Capabilities:
+    """Capabilities of a registered backend without keeping an instance.
+
+    Factory callables may carry a ``capabilities`` attribute (classes
+    registered directly do); lazy function factories fall back to one
+    throwaway default construction, cached per canonical name.
+    """
+    canonical = _resolve(name)
+    cached = _CAPABILITY_CACHE.get(canonical)
+    if cached is not None:
+        return cached
+    entry = _REGISTRY[canonical]
+    declared = getattr(entry.factory, "capabilities", None)
+    caps = (
+        declared
+        if isinstance(declared, Capabilities)
+        else capabilities_of(entry.factory())
+    )
+    _CAPABILITY_CACHE[canonical] = caps
+    return caps
+
+
+# The built-in backends.  Factories import lazily so this module stays
+# importable from the backend modules themselves (they only need
+# :class:`Capabilities`).
+def _exact_factory(**opts):
+    from repro.counting.exact import ExactCounter
+
+    return ExactCounter(**opts)
+
+
+def _legacy_factory(**opts):
+    from repro.counting.legacy import LegacyExactCounter
+
+    return LegacyExactCounter(**opts)
+
+
+def _brute_factory(**opts):
+    from repro.counting.vector import FormulaBruteCounter
+
+    return FormulaBruteCounter(**opts)
+
+
+def _bdd_factory(**opts):
+    from repro.counting.bdd import BDDCounter
+
+    return BDDCounter(**opts)
+
+
+def _approxmc_factory(**opts):
+    from repro.counting.approxmc import ApproxMCCounter
+
+    return ApproxMCCounter(**opts)
+
+
+register_backend("exact", _exact_factory)
+register_backend("legacy", _legacy_factory, aliases=("exact-legacy",))
+# "brute" is the numpy whole-space sweep over formulas and aux-free CNFs
+# (repro.counting.vector); "vector" is its descriptive alias.
+register_backend("brute", _brute_factory, aliases=("vector",))
+register_backend("bdd", _bdd_factory)
+register_backend("approxmc", _approxmc_factory, aliases=("approx",))
+
+
+# -- timing helper --------------------------------------------------------------------
+
+
+def timed(fn: Callable[[], int]) -> tuple[int, float]:
+    """Run ``fn`` and return ``(value, elapsed_seconds)``."""
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started

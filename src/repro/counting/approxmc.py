@@ -29,6 +29,7 @@ import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+from repro.counting.api import Capabilities
 from repro.logic.cnf import CNF
 from repro.sat.enumerate import count_models
 
@@ -109,6 +110,13 @@ class ApproxMCCounter:
     #: not fanned out by the engine (worker RNG clones would diverge from
     #: the serial estimate stream).
     exact = False
+    capabilities = Capabilities(
+        exact=False,
+        counts_formulas=False,
+        supports_projection=True,
+        parallel_safe=False,
+        owns_component_cache=False,
+    )
 
     def __init__(
         self,

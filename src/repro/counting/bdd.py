@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.counting.api import Capabilities
 from repro.counting.exact import CounterBudgetExceeded
 from repro.logic.cnf import CNF
 
@@ -125,6 +126,15 @@ class BDDCounter:
 
     name = "bdd"
     exact = True
+    #: Exact by compilation, but restricted to auxiliary-free CNFs (no
+    #: existential projection over a BDD here).
+    capabilities = Capabilities(
+        exact=True,
+        counts_formulas=False,
+        supports_projection=False,
+        parallel_safe=True,
+        owns_component_cache=False,
+    )
 
     def __init__(self, max_nodes: int = 2_000_000) -> None:
         self.max_nodes = max_nodes

@@ -7,24 +7,34 @@ CNF for all sixteen properties of a table, the same tree regions when a
 model is evaluated twice.  The engine makes that reuse automatic — and
 scales the cold remainder across processes and sessions:
 
-* ``count`` / ``count_many`` memoize model counts keyed on the CNF's
-  canonical packed signature (:meth:`repro.logic.cnf.CNF.signature`), so a
-  cache hit is bit-identical to the cold call by construction;
+* ``solve`` / ``solve_many`` are the typed front door: they accept a
+  :class:`~repro.counting.api.CountRequest` (or a raw CNF) and return
+  :class:`~repro.counting.api.CountResult` objects carrying the count plus
+  provenance — exactness, backend name, wall time, whether the answer came
+  from the in-memory memo, the disk store or actual backend work, and the
+  :class:`~repro.counting.api.EngineStats` delta the call caused.  The
+  historical ``count`` / ``count_many`` / ``count_formula`` survive as
+  thin bare-``int`` shims over the typed path, so every cached or fanned
+  out count flows through one code path;
+* results are memoized keyed on the CNF's canonical packed signature
+  (:meth:`repro.logic.cnf.CNF.signature`), so a cache hit is bit-identical
+  to the cold call by construction;
 * with ``EngineConfig(cache_dir=...)`` the count memo is backed by a
-  disk-persistent :class:`repro.counting.store.CountStore`, so a table
-  re-run in a fresh process performs zero backend counts;
-* with ``EngineConfig(workers=N)`` a ``count_many`` batch is partitioned
+  disk-persistent :class:`repro.counting.store.CountStore` and the
+  *compilation* memos (translations, tree regions) by a
+  :class:`repro.counting.store.BlobStore`, so a table re-run in a fresh
+  process performs zero backend counts and zero recompilations;
+* with ``EngineConfig(workers=N)`` a ``solve_many`` batch is partitioned
   into memo hits, disk-store hits and cold problems, and the cold problems
   fan out over an engine-owned *persistent*
   :class:`repro.counting.parallel.WorkerPool` — forked lazily on the first
   cold batch, reused across batches and table rows, released by
   ``engine.close()`` (the engine is a context manager);
 * the engine owns a bounded LRU
-  :class:`repro.counting.component_cache.ComponentCache` installed on the
-  exact backend, so the *sub-problems* of different counting calls share
-  work too — conjunctions of the same φ with different tree regions hit
-  components earlier problems already solved, serially or via the worker
-  delta protocol (``EngineConfig(component_cache_mb=…)``, 0 to opt out);
+  :class:`repro.counting.component_cache.ComponentCache` installed on
+  backends that declare ``owns_component_cache``, so the *sub-problems* of
+  different counting calls share work too (``EngineConfig(component_cache_mb=…)``,
+  0 to opt out);
 * ``translate`` memoizes grounded-property compilations (property × scope ×
   symmetry × polarity), keyed on the property's *structural* identity —
   two distinct properties sharing a name never collide;
@@ -32,26 +42,42 @@ scales the cold remainder across processes and sessions:
   objects built on those translations;
 * ``region`` memoizes decision-tree label-region CNFs keyed on the paths.
 
-Attribute access falls through to the wrapped backend, so the engine is a
-drop-in ``counter`` anywhere one is accepted (``name``, ``max_nodes``, …
-keep working; ``count_formula`` is served memoized when the backend counts
-formulas and rejected with a pointer to ``count`` when it does not).  One
-engine is meant to be shared across every ``AccMC``, ``DiffMC`` and
-pipeline in a process; ``clear()`` resets the in-memory memos (the disk
-store, if any, survives — that is its point).
+Routing decisions — disk persistence, worker fan-out, component-cache
+installation, the ``count_formula`` fast path — are negotiated purely
+through the backend's declared :class:`~repro.counting.api.Capabilities`
+(``engine.capabilities``); the engine never sniffs attributes.  Backends
+are constructible by registered name via
+:func:`repro.counting.api.make_backend`, and attribute access falls
+through to the wrapped backend, so the engine is a drop-in ``counter``
+anywhere one is accepted.  One engine is meant to be shared across every
+``AccMC``, ``DiffMC`` and pipeline in a process — or owned by one
+:class:`repro.core.session.MCMLSession`, the facade over the whole
+pipeline; ``clear()`` resets the in-memory memos (the disk stores, if any,
+survive — that is their point).
 """
 
 from __future__ import annotations
 
 import pickle
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.counting.api import (
+    Capabilities,
+    CountRequest,
+    CountResult,
+    EngineStats,
+    capabilities_of,
+)
 from repro.counting.component_cache import ComponentCache
-from repro.counting.exact import ExactCounter
 from repro.counting.parallel import WorkerPool, default_workers
-from repro.counting.store import CountStore, signature_key
+from repro.counting.store import BlobStore, CountStore, signature_key, text_key
 from repro.logic.cnf import CNF
+
+#: Attribute-absence sentinel for budget overrides (no ``hasattr`` here).
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -61,71 +87,37 @@ class EngineConfig:
     Parameters
     ----------
     workers:
-        Processes a cold ``count_many`` batch fans out over.  ``1`` (the
+        Processes a cold ``solve_many`` batch fans out over.  ``1`` (the
         default) keeps everything in-process; ``0`` or negative means one
         per core; results are bit-identical either way.  The pool is owned
         by the engine: forked lazily on the first cold parallel batch,
-        reused across ``count_many`` calls, released by ``engine.close()``
+        reused across ``solve_many`` calls, released by ``engine.close()``
         (and lazily re-forked should the engine count again afterwards).
     cache_dir:
-        Directory for the disk-persistent count store.  ``None`` disables
-        persistence; any path makes counts survive (and warm) across
-        processes and sessions.
+        Directory for the disk-persistent caches.  ``None`` disables
+        persistence; any path makes counts *and compilations* survive (and
+        warm) across processes and sessions.  Counts persist only for
+        backends whose capabilities declare ``exact`` (estimates are not
+        portable); compilations are backend-independent and persist for
+        every backend.
     component_cache_mb:
         Approximate byte budget (in MiB) of the engine-owned
         :class:`~repro.counting.component_cache.ComponentCache` shared
-        across every ``count``/``count_many`` call — conjunctions of the
-        same φ with different tree regions hit components the previous
-        problems already solved.  ``0`` opts out (the backend falls back to
+        across every counting call — conjunctions of the same φ with
+        different tree regions hit components the previous problems
+        already solved.  ``0`` opts out (the backend falls back to
         per-call component caching).  Warm hits are bit-identical to cold
-        recounts by construction; only backends exposing a
-        ``component_cache`` attribute (the exact counter) participate.
+        recounts by construction; only backends declaring
+        ``owns_component_cache`` (the exact counter) participate.
 
-    The knobs take effect only for backends declaring ``exact = True``
-    (the exact counter, BDD, brute, legacy): approximate estimates are
-    neither portable to other backends through a shared store nor
-    reproducible when a seeded counter is cloned into workers, so engines
-    over such backends quietly stay serial and unpersisted.
+    Fan-out additionally requires the backend to declare ``parallel_safe``
+    (worker clones reproduce the serial count stream): engines over seeded
+    approximate backends quietly stay serial and unpersisted.
     """
 
     workers: int = 1
     cache_dir: str | Path | None = None
     component_cache_mb: float = 512.0
-
-
-@dataclass
-class EngineStats:
-    """Cache telemetry: calls vs hits per memo table.
-
-    ``count_calls`` splits exactly into ``count_hits`` (in-memory memo),
-    ``store_hits`` (disk store) and ``backend_calls`` (actual counting
-    work, serial or parallel) — a warm re-run shows ``backend_calls == 0``.
-    """
-
-    count_calls: int = 0
-    count_hits: int = 0
-    store_hits: int = 0
-    backend_calls: int = 0
-    translate_calls: int = 0
-    translate_hits: int = 0
-    region_calls: int = 0
-    region_hits: int = 0
-
-    @property
-    def count_misses(self) -> int:
-        return self.count_calls - self.count_hits
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "count_calls": self.count_calls,
-            "count_hits": self.count_hits,
-            "store_hits": self.store_hits,
-            "backend_calls": self.backend_calls,
-            "translate_calls": self.translate_calls,
-            "translate_hits": self.translate_hits,
-            "region_calls": self.region_calls,
-            "region_hits": self.region_hits,
-        }
 
 
 def _prop_key(prop) -> object:
@@ -155,9 +147,11 @@ class CountingEngine:
     Parameters
     ----------
     counter:
-        Any object with ``count(cnf) -> int`` and a ``name`` attribute
-        (default: :class:`repro.counting.exact.ExactCounter`).  Passing an
-        engine returns its backend wrapped afresh — engines do not nest.
+        Any object satisfying :class:`repro.counting.api.CounterBackend`
+        (default: :class:`repro.counting.exact.ExactCounter`); build one
+        by registered name with
+        :func:`repro.counting.api.make_backend`.  Passing an engine
+        returns its backend wrapped afresh — engines do not nest.
     config:
         :class:`EngineConfig` with the parallelism / persistence knobs.
     """
@@ -165,32 +159,42 @@ class CountingEngine:
     def __init__(self, counter=None, config: EngineConfig | None = None) -> None:
         if isinstance(counter, CountingEngine):
             counter = counter.counter
+        from repro.counting.exact import ExactCounter
+
         self.counter = counter if counter is not None else ExactCounter()
         self.config = config if config is not None else EngineConfig()
-        # Persistence and fan-out are reserved for backends that declare
-        # ``exact = True``: exact counts are interchangeable across
-        # backends and sessions, whereas an (ε, δ) estimate persisted to a
-        # shared cache_dir would silently poison later exact runs, and a
-        # seeded approximate backend cloned into workers would diverge
-        # from its serial estimate stream.
-        self._exact_backend = bool(getattr(self.counter, "exact", False))
+        #: The backend's declared contract — the only thing routing reads.
+        self.capabilities: Capabilities = capabilities_of(self.counter)
+        self.backend_name: str = getattr(
+            self.counter, "name", type(self.counter).__name__
+        )
+        caps = self.capabilities
         # workers <= 0 means "one per core".
         self._workers = (
             self.config.workers if self.config.workers > 0 else default_workers()
         )
+        # Count persistence is reserved for exact backends: exact counts
+        # are interchangeable across backends and sessions, whereas an
+        # (ε, δ) estimate persisted to a shared cache_dir would silently
+        # poison later exact runs.  Compilation memos carry no counts, so
+        # they persist for every backend.
         self.store: CountStore | None = (
             CountStore(self.config.cache_dir)
-            if self.config.cache_dir is not None and self._exact_backend
+            if self.config.cache_dir is not None and caps.exact
             else None
         )
-        # The engine owns the component cache and installs it on the
-        # backend, so serial counts, every problem of a batch, and (via the
-        # worker delta protocol) parallel counts all warm one shared cache.
-        # ``component_cache_mb=0`` opts out: the backend reverts to
-        # per-call caching.  Backends without the attribute (BDD, brute,
-        # legacy, approx) are left untouched.
+        self.memo_store: BlobStore | None = (
+            BlobStore(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        # The engine owns the component cache and installs it on backends
+        # declaring ``owns_component_cache``, so serial counts, every
+        # problem of a batch, and (via the worker delta protocol) parallel
+        # counts all warm one shared cache.  ``component_cache_mb=0`` opts
+        # out: the backend reverts to per-call caching.
         self.component_cache: ComponentCache | None = None
-        if self._exact_backend and hasattr(self.counter, "component_cache"):
+        if caps.exact and caps.owns_component_cache:
             mb = self.config.component_cache_mb
             if mb and mb > 0:
                 self.component_cache = ComponentCache(max_bytes=int(mb * (1 << 20)))
@@ -206,69 +210,71 @@ class CountingEngine:
 
     def __getattr__(self, name: str):
         # Fall through to the backend for everything the engine does not
-        # define (``name``, ``max_nodes``, …), so the engine is a drop-in
-        # counter.  ``count_formula`` is special-cased: when the backend
-        # counts formulas the engine serves a memoizing wrapper (so the
-        # call stops silently bypassing memo and stats); when it does not,
-        # the AttributeError points at ``count``.
-        if name == "counter":  # guard against recursion before __init__ ran
+        # define (``max_nodes``, ``epsilon``, …), so the engine is a
+        # drop-in counter.  ``count_formula`` is special-cased: when the
+        # backend's capabilities declare formula counting the engine
+        # serves a memoizing wrapper (so the call stops silently bypassing
+        # memo and stats); when they do not, the AttributeError points at
+        # ``count``.
+        if name in ("counter", "capabilities"):
+            # guard against recursion before __init__ ran
             raise AttributeError(name)
         if name == "count_formula":
-            if hasattr(self.counter, "count_formula"):
-                return self._memoized_count_formula
+            if self.capabilities.counts_formulas:
+                return self._count_formula_shim
             raise AttributeError(
-                f"backend {getattr(self.counter, 'name', self.counter)!r} does "
-                "not count formulas; Tseitin-translate and use engine.count(cnf)"
+                f"backend {self.backend_name!r} does not count formulas "
+                "(capabilities.counts_formulas is False); Tseitin-translate "
+                "and use engine.count(cnf)"
             )
         return getattr(self.counter, name)
 
-    # -- counting ------------------------------------------------------------------
+    # -- typed counting API ----------------------------------------------------------
 
-    def count(self, cnf: CNF) -> int:
-        """Memoized (and disk-cached) projected model count of ``cnf``."""
-        self.stats.count_calls += 1
-        key = cnf.signature()
-        cached = self._counts.get(key)
-        if cached is not None:
-            self.stats.count_hits += 1
-            return cached
-        store_key = signature_key(key) if self.store is not None else None
-        if store_key is not None:
-            stored = self.store.get(store_key)
-            if stored is not None:
-                self.stats.store_hits += 1
-                self._counts[key] = stored
-                return stored
-        self.stats.backend_calls += 1
-        value = self.counter.count(cnf)
-        self._counts[key] = value
-        if store_key is not None:
-            self.store.put(store_key, value)
-        return value
+    def solve(self, problem: CountRequest | CNF) -> CountResult:
+        """Solve one counting problem, returning the typed result."""
+        return self.solve_many([problem])[0]
 
-    def count_many(self, cnfs) -> list[int]:
-        """Count a batch of CNFs, reusing every cache layer.
+    def solve_many(self, problems) -> list[CountResult]:
+        """Solve a batch of problems, reusing every cache layer.
 
-        The batch is partitioned into in-memory memo hits, disk-store hits
-        and cold problems (duplicates inside the batch collapse onto the
-        first occurrence and report as memo hits).  Cold problems run on
-        the backend — across ``config.workers`` processes when the batch
-        and the configuration allow — and their results merge back into
-        the memo and the disk store, so the parallel path is bit-identical
-        to the serial one by construction.
+        Accepts :class:`~repro.counting.api.CountRequest` objects or raw
+        CNFs (frozen into requests with default precision/budget).  The
+        batch is partitioned into in-memory memo hits, disk-store hits and
+        cold problems (duplicates inside the batch collapse onto the first
+        occurrence and report as memo hits).  Cold problems run on the
+        backend — across ``config.workers`` processes when the batch and
+        the backend's capabilities allow — and their results merge back
+        into the memo and the disk store, so the parallel path is
+        bit-identical to the serial one by construction.  Each result
+        records its provenance; ``stats_delta`` is the whole batch's
+        telemetry movement (shared by the batch's results).
         """
-        cnfs = list(cnfs)
-        results: list[int | None] = [None] * len(cnfs)
+        before = self.stats.copy()
+        caps = self.capabilities
+        items: list[tuple[CNF, int | None]] = []
+        for problem in problems:
+            if isinstance(problem, CountRequest):
+                if problem.precision == "exact" and not caps.exact:
+                    raise ValueError(
+                        f"request demands exact precision but backend "
+                        f"{self.backend_name!r} is approximate"
+                    )
+                items.append((problem.cnf(), problem.budget))
+            else:
+                items.append((problem, None))
+
+        results: list[CountResult | None] = [None] * len(items)
         positions: dict[tuple, list[int]] = {}
         order: list[tuple] = []
-        cold: dict[tuple, CNF] = {}
-        for i, cnf in enumerate(cnfs):
+        cold: dict[tuple, tuple[CNF, int | None]] = {}
+        for i, (cnf, budget) in enumerate(items):
             self.stats.count_calls += 1
             key = cnf.signature()
             cached = self._counts.get(key)
             if cached is not None:
                 self.stats.count_hits += 1
-                results[i] = cached
+                results[i] = self._hit(cached, "memo")
                 continue
             if key in positions:
                 # Duplicate of a colder batch member: one backend count
@@ -277,7 +283,7 @@ class CountingEngine:
                 positions[key].append(i)
                 continue
             positions[key] = [i]
-            cold[key] = cnf
+            cold[key] = (cnf, budget)
             order.append(key)
 
         missing = order
@@ -293,22 +299,47 @@ class CountingEngine:
                     continue
                 self.stats.store_hits += 1
                 self._counts[key] = value
+                hit = self._hit(value, "store")
                 for i in positions[key]:
-                    results[i] = value
+                    results[i] = hit
 
         if missing:
-            batch = [cold[key] for key in missing]
-            values: list[int] = []
+            # Budgeted requests stay in-process (the override must not
+            # leak into worker clones); the rest may fan out.
+            pooled = [key for key in missing if cold[key][1] is None]
+            serial = [key for key in missing if cold[key][1] is not None]
+            completed: dict[tuple, tuple[int, float]] = {}
             deltas: list = []
             try:
                 pool = None
-                if self._workers > 1 and len(batch) > 1 and self._exact_backend:
+                if (
+                    self._workers > 1
+                    and len(pooled) > 1
+                    and caps.exact
+                    and caps.parallel_safe
+                ):
                     pool = self._ensure_pool()
                 if pool is not None:
-                    pool.run(batch, partial_sink=values, delta_sink=deltas)
+                    values: list[int] = []
+                    elapsed: list[float] = []
+                    try:
+                        pool.run(
+                            [cold[key][0] for key in pooled],
+                            partial_sink=values,
+                            delta_sink=deltas,
+                            elapsed_sink=elapsed,
+                        )
+                    finally:
+                        for key, value, seconds in zip(pooled, values, elapsed):
+                            completed[key] = (value, seconds)
                 else:
-                    for cnf in batch:
-                        values.append(self.counter.count(cnf))
+                    serial = pooled + serial
+                for key in serial:
+                    cnf, budget = cold[key]
+                    started = time.perf_counter()
+                    with self._budget(budget):
+                        value = self.counter.count(cnf)
+                    completed[key] = (value, time.perf_counter() - started)
             finally:
                 # Components the workers solved warm the shared cache, so
                 # the serial paths (and later batches' pickled clones)
@@ -319,77 +350,146 @@ class CountingEngine:
                 # (CounterBudgetExceeded acts as a timeout): counts already
                 # paid for must reach the memo and the disk store, so a
                 # retry resumes instead of re-counting from scratch.
-                self.stats.backend_calls += len(values)
+                self.stats.backend_calls += len(completed)
                 fresh: list[tuple[str, int]] = []
-                for key, value in zip(missing, values):
+                for key, (value, seconds) in completed.items():
                     self._counts[key] = value
+                    result = CountResult(
+                        value=value,
+                        exact=caps.exact,
+                        backend=self.backend_name,
+                        source="backend",
+                        elapsed_seconds=seconds,
+                    )
                     for i in positions[key]:
-                        results[i] = value
+                        results[i] = result
                     if self.store is not None:
                         fresh.append((hashed[key], value))
                 if fresh and self.store is not None:
                     self.store.put_many(fresh)
-        return results
 
-    def _ensure_pool(self) -> WorkerPool | None:
-        """The engine's persistent worker pool, forked lazily.
+        delta = self.stats.delta_since(before)
+        return [
+            CountResult(
+                value=r.value,
+                exact=r.exact,
+                backend=r.backend,
+                source=r.source,
+                elapsed_seconds=r.elapsed_seconds,
+                stats_delta=delta,
+            )
+            for r in results
+        ]
 
-        Created on the first cold parallel batch and reused across
-        ``count_many`` calls; ``close()`` releases it, and counting again
-        after a close simply forks a fresh one.  Returns ``None`` when the
-        backend does not pickle — the caller then counts serially, exactly
-        like :func:`repro.counting.parallel.count_parallel` would.
+    def solve_formula(self, formula, num_vars: int) -> CountResult:
+        """Typed memoized whole-space formula count (fast-path backends).
+
+        Served only when the backend's capabilities declare
+        ``counts_formulas``; keys the count memo on the formula's
+        structural hash (``Formula`` nodes hash structurally).  Formula
+        counts stay in-memory only — the disk store is keyed on CNF
+        signatures.
         """
-        if self._pool is not None and not self._pool.closed:
-            return self._pool
-        try:
-            blob = pickle.dumps(self.counter)
-        except Exception:
-            return None
-        self._pool = WorkerPool(
-            blob,
-            self._workers,
-            record_deltas=self.component_cache is not None,
-        )
-        return self._pool
-
-    def _memoized_count_formula(self, formula, num_vars: int) -> int:
-        """Memoized whole-space formula count (backends with the fast path).
-
-        Served through ``engine.count_formula`` only when the backend
-        counts formulas; keys the count memo on the formula's structural
-        hash (``Formula`` nodes hash structurally).  Formula counts stay
-        in-memory only — the disk store is keyed on CNF signatures.
-        """
+        if not self.capabilities.counts_formulas:
+            raise ValueError(
+                f"backend {self.backend_name!r} does not count formulas "
+                "(capabilities.counts_formulas is False)"
+            )
+        before = self.stats.copy()
         self.stats.count_calls += 1
         key = ("formula", formula, num_vars)
         cached = self._counts.get(key)
         if cached is not None:
             self.stats.count_hits += 1
-            return cached
+            hit = self._hit(cached, "memo")
+            return CountResult(
+                value=hit.value,
+                exact=hit.exact,
+                backend=hit.backend,
+                source=hit.source,
+                stats_delta=self.stats.delta_since(before),
+            )
         self.stats.backend_calls += 1
+        started = time.perf_counter()
         value = self.counter.count_formula(formula, num_vars)
+        seconds = time.perf_counter() - started
         self._counts[key] = value
-        return value
+        return CountResult(
+            value=value,
+            exact=self.capabilities.exact,
+            backend=self.backend_name,
+            source="backend",
+            elapsed_seconds=seconds,
+            stats_delta=self.stats.delta_since(before),
+        )
+
+    def _hit(self, value: int, source: str) -> CountResult:
+        return CountResult(
+            value=value,
+            exact=self.capabilities.exact,
+            backend=self.backend_name,
+            source=source,
+        )
+
+    @contextmanager
+    def _budget(self, budget: int | None):
+        """Temporarily override the backend's node budget, if it has one."""
+        if budget is None:
+            yield
+            return
+        previous = getattr(self.counter, "max_nodes", _MISSING)
+        if previous is _MISSING:
+            yield  # backend has no budget knob: the request's cap is moot
+            return
+        self.counter.max_nodes = budget
+        try:
+            yield
+        finally:
+            self.counter.max_nodes = previous
+
+    # -- bare-int shims (deprecated spelling of the typed API) -----------------------
+
+    def count(self, cnf: CNF) -> int:
+        """Deprecated shim: ``solve(cnf).value`` (kept for old call sites)."""
+        return self.solve(cnf).value
+
+    def count_many(self, cnfs) -> list[int]:
+        """Deprecated shim: ``[r.value for r in solve_many(cnfs)]``."""
+        return [result.value for result in self.solve_many(cnfs)]
+
+    def _count_formula_shim(self, formula, num_vars: int) -> int:
+        """Deprecated shim: ``solve_formula(...).value`` (via attribute)."""
+        return self.solve_formula(formula, num_vars).value
 
     # -- compilation memos -----------------------------------------------------------
 
     def translate(self, prop, scope: int, symmetry=None, negate: bool = False):
-        """Memoized grounded-property compilation (see :func:`repro.spec.translate`)."""
+        """Memoized grounded-property compilation (see :func:`repro.spec.translate`).
+
+        With ``cache_dir`` configured the compilation is also persisted:
+        a fresh process warms its translation memo from disk instead of
+        re-grounding and re-Tseitin-ing the property.
+        """
         from repro.spec.translate import translate
 
-        key = (
-            _prop_key(prop),
-            scope,
-            symmetry.kind if symmetry is not None else None,
-            negate,
-        )
+        kind = symmetry.kind if symmetry is not None else None
+        key = (_prop_key(prop), scope, kind, negate)
         self.stats.translate_calls += 1
         cached = self._translations.get(key)
         if cached is not None:
             self.stats.translate_hits += 1
             return cached
-        problem = translate(prop, scope, symmetry=symmetry, negate=negate)
+        problem = None
+        disk_key = None
+        if self.memo_store is not None:
+            disk_key = text_key("translate", prop, scope, kind, negate)
+            problem = self.memo_store.get(disk_key)
+            if problem is not None:
+                self.stats.translate_store_hits += 1
+        if problem is None:
+            problem = translate(prop, scope, symmetry=symmetry, negate=negate)
+            if disk_key is not None:
+                self.memo_store.put(disk_key, problem)
         self._translations[key] = problem
         return problem
 
@@ -409,7 +509,11 @@ class CountingEngine:
         return cached
 
     def region(self, paths, label: int, num_features: int) -> CNF:
-        """Memoized decision-tree label-region CNF (see ``label_region_cnf``)."""
+        """Memoized decision-tree label-region CNF (see ``label_region_cnf``).
+
+        Region compilations persist to the ``cache_dir`` memo store like
+        translations do.
+        """
         from repro.core.tree2cnf import label_region_cnf
 
         key = (tuple(paths), label, num_features)
@@ -418,9 +522,43 @@ class CountingEngine:
         if cached is not None:
             self.stats.region_hits += 1
             return cached
-        cnf = label_region_cnf(paths, label, num_features)
+        cnf = None
+        disk_key = None
+        if self.memo_store is not None:
+            disk_key = text_key("region", tuple(paths), label, num_features)
+            cnf = self.memo_store.get(disk_key)
+            if cnf is not None:
+                self.stats.region_store_hits += 1
+        if cnf is None:
+            cnf = label_region_cnf(paths, label, num_features)
+            if disk_key is not None:
+                self.memo_store.put(disk_key, cnf)
         self._regions[key] = cnf
         return cnf
+
+    # -- parallel plumbing -----------------------------------------------------------
+
+    def _ensure_pool(self) -> WorkerPool | None:
+        """The engine's persistent worker pool, forked lazily.
+
+        Created on the first cold parallel batch and reused across
+        ``solve_many`` calls; ``close()`` releases it, and counting again
+        after a close simply forks a fresh one.  Returns ``None`` when the
+        backend does not pickle — the caller then counts serially, exactly
+        like :func:`repro.counting.parallel.count_parallel` would.
+        """
+        if self._pool is not None and not self._pool.closed:
+            return self._pool
+        try:
+            blob = pickle.dumps(self.counter)
+        except Exception:
+            return None
+        self._pool = WorkerPool(
+            blob,
+            self._workers,
+            record_deltas=self.component_cache is not None,
+        )
+        return self._pool
 
     # -- maintenance -----------------------------------------------------------------
 
@@ -428,7 +566,7 @@ class CountingEngine:
         """Drop the in-memory memos and reset the statistics.
 
         The shared component cache is a memo too, so it is dropped with the
-        rest.  The disk store (if configured) and the worker pool are
+        rest.  The disk stores (if configured) and the worker pool are
         intentionally left intact — surviving resets is their purpose; use
         ``engine.store.clear()`` / ``engine.close()`` for those.  (Workers
         keep their own warmed cache clones regardless: they are process
@@ -443,15 +581,17 @@ class CountingEngine:
         self.stats = EngineStats()
 
     def close(self) -> None:
-        """Release the worker pool and the disk store handle (idempotent).
+        """Release the worker pool and the disk store handles (idempotent).
 
-        Counting again after a close works: the store stays closed (counts
-        fall through to the backend) but the pool re-forks lazily.
+        Counting again after a close works: the stores stay closed (work
+        falls through to the backend) but the pool re-forks lazily.
         """
         if self._pool is not None:
             self._pool.close()
         if self.store is not None:
             self.store.close()
+        if self.memo_store is not None:
+            self.memo_store.close()
 
     def __enter__(self) -> "CountingEngine":
         return self
@@ -460,7 +600,6 @@ class CountingEngine:
         self.close()
 
     def __repr__(self) -> str:
-        backend = getattr(self.counter, "name", type(self.counter).__name__)
         s = self.stats
         extras = ""
         if self._workers > 1:
@@ -473,7 +612,7 @@ class CountingEngine:
         if self.store is not None:
             extras += f", store={str(self.store.path)!r}"
         return (
-            f"CountingEngine(backend={backend!r}, counts={len(self._counts)}, "
+            f"CountingEngine(backend={self.backend_name!r}, counts={len(self._counts)}, "
             f"hits={s.count_hits}/{s.count_calls}{extras})"
         )
 

@@ -46,6 +46,7 @@ supplied CNFs.
 
 from __future__ import annotations
 
+from repro.counting.api import Capabilities
 from repro.counting.component_cache import ComponentCache
 from repro.logic.cnf import CNF, MaskClause
 
@@ -84,6 +85,17 @@ class ExactCounter:
     name = "exact"
     #: Counts are exact, hence portable across backends and safe to persist.
     exact = True
+    #: Declared contract (see :class:`repro.counting.api.Capabilities`):
+    #: projected DPLL search handles auxiliaries, worker clones reproduce
+    #: the serial stream, and the engine may install a shared component
+    #: cache on the ``component_cache`` attribute.
+    capabilities = Capabilities(
+        exact=True,
+        counts_formulas=False,
+        supports_projection=True,
+        parallel_safe=True,
+        owns_component_cache=True,
+    )
 
     def __init__(
         self,

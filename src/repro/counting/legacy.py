@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import Counter as _Counter
 from collections.abc import Iterable, Sequence
 
+from repro.counting.api import Capabilities
 from repro.logic.cnf import CNF, Clause
 
 
@@ -34,6 +35,16 @@ class LegacyExactCounter:
 
     name = "exact-legacy"
     exact = True
+    #: Exact and clone-deterministic like the packed counter, but its
+    #: per-call scratch cache is private — the engine must not install a
+    #: shared component cache on it.
+    capabilities = Capabilities(
+        exact=True,
+        counts_formulas=False,
+        supports_projection=True,
+        parallel_safe=True,
+        owns_component_cache=False,
+    )
 
     def __init__(self, max_nodes: int = 5_000_000) -> None:
         self.max_nodes = max_nodes

@@ -4,9 +4,10 @@ Every MCML metric is a *batch* of projected counting calls with no shared
 state — AccMC's four confusion problems, DiffMC's four region overlaps,
 Table 1's per-property pairs — so the batch parallelizes embarrassingly.
 Clauses are tuples of plain ints (and the packed hot-path representation is
-rebuilt per ``count`` anyway), so a problem pickles cheaply as a
-``(clauses, num_vars, projection, aux_unique)`` tuple and the only cost of
-crossing a process boundary is the fork itself.
+rebuilt per ``count`` anyway), so a problem crosses the process boundary as
+a frozen :class:`repro.counting.api.CountRequest` — the typed, picklable
+problem description the whole counting layer speaks — and the only cost of
+shipping one is the fork itself.
 
 Two entry points share the same worker protocol:
 
@@ -36,30 +37,24 @@ import multiprocessing
 import os
 import pickle
 from collections.abc import Iterable, Sequence
+from time import perf_counter
 
-from repro.logic.cnf import CNF, Clause
+from repro.counting.api import CountRequest
+from repro.logic.cnf import CNF
 
-#: A counting problem flattened for pickling:
-#: ``(clauses, num_vars, projection, aux_unique)``.
-ProblemPayload = tuple[
-    tuple[Clause, ...], int, tuple[int, ...] | None, bool
-]
-
-
-def cnf_to_payload(cnf: CNF) -> ProblemPayload:
-    """Flatten a CNF into its picklable payload tuple."""
-    projection = (
-        tuple(sorted(cnf.projection)) if cnf.projection is not None else None
-    )
-    return (tuple(cnf.clauses), cnf.num_vars, projection, cnf.aux_unique)
+#: The wire format of one counting problem (kept as an alias: the payload
+#: *is* the typed request object since the API v2 redesign).
+ProblemPayload = CountRequest
 
 
-def payload_to_cnf(payload: ProblemPayload) -> CNF:
+def cnf_to_payload(cnf: CNF) -> CountRequest:
+    """Freeze a CNF into its picklable request payload."""
+    return CountRequest.from_cnf(cnf)
+
+
+def payload_to_cnf(payload: CountRequest) -> CNF:
     """Rebuild the CNF a payload came from (clauses are already normalised)."""
-    clauses, num_vars, projection, aux_unique = payload
-    cnf = CNF(num_vars=num_vars, projection=projection, aux_unique=aux_unique)
-    cnf.clauses = [tuple(clause) for clause in clauses]
-    return cnf
+    return payload.cnf()
 
 
 def default_workers() -> int:
@@ -91,12 +86,33 @@ def _initialize_worker(counter_blob: bytes, record_deltas: bool) -> None:
             _WORKER_RECORDS_DELTAS = True
 
 
-def _count_payload(payload: ProblemPayload) -> tuple[int, list]:
-    """Count one problem; returns ``(count, component-cache delta)``."""
-    value = _WORKER_COUNTER.count(payload_to_cnf(payload))
+#: Attribute-absence sentinel for the budget override below.
+_NO_BUDGET_KNOB = object()
+
+
+def _count_payload(payload: CountRequest) -> tuple[int, list, float]:
+    """Count one problem; returns ``(count, cache delta, elapsed_seconds)``.
+
+    A request's per-problem ``budget`` overrides the worker clone's
+    ``max_nodes`` for just this count (restored afterwards), so
+    ``CounterBudgetExceeded`` fires in the worker exactly as it would in
+    the serial path.
+    """
+    previous = _NO_BUDGET_KNOB
+    if payload.budget is not None:
+        previous = getattr(_WORKER_COUNTER, "max_nodes", _NO_BUDGET_KNOB)
+        if previous is not _NO_BUDGET_KNOB:
+            _WORKER_COUNTER.max_nodes = payload.budget
+    started = perf_counter()
+    try:
+        value = _WORKER_COUNTER.count(payload.cnf())
+    finally:
+        if previous is not _NO_BUDGET_KNOB:
+            _WORKER_COUNTER.max_nodes = previous
+    elapsed = perf_counter() - started
     if _WORKER_RECORDS_DELTAS:
-        return value, _WORKER_COUNTER.component_cache.drain_delta()
-    return value, []
+        return value, _WORKER_COUNTER.component_cache.drain_delta(), elapsed
+    return value, [], elapsed
 
 
 class WorkerPool:
@@ -140,28 +156,38 @@ class WorkerPool:
 
     def run(
         self,
-        cnfs: Sequence[CNF],
+        cnfs: Sequence[CNF | CountRequest],
         *,
         partial_sink: list[int] | None = None,
         delta_sink: list | None = None,
+        elapsed_sink: list[float] | None = None,
     ) -> list[int]:
-        """Count ``cnfs`` across the pool, in batch order.
+        """Count ``cnfs`` (or prepared requests) across the pool, in batch order.
 
         ``partial_sink`` receives each count as it completes, so a failure
         at position k still delivers the first k results (a worker
         exception — e.g. ``CounterBudgetExceeded`` — propagates here but
         leaves the pool alive and reusable).  ``delta_sink`` receives the
-        workers' component-cache deltas when ``record_deltas`` is on.
+        workers' component-cache deltas when ``record_deltas`` is on;
+        ``elapsed_sink`` the per-problem worker wall times (the provenance
+        :class:`repro.counting.api.CountResult` reports).
         """
         if self.closed:
             raise RuntimeError("WorkerPool is closed")
         out = partial_sink if partial_sink is not None else []
-        payloads = [cnf_to_payload(cnf) for cnf in cnfs]
+        payloads = [
+            item if isinstance(item, CountRequest) else cnf_to_payload(item)
+            for item in cnfs
+        ]
         # imap (not map): results arrive in batch order as they finish.
-        for value, delta in self._pool.imap(_count_payload, payloads, chunksize=1):
+        for value, delta, elapsed in self._pool.imap(
+            _count_payload, payloads, chunksize=1
+        ):
             out.append(value)
             if delta and delta_sink is not None:
                 delta_sink.extend(delta)
+            if elapsed_sink is not None:
+                elapsed_sink.append(elapsed)
         self.batches += 1
         return list(out)
 

@@ -17,6 +17,14 @@ database file is rotated aside and recreated, and a corrupted row (text
 that does not parse back to an int) reads as a miss and is overwritten by
 the recount.
 
+:class:`BlobStore` is the sibling cache for *compilation* memos: grounded
+property translations (:class:`repro.spec.translate.RelationalProblem`)
+and decision-tree region CNFs are pure functions of their structural keys
+too, so the engine pickles them into a second database under the same
+cache directory and a fresh process warms its translate/region memos from
+disk the way whole counts already do.  Unlike counts, compilations are
+backend-independent, so the blob store is active for *any* backend.
+
 Write path.  The database runs in WAL mode (readers of other processes are
 not blocked by a writer mid-table, and commits are one sequential append),
 and single ``put`` calls are *buffered*: they land in an in-memory pending
@@ -34,12 +42,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 import sqlite3
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
 #: File name of the sqlite database inside the cache directory.
 STORE_FILENAME = "counts.sqlite"
+
+#: File name of the compilation-memo database inside the cache directory.
+BLOB_STORE_FILENAME = "memos.sqlite"
 
 #: Single ``put`` calls buffered before one transaction writes them out.
 AUTOFLUSH_PUTS = 256
@@ -241,3 +253,120 @@ class CountStore:
 
     def __repr__(self) -> str:
         return f"CountStore(path={str(self.path)!r}, entries={len(self)})"
+
+
+def text_key(*parts: object) -> str:
+    """Stable hex key for a tuple of repr-able components.
+
+    Compilation memos (translations, tree regions) are keyed on the
+    deterministic ``repr`` of frozen-dataclass structures — property ASTs,
+    tree paths — so two structurally equal inputs share a key across
+    processes while same-named-but-different ones never collide.
+    """
+    payload = "\x1f".join(repr(part) for part in parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class BlobStore:
+    """Persistent ``key -> pickled object`` map under ``cache_dir``.
+
+    The compilation sibling of :class:`CountStore`: same degrade-don't-fail
+    contract (corrupted files rotate aside, unreadable or unpicklable rows
+    read as misses and are overwritten by the recompute), same sqlite WAL
+    write path, but values are pickles of arbitrary Python objects —
+    :class:`~repro.spec.translate.RelationalProblem` compilations and
+    region :class:`~repro.logic.cnf.CNF`\\ s, all of which pickle cleanly.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.cache_dir / BLOB_STORE_FILENAME
+        self._connection = self._connect()
+
+    def _open(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self.path)
+        try:
+            try:
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+            except sqlite3.DatabaseError:
+                pass
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS blobs (key TEXT PRIMARY KEY, value BLOB NOT NULL)"
+            )
+            connection.commit()
+            return connection
+        except sqlite3.DatabaseError:
+            connection.close()
+            raise
+
+    def _connect(self) -> sqlite3.Connection:
+        try:
+            return self._open()
+        except sqlite3.DatabaseError:
+            corrupt = self.path.with_suffix(self.path.suffix + ".corrupt")
+            try:
+                os.replace(self.path, corrupt)
+            except OSError:
+                self.path.unlink(missing_ok=True)
+            return self._open()
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "BlobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def get(self, key: str):
+        """The stored object for ``key``, or None (missing or unreadable)."""
+        if self._connection is None:
+            return None
+        try:
+            row = self._connection.execute(
+                "SELECT value FROM blobs WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            return None
+        if row is None:
+            return None
+        try:
+            return pickle.loads(row[0])
+        except Exception:
+            return None  # unpicklable row: a miss, the recompute repairs it
+
+    def put(self, key: str, value: object) -> None:
+        """Store one object; silently dropped if it does not pickle."""
+        if self._connection is None:
+            return
+        try:
+            blob = pickle.dumps(value)
+        except Exception:
+            return  # an unpicklable compilation simply is not persisted
+        try:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO blobs (key, value) VALUES (?, ?)",
+                (key, sqlite3.Binary(blob)),
+            )
+            self._connection.commit()
+        except sqlite3.DatabaseError:
+            pass  # a cache write failure must never break compilation
+
+    def __len__(self) -> int:
+        if self._connection is None:
+            return 0
+        try:
+            (total,) = self._connection.execute(
+                "SELECT COUNT(*) FROM blobs"
+            ).fetchone()
+            return int(total)
+        except sqlite3.DatabaseError:
+            return 0
+
+    def __repr__(self) -> str:
+        return f"BlobStore(path={str(self.path)!r}, entries={len(self)})"

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.counting.api import Capabilities
 from repro.counting.brute import MAX_BRUTE_VARS, brute_force_count, iter_assignment_blocks
 from repro.logic.cnf import CNF
 from repro.logic.formula import (
@@ -92,6 +93,15 @@ class FormulaBruteCounter:
 
     name = "brute"
     exact = True
+    #: Exact full-space sweep; counts pre-Tseitin formulas directly (the
+    #: AccMC fast path) but rejects CNFs with auxiliary variables.
+    capabilities = Capabilities(
+        exact=True,
+        counts_formulas=True,
+        supports_projection=False,
+        parallel_safe=True,
+        owns_component_cache=False,
+    )
 
     def count(self, cnf: CNF) -> int:
         return brute_force_count(cnf)

@@ -11,7 +11,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.pipeline import MCMLPipeline
 from repro.experiments.config import ExperimentConfig, PRINTED_RATIOS
 from repro.experiments.render import render_table
 from repro.ml.metrics import ConfusionCounts
@@ -42,8 +41,14 @@ def classification_table(
     symmetry_breaking: bool = True,
     ratios: tuple[float, ...] = PRINTED_RATIOS,
     models: tuple[str, ...] = ("DT", "RFT", "GBDT", "ABT", "SVM", "MLP"),
+    session=None,
 ) -> list[ClassificationRow]:
-    """Compute Table 2 (``symmetry_breaking=True``) or Table 4 (False)."""
+    """Compute Table 2 (``symmetry_breaking=True``) or Table 4 (False).
+
+    No model counting happens here, but running through the (optional)
+    shared session keeps dataset generation and training wired the same
+    way as every other driver.
+    """
     config = config or ExperimentConfig()
     prop = get_property(property_name)
     # Classification tables involve no model counting, so they can afford a
@@ -52,31 +57,38 @@ def classification_table(
     scope = config.scope if config.scope is not None else max(prop.repro_scope, 5)
     symmetry = SymmetryBreaking("adjacent") if symmetry_breaking else None
 
-    pipeline = MCMLPipeline(seed=config.seed)
-    dataset = pipeline.make_dataset(
-        prop, scope, symmetry=symmetry, max_positives=config.max_positives
-    )
+    owned = session is None
+    if owned:
+        session = config.session()
+    try:
+        pipeline = session.pipeline
+        dataset = pipeline.make_dataset(
+            prop, scope, symmetry=symmetry, max_positives=config.max_positives
+        )
 
-    rows: list[ClassificationRow] = []
-    for train_fraction in ratios:
-        for model_name in models:
-            result = pipeline.run(
-                prop,
-                scope,
-                model_name=model_name,
-                train_fraction=train_fraction,
-                dataset=dataset,
-                whole_space=False,
-                **config.model_params.get(model_name, {}),
-            )
-            rows.append(
-                ClassificationRow(
-                    ratio=_ratio_label(train_fraction),
-                    model=model_name,
-                    counts=result.test_counts,
+        rows: list[ClassificationRow] = []
+        for train_fraction in ratios:
+            for model_name in models:
+                result = pipeline.run(
+                    prop,
+                    scope,
+                    model_name=model_name,
+                    train_fraction=train_fraction,
+                    dataset=dataset,
+                    whole_space=False,
+                    **config.model_params.get(model_name, {}),
                 )
-            )
-    return rows
+                rows.append(
+                    ClassificationRow(
+                        ratio=_ratio_label(train_fraction),
+                        model=model_name,
+                        counts=result.test_counts,
+                    )
+                )
+        return rows
+    finally:
+        if owned:
+            session.close()
 
 
 def render(rows: list[ClassificationRow], symmetry_breaking: bool = True) -> str:

@@ -6,8 +6,15 @@ Examples::
     mcml table1
     mcml table1 --paper-scopes          # analytic verification at paper scopes
     mcml table3 --properties Reflexive PartialOrder --scope 4
-    mcml table9
+    mcml table9 --backend brute
+    mcml --list-backends                # registered counting backends
     mcml all                            # every artifact, reduced scopes
+
+Every counting artifact runs through one :class:`repro.core.session.MCMLSession`
+built from the parsed configuration: backend by registered name
+(``--backend``), worker fan-out, disk caches and the component cache all
+travel on the session, and successive artifacts of an ``mcml all`` run
+share its memos.
 """
 
 from __future__ import annotations
@@ -15,10 +22,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments import classification, figures, generalization
-from repro.experiments import table1 as table1_mod
-from repro.experiments import table8 as table8_mod
-from repro.experiments import table9 as table9_mod
+from repro.counting.api import (
+    available_backends,
+    backend_aliases,
+    backend_capabilities,
+)
+from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.spec.properties import property_names
 
@@ -33,7 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="mcml",
         description="Regenerate the tables and figures of the MCML paper (PLDI 2020).",
     )
-    parser.add_argument("artifact", choices=ARTIFACTS, help="which artifact to regenerate")
+    parser.add_argument(
+        "artifact",
+        choices=ARTIFACTS,
+        nargs="?",
+        help="which artifact to regenerate",
+    )
     parser.add_argument(
         "--properties",
         nargs="+",
@@ -45,10 +59,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--scope", type=int, default=None, help="override the scope for every property"
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="counting backend by registered name "
+        f"({', '.join(available_backends())}; see --list-backends)",
+    )
+    parser.add_argument(
         "--counter",
         choices=("exact", "approx", "brute"),
         default="exact",
-        help="model-counting backend for whole-space metrics (default: exact)",
+        help="deprecated alias of --backend (kept for old scripts)",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list the registered counting backends with their capability "
+        "flags and exit",
     )
     parser.add_argument(
         "--accmc-mode",
@@ -76,7 +103,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
-        help="persist model counts to DIR so re-runs skip counting (default: off)",
+        help="persist model counts and compilations to DIR so re-runs "
+        "skip the work (default: off)",
     )
     parser.add_argument(
         "--component-cache-mb", type=float, default=512.0, metavar="MB",
@@ -89,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
 def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     kwargs = dict(
         scope=args.scope,
-        counter=args.counter,
+        counter=args.backend if args.backend is not None else args.counter,
         accmc_mode=args.accmc_mode,
         seed=args.seed,
         train_fraction=args.train_fraction,
@@ -103,22 +131,31 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(**kwargs)
 
 
-def run_artifact(artifact: str, config: ExperimentConfig, paper_scopes: bool = False) -> str:
-    if artifact == "table1":
-        return table1_mod.render(table1_mod.table1(config, paper_scopes=paper_scopes))
-    if artifact in ("table2", "table4"):
-        symbr = artifact == "table2"
-        rows = classification.classification_table(config, symmetry_breaking=symbr)
-        return classification.render(rows, symmetry_breaking=symbr)
-    if artifact in ("table3", "table5", "table6", "table7"):
-        number = int(artifact[-1])
-        return generalization.render(
-            generalization.generalization_table(number, config), number
-        )
-    if artifact == "table8":
-        return table8_mod.render(table8_mod.table8(config))
-    if artifact == "table9":
-        return table9_mod.render(table9_mod.table9(config))
+def list_backends() -> str:
+    """The registry listing ``mcml --list-backends`` prints."""
+    lines = ["registered counting backends:"]
+    for name in available_backends():
+        caps = backend_capabilities(name)
+        aliases = backend_aliases(name)
+        alias_note = f" (aliases: {', '.join(aliases)})" if aliases else ""
+        lines.append(f"  {name:<10}{alias_note}")
+        lines.append(f"    {caps.summary()}")
+    return "\n".join(lines)
+
+
+def run_artifact(
+    artifact: str,
+    config: ExperimentConfig,
+    paper_scopes: bool = False,
+    session=None,
+) -> str:
+    """Render one artifact, counting through ``session`` when given."""
+    if artifact.startswith("table"):
+        number = int(artifact[len("table"):])
+        if session is not None:
+            return session.table(number, config=config, paper_scopes=paper_scopes)
+        with config.session() as owned:
+            return owned.table(number, config=config, paper_scopes=paper_scopes)
     if artifact == "figure1":
         result = figures.figure1()
         return (
@@ -136,14 +173,24 @@ def run_artifact(artifact: str, config: ExperimentConfig, paper_scopes: bool = F
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_backends:
+        print(list_backends())
+        return 0
+    if args.artifact is None:
+        parser.error("an artifact is required (or --list-backends)")
     config = config_from_args(args)
     artifacts = (
         [a for a in ARTIFACTS if a != "all"] if args.artifact == "all" else [args.artifact]
     )
-    for artifact in artifacts:
-        print(run_artifact(artifact, config, paper_scopes=args.paper_scopes))
-        print()
+    # One session for the whole invocation: an ``mcml all`` run shares
+    # translations, counts and the worker pool across artifacts instead of
+    # rebuilding the plumbing per table.
+    with config.session() as session:
+        for artifact in artifacts:
+            print(run_artifact(artifact, config, paper_scopes=args.paper_scopes, session=session))
+            print()
     return 0
 
 

@@ -4,13 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.counting import (
-    ApproxMCCounter,
-    CountingEngine,
-    EngineConfig,
-    ExactCounter,
-    FormulaBruteCounter,
-)
+from repro.core.session import MCMLSession
+from repro.counting import CountingEngine, EngineConfig, make_backend
 from repro.spec.properties import PROPERTIES, Property, get_property
 
 #: Fast out-of-the-box-ish model settings for the experiment grids.  The
@@ -35,14 +30,16 @@ PRINTED_RATIOS = (0.75, 0.25, 0.01)
 
 
 def make_counter(name: str, seed: int = 0):
-    """Counting backend by name: ``exact`` | ``approx`` | ``brute``."""
-    if name == "exact":
-        return ExactCounter()
-    if name == "approx":
-        return ApproxMCCounter(seed=seed)
-    if name == "brute":
-        return FormulaBruteCounter()
-    raise ValueError(f"unknown counter {name!r} (use exact, approx, or brute)")
+    """Counting backend by registered name (see :func:`repro.counting.make_backend`).
+
+    Kept as the experiments-layer spelling: it threads the experiment seed
+    into backends that take one (the approximate counter) and accepts any
+    registry name or alias (``exact``, ``legacy``, ``brute``/``vector``,
+    ``bdd``, ``approxmc``/``approx``).
+    """
+    if name in ("approx", "approxmc"):
+        return make_backend(name, seed=seed)
+    return make_backend(name)
 
 
 @dataclass
@@ -53,12 +50,13 @@ class ExperimentConfig:
     property uses its reduced default (``Property.repro_scope``).
     ``max_positives`` caps bounded-exhaustive sets so dense properties
     (Reflexive has 4096 positives at scope 4) do not dominate runtime.
-    ``workers`` fans cold ``count_many`` batches out over that many
-    processes, ``cache_dir`` persists every count to disk so table
-    re-runs across sessions skip counting entirely, and
-    ``component_cache_mb`` bounds the engine-shared component cache that
-    lets overlapping counting problems (same φ, different tree regions)
-    reuse each other's sub-counts (see
+    ``counter`` is any registered backend name or alias (``mcml
+    --backend``); ``workers`` fans cold ``count_many`` batches out over
+    that many processes, ``cache_dir`` persists every count *and
+    compilation* to disk so table re-runs across sessions skip counting
+    entirely, and ``component_cache_mb`` bounds the engine-shared
+    component cache that lets overlapping counting problems (same φ,
+    different tree regions) reuse each other's sub-counts (see
     :class:`repro.counting.EngineConfig`; 0 opts out).
     """
 
@@ -96,3 +94,17 @@ class ExperimentConfig:
     def build_engine(self) -> CountingEngine:
         """A fresh engine over ``build_counter()`` with the scaling knobs."""
         return CountingEngine(self.build_counter(), config=self.engine_config())
+
+    def session(self) -> MCMLSession:
+        """An :class:`MCMLSession` owning this configuration's substrate.
+
+        The one facade every table driver (and the CLI) runs through:
+        backend by name, engine knobs, AccMC mode and seed all travel
+        together, and closing the session releases the pool and flushes
+        the disk stores.
+        """
+        return MCMLSession(
+            engine=self.build_engine(),
+            accmc_mode=self.accmc_mode,
+            seed=self.seed,
+        )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.pipeline import MCMLPipeline, PipelineResult
+from repro.core.pipeline import PipelineResult
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.render import render_table
 from repro.spec.symmetry import SymmetryBreaking
@@ -51,24 +51,22 @@ class GeneralizationRow:
 def generalization_table(
     table_number: int,
     config: ExperimentConfig | None = None,
+    session=None,
 ) -> list[GeneralizationRow]:
-    """Compute one of Tables 3/5/6/7."""
+    """Compute one of Tables 3/5/6/7 through one session."""
     if table_number not in TABLE_SETTINGS:
         raise ValueError(f"table_number must be one of {sorted(TABLE_SETTINGS)}")
     data_sb, eval_sb = TABLE_SETTINGS[table_number]
     config = config or ExperimentConfig()
-    pipeline = MCMLPipeline(
-        counter=config.build_counter(),
-        accmc_mode=config.accmc_mode,
-        seed=config.seed,
-        config=config.engine_config(),
-    )
+    owned = session is None
+    if owned:
+        session = config.session()
 
     rows: list[GeneralizationRow] = []
     try:
         for prop in config.selected_properties():
             scope = config.scope_for(prop)
-            result: PipelineResult = pipeline.run(
+            result: PipelineResult = session.run(
                 prop,
                 scope,
                 model_name="DT",
@@ -97,8 +95,9 @@ def generalization_table(
                 )
             )
     finally:
-        # Release the engine-owned worker pool and flush the disk store.
-        pipeline.engine.close()
+        if owned:
+            # Release the engine-owned worker pool and flush the disk stores.
+            session.close()
     return rows
 
 

@@ -47,24 +47,36 @@ HEADERS = [
 ]
 
 
-def table1(config: ExperimentConfig | None = None, paper_scopes: bool = False) -> list[Table1Row]:
-    """Compute Table 1 rows (live at reduced scopes, analytic at paper scopes)."""
+def table1(
+    config: ExperimentConfig | None = None,
+    paper_scopes: bool = False,
+    session=None,
+) -> list[Table1Row]:
+    """Compute Table 1 rows (live at reduced scopes, analytic at paper scopes).
+
+    One engine for the whole table: translations and counts are memoized,
+    so re-rendering (or computing Table 1 after another experiment sharing
+    the session) does no counting work twice, and the config's
+    workers/cache_dir knobs fan per-property symbr/plain pairs out and
+    make cache-dir re-runs perform zero backend counts.
+
+    The exact columns are definitionally exact projected counts of
+    Tseitin CNFs, so the engine must be exact and projection-capable: a
+    passed-in ``session`` is used when its capabilities qualify (its owner
+    closes it), anything else — including configs selecting ``brute`` or
+    ``approxmc`` for the *metric* tables — falls back to a private exact
+    engine with the config's scaling knobs, exactly the paper's setup.
+    """
     config = config or ExperimentConfig()
-    # One engine for the whole table: translations and counts are memoized,
-    # so re-rendering (or computing Table 1 after another experiment that
-    # shares the engine) does no counting work twice.  The config's
-    # workers/cache_dir knobs apply here: per-property symbr/plain pairs
-    # fan out, and a cache-dir re-run performs zero backend counts.
-    # ``with``: releases the engine's worker pool and flushes its disk
-    # store when the table is done (counting after close still works —
-    # memos survive, the pool would re-fork lazily).
+    if session is not None:
+        caps = session.capabilities
+        if caps.exact and caps.supports_projection:
+            return _table1_rows(session.engine, config, paper_scopes)
     with CountingEngine(config=config.engine_config()) as engine:
         return _table1_rows(engine, config, paper_scopes)
 
 
-def _table1_rows(
-    engine: CountingEngine, config: ExperimentConfig, paper_scopes: bool
-) -> list[Table1Row]:
+def _table1_rows(engine, config: ExperimentConfig, paper_scopes: bool) -> list[Table1Row]:
     symmetry = SymmetryBreaking("adjacent")
     rows: list[Table1Row] = []
     for prop in config.selected_properties():

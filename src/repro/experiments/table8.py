@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.diffmc import DiffMC, DiffMCResult
-from repro.core.pipeline import MCMLPipeline
+from repro.core.diffmc import DiffMCResult
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.render import render_table, sci
 from repro.spec.symmetry import SymmetryBreaking
@@ -31,31 +30,36 @@ class Table8Row:
 def table8(
     config: ExperimentConfig | None = None,
     symmetry_breaking: bool = False,
+    session=None,
 ) -> list[Table8Row]:
-    config = config or ExperimentConfig()
-    pipeline = MCMLPipeline(seed=config.seed)
-    diff = DiffMC(
-        counter=config.build_counter() if config.counter != "brute" else None,
-        config=config.engine_config(),
-    )
+    """Compute Table 8 through one session (built from ``config`` if absent).
 
-    rows: list[Table8Row] = []
+    DiffMC's four region-overlap CNFs are auxiliary-free, so every
+    registered backend can count them — the config backend is used
+    verbatim.
+    """
+    config = config or ExperimentConfig()
+    owned = session is None
+    if owned:
+        session = config.session()
     try:
+        rows: list[Table8Row] = []
         for prop in config.selected_properties():
             scope = config.scope_for(prop)
-            dataset = pipeline.make_dataset(
+            dataset = session.pipeline.make_dataset(
                 prop,
                 scope,
                 symmetry=SymmetryBreaking() if symmetry_breaking else None,
                 max_positives=config.max_positives,
             )
             train, _ = dataset.split(0.75, rng=config.seed)
-            first = pipeline.train("DT", train, **FIRST_TREE_PARAMS)
-            second = pipeline.train("DT", train, **SECOND_TREE_PARAMS)
-            rows.append(Table8Row(prop.name, scope, diff.evaluate(first, second)))
+            first = session.pipeline.train("DT", train, **FIRST_TREE_PARAMS)
+            second = session.pipeline.train("DT", train, **SECOND_TREE_PARAMS)
+            rows.append(Table8Row(prop.name, scope, session.diffmc(first, second)))
     finally:
-        # Release the engine-owned worker pool and flush the disk store.
-        diff.engine.close()
+        if owned:
+            # Release the engine-owned worker pool and flush the disk stores.
+            session.close()
     return rows
 
 

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.accmc import AccMC
-from repro.core.pipeline import MCMLPipeline
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.render import render_table
 from repro.ml.metrics import confusion_counts
@@ -36,33 +34,34 @@ def table9(
     config: ExperimentConfig | None = None,
     property_name: str = "Antisymmetric",
     train_fraction: float = 0.75,
+    session=None,
 ) -> list[Table9Row]:
+    """Compute Table 9 through one session (built from ``config`` if absent).
+
+    Memoized through the session engine: the φ translation (and its
+    counts) are shared by all seven class-ratio rows instead of being
+    recompiled per row.
+    """
     config = config or ExperimentConfig()
     prop = get_property(property_name)
     scope = config.scope_for(prop)
-    pipeline = MCMLPipeline(seed=config.seed)
-    accmc = AccMC(
-        counter=config.build_counter(),
-        mode=config.accmc_mode,
-        config=config.engine_config(),
-    )
-    # Memoized through the engine: the φ translation (and its counts) are
-    # shared by all seven class-ratio rows instead of recompiled per row.
-    ground_truth = accmc.ground_truth(prop, scope)
+    owned = session is None
+    if owned:
+        session = config.session()
 
     rows: list[Table9Row] = []
     try:
         for valid, invalid in CLASS_RATIOS:
-            dataset = pipeline.make_dataset(
+            dataset = session.pipeline.make_dataset(
                 prop,
                 scope,
                 negative_ratio=invalid / valid,
                 max_positives=config.max_positives,
             )
             train, test = dataset.split(train_fraction, rng=config.seed)
-            tree = pipeline.train("DT", train)
+            tree = session.pipeline.train("DT", train)
             traditional = confusion_counts(test.y, tree.predict(test.X.astype(float)))
-            whole_space = accmc.evaluate(tree, ground_truth)
+            whole_space = session.accmc(tree, prop, scope, mode=config.accmc_mode)
             rows.append(
                 Table9Row(
                     ratio=f"{valid}:{invalid}",
@@ -71,8 +70,9 @@ def table9(
                 )
             )
     finally:
-        # Release the engine-owned worker pool and flush the disk store.
-        accmc.engine.close()
+        if owned:
+            # Release the engine-owned worker pool and flush the disk stores.
+            session.close()
     return rows
 
 

@@ -107,6 +107,14 @@ class _Constant(Formula):
     def __hash__(self) -> int:
         return hash(("const", self.value))
 
+    def __reduce__(self):
+        # __slots__ + argument-taking constructors defeat default pickling;
+        # nodes reduce to their constructor calls instead (the constructors
+        # re-apply the structural simplifications idempotently), which is
+        # what lets formulas, RelationalProblems and CountRequests persist
+        # to the engine's compilation memo store.
+        return (_Constant, (self.value,))
+
     def __repr__(self) -> str:
         return "TRUE" if self.value else "FALSE"
 
@@ -147,6 +155,9 @@ class Var(Formula):
 
     def __hash__(self) -> int:
         return hash(("var", self.id))
+
+    def __reduce__(self):
+        return (Var, (self.id,))
 
     def __repr__(self) -> str:
         return f"x{self.id}"
@@ -190,6 +201,9 @@ class Not(Formula):
 
     def __hash__(self) -> int:
         return hash(("not", self.operand))
+
+    def __reduce__(self):
+        return (Not, (self.operand,))
 
     def __repr__(self) -> str:
         return f"~{self.operand!r}"
@@ -261,6 +275,9 @@ class And(Formula):
     def __hash__(self) -> int:
         return hash(("and", self.operands))
 
+    def __reduce__(self):
+        return (And, tuple(self.operands))
+
     def __repr__(self) -> str:
         return "(" + " & ".join(map(repr, self.operands)) + ")"
 
@@ -304,6 +321,9 @@ class Or(Formula):
 
     def __hash__(self) -> int:
         return hash(("or", self.operands))
+
+    def __reduce__(self):
+        return (Or, tuple(self.operands))
 
     def __repr__(self) -> str:
         return "(" + " | ".join(map(repr, self.operands)) + ")"
@@ -353,6 +373,9 @@ class Implies(Formula):
 
     def __hash__(self) -> int:
         return hash(("implies", self.antecedent, self.consequent))
+
+    def __reduce__(self):
+        return (Implies, (self.antecedent, self.consequent))
 
     def __repr__(self) -> str:
         return f"({self.antecedent!r} >> {self.consequent!r})"
@@ -410,6 +433,9 @@ class Iff(Formula):
 
     def __hash__(self) -> int:
         return hash(("iff", self.left, self.right))
+
+    def __reduce__(self):
+        return (Iff, (self.left, self.right))
 
     def __repr__(self) -> str:
         return f"({self.left!r} <-> {self.right!r})"

@@ -1,0 +1,242 @@
+"""Backend conformance suite: every registry entry honours its contract.
+
+One parametrized module runs every registered backend over the 16-property
+× scope 2–4 matrix (each backend counting through the representation its
+declared capabilities advertise), asserting bit-identity of exact backends
+against the closed-form oracles, the (ε, δ) envelope for approximate ones,
+and — flag by flag — that the declared :class:`Capabilities` match actual
+behaviour: formula counting, auxiliary-variable support, clone
+determinism, component-cache ownership, engine store/fan-out gating.
+
+A new backend is a registry entry plus a green run of this module; a
+capability flag that lies fails here before it can mis-route the engine.
+The module also keeps the counting/core packages grep-clean of
+``hasattr``-based capability sniffing (the API v2 redesign's invariant).
+"""
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import MCMLPipeline
+from repro.core.tree2cnf import label_region_cnf
+from repro.counting import (
+    Capabilities,
+    CountingEngine,
+    EngineConfig,
+    ExactCounter,
+    closed_form_count,
+)
+from repro.counting.api import (
+    available_backends,
+    backend_aliases,
+    backend_capabilities,
+    capabilities_of,
+    make_backend,
+)
+from repro.spec import SymmetryBreaking, get_property, translate
+from repro.spec.properties import PROPERTIES
+
+BACKENDS = available_backends()
+
+#: Attribute-absence sentinel (this suite never uses hasattr either).
+_MISSING = object()
+
+
+def _count_via_capabilities(backend, problem, num_primary):
+    """Count a translated problem through the backend's declared surface."""
+    caps = backend.capabilities
+    if caps.counts_formulas:
+        return backend.count_formula(problem.formula, num_primary)
+    if caps.supports_projection:
+        return backend.count(problem.cnf)
+    return None  # auxiliary-free backends are covered by the region tests
+
+
+class TestRegistry:
+    def test_lists_the_expected_backends(self):
+        assert BACKENDS == sorted(["exact", "legacy", "brute", "bdd", "approxmc"])
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_constructs_and_declares(self, name):
+        backend = make_backend(name)
+        assert isinstance(backend.name, str) and backend.name
+        assert isinstance(backend.capabilities, Capabilities)
+        assert callable(backend.count)
+        # The registry's capability view equals the instance's declaration.
+        assert backend_capabilities(name) == backend.capabilities
+        assert capabilities_of(backend) == backend.capabilities
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_aliases_resolve_to_same_class(self, name):
+        backend = make_backend(name)
+        for alias in backend_aliases(name):
+            assert type(make_backend(alias)) is type(backend)
+
+    def test_unknown_backend_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="exact"):
+            make_backend("quantum")
+
+
+class TestMatrixConformance:
+    """16 properties × scopes 2–4, each backend via its declared surface."""
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize("scope", (2, 3, 4))
+    @pytest.mark.parametrize("prop", PROPERTIES, ids=lambda p: p.name)
+    def test_against_closed_forms(self, name, scope, prop):
+        caps = backend_capabilities(name)
+        if not caps.counts_formulas and not caps.supports_projection:
+            pytest.skip("auxiliary-free backend: covered by the region suite")
+        if name == "approxmc" and scope > 3:
+            pytest.skip("approximate envelope is pinned at scopes 2-3 (runtime)")
+        backend = make_backend(name)
+        problem = translate(prop, scope)
+        value = _count_via_capabilities(backend, problem, scope * scope)
+        truth = closed_form_count(prop.oracle, scope)
+        if caps.exact:
+            assert value == truth
+        elif truth == 0:
+            assert value == 0
+        else:
+            # Deterministic under the fixed seed; the published (ε, δ)
+            # bound is |est - C| <= ε·C with ε = 0.8.
+            assert truth / 1.8 <= value <= truth * 1.8
+
+    @pytest.mark.parametrize("name", [n for n in BACKENDS if backend_capabilities(n).exact])
+    def test_symmetry_broken_slice_agrees_across_exact_backends(self, name):
+        """Exact backends are interchangeable on symmetry-constrained φ too."""
+        caps = backend_capabilities(name)
+        backend = make_backend(name)
+        reference = ExactCounter()
+        for prop_name in ("Reflexive", "Antisymmetric", "PartialOrder"):
+            problem = translate(get_property(prop_name), 3, symmetry=SymmetryBreaking())
+            value = _count_via_capabilities(backend, problem, 9)
+            if value is None:
+                pytest.skip("auxiliary-free backend")
+            assert value == reference.count(problem.cnf)
+
+
+@pytest.fixture(scope="module")
+def tree_regions():
+    """Auxiliary-free CNFs every backend's CNF path must serve: DT regions."""
+    pipeline = MCMLPipeline(seed=0)
+    prop = get_property("PartialOrder")
+    dataset = pipeline.make_dataset(prop, 3)
+    train, _ = dataset.split(0.75, rng=0)
+    tree = pipeline.train("DT", train)
+    paths = tree.decision_paths()
+    return [label_region_cnf(paths, label, 9) for label in (0, 1)]
+
+
+class TestCapabilityFlagsMatchBehaviour:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_counts_formulas_flag(self, name):
+        backend = make_backend(name)
+        assert backend.capabilities.counts_formulas == callable(
+            getattr(backend, "count_formula", None)
+        )
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_supports_projection_flag(self, name):
+        """Flag on: auxiliary CNFs count correctly.  Off: they are rejected."""
+        backend = make_backend(name)
+        problem = translate(get_property("PartialOrder"), 3)
+        assert problem.cnf.aux_vars()  # the probe must actually have auxiliaries
+        if backend.capabilities.supports_projection:
+            value = backend.count(problem.cnf)
+            if backend.capabilities.exact:
+                assert value == closed_form_count("partialorder", 3)
+        else:
+            with pytest.raises(ValueError):
+                backend.count(problem.cnf)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_region_cnfs_count_identically(self, name, tree_regions):
+        """Auxiliary-free CNFs are common ground: every exact backend agrees."""
+        backend = make_backend(name)
+        if not backend.capabilities.exact:
+            pytest.skip("approximate backends are pinned by the envelope test")
+        reference = ExactCounter()
+        for region in tree_regions:
+            assert backend.count(region) == reference.count(region)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_parallel_safe_flag_means_clone_determinism(self, name, tree_regions):
+        backend = make_backend(name)
+        if not backend.capabilities.parallel_safe:
+            pytest.skip("backend declares itself unsafe to clone-fan-out")
+        clone = pickle.loads(pickle.dumps(backend))
+        for region in tree_regions:
+            assert clone.count(region) == backend.count(region)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_owns_component_cache_flag(self, name):
+        backend = make_backend(name)
+        has_attr = getattr(backend, "component_cache", _MISSING) is not _MISSING
+        assert backend.capabilities.owns_component_cache == has_attr
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_exact_flag_matches_historical_attr(self, name):
+        backend = make_backend(name)
+        assert backend.capabilities.exact == bool(getattr(backend, "exact", False))
+
+
+class TestEngineNegotiatesThroughCapabilities:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_store_gated_on_exactness_memos_always_on(self, name, tmp_path):
+        with CountingEngine(
+            make_backend(name), config=EngineConfig(cache_dir=tmp_path)
+        ) as engine:
+            caps = engine.capabilities
+            assert (engine.store is not None) == caps.exact
+            # Compilation memos are backend-independent: always persisted.
+            assert engine.memo_store is not None
+            assert (engine.component_cache is not None) == (
+                caps.exact and caps.owns_component_cache
+            )
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_count_formula_routing(self, name):
+        engine = CountingEngine(make_backend(name))
+        if engine.capabilities.counts_formulas:
+            assert callable(engine.count_formula)
+        else:
+            with pytest.raises(AttributeError, match="count_formula|count formulas"):
+                engine.count_formula
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_accmc_rejects_unroutable_backends_at_the_routing_layer(self, name):
+        """Backends serving neither AccMC route fail with a capability error,
+        not a deep backend exception (e.g. ``mcml table9 --backend bdd``)."""
+        from repro.core.accmc import AccMC
+
+        caps = backend_capabilities(name)
+        accmc = AccMC(counter=make_backend(name))
+        prop = get_property("Reflexive")
+        ground_truth = accmc.ground_truth(prop, 3)
+        pipeline = MCMLPipeline(seed=0)
+        dataset = pipeline.make_dataset(prop, 3)
+        train, _ = dataset.split(0.5, rng=0)
+        tree = pipeline.train("DT", train)
+        if caps.counts_formulas or caps.supports_projection:
+            result = accmc.evaluate(tree, ground_truth)
+            if caps.exact:
+                assert 0.0 <= result.accuracy <= 1.0
+        else:
+            with pytest.raises(ValueError, match="capabilities"):
+                accmc.evaluate(tree, ground_truth)
+
+
+class TestGrepClean:
+    def test_no_hasattr_capability_sniffing_in_counting_or_core(self):
+        """Routing reads ``backend.capabilities`` only — enforced textually."""
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for package in ("counting", "core"):
+            for path in sorted((src / package).rglob("*.py")):
+                for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                    if "hasattr(" in line:
+                        offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+        assert not offenders, "\n".join(offenders)

@@ -1,0 +1,300 @@
+"""Counting API v2 + MCMLSession tests.
+
+Covers the typed request/result layer (`CountRequest`/`CountResult`
+round-trips, provenance, precision/budget semantics), the engine's typed
+``solve``/``solve_many``/``solve_formula`` path and its bare-int shims,
+the disk-persistent compilation memos, the `MCMLSession` facade, and the
+CLI surface (``--backend``, ``--list-backends``).
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import AccMC, DiffMC, MCMLSession
+from repro.counting import (
+    ApproxMCCounter,
+    CountingEngine,
+    CountRequest,
+    CountResult,
+    EngineConfig,
+    EngineStats,
+    make_backend,
+)
+from repro.counting.exact import CounterBudgetExceeded, ExactCounter
+from repro.experiments.cli import build_parser, config_from_args, list_backends, main
+from repro.spec import get_property, translate
+
+
+def _cnf(prop="Transitive", scope=3, **kwargs):
+    return translate(get_property(prop), scope, **kwargs).cnf
+
+
+class TestCountRequest:
+    def test_round_trip_preserves_signature(self):
+        cnf = _cnf()
+        request = CountRequest.from_cnf(cnf)
+        assert request.cnf().signature() == cnf.signature()
+        assert request.signature() == cnf.signature()
+
+    def test_frozen_and_picklable(self):
+        request = CountRequest.from_cnf(_cnf())
+        with pytest.raises(Exception):
+            request.num_vars = 1
+        assert pickle.loads(pickle.dumps(request)) == request
+
+    def test_signature_ignores_precision_and_budget(self):
+        cnf = _cnf()
+        plain = CountRequest.from_cnf(cnf)
+        tuned = CountRequest.from_cnf(cnf, precision="exact", budget=10_000)
+        assert plain.signature() == tuned.signature()
+
+    def test_rejects_unknown_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            CountRequest.from_cnf(_cnf(), precision="roughly")
+
+
+class TestTypedSolvePath:
+    def test_cold_memo_store_provenance(self, tmp_path):
+        cnf = _cnf()
+        config = EngineConfig(cache_dir=tmp_path)
+        with CountingEngine(config=config) as engine:
+            cold = engine.solve(cnf)
+            assert isinstance(cold, CountResult)
+            assert cold.value == 171
+            assert cold.source == "backend" and not cold.cached
+            assert cold.exact and cold.backend == "exact"
+            assert cold.elapsed_seconds > 0
+            warm = engine.solve(cnf)
+            assert warm.source == "memo" and warm.cached
+            assert warm.value == cold.value
+            assert int(warm) == 171
+        # A fresh engine on the same cache_dir answers from the disk store.
+        with CountingEngine(config=config) as fresh:
+            stored = fresh.solve(cnf)
+            assert stored.source == "store"
+            assert stored.value == 171
+            assert fresh.stats.backend_calls == 0
+
+    def test_stats_delta_records_the_call(self):
+        engine = CountingEngine()
+        result = engine.solve(_cnf())
+        assert isinstance(result.stats_delta, EngineStats)
+        assert result.stats_delta.count_calls == 1
+        assert result.stats_delta.backend_calls == 1
+        again = engine.solve(_cnf())
+        assert again.stats_delta.backend_calls == 0
+        assert again.stats_delta.count_hits == 1
+
+    def test_solve_many_mixed_provenance(self):
+        engine = CountingEngine()
+        a, b = _cnf("Reflexive"), _cnf("Irreflexive")
+        engine.solve(a)
+        results = engine.solve_many([a, b, b.copy()])
+        assert [r.value for r in results] == engine.count_many([a, b, b])
+        assert results[0].source == "memo"
+        assert results[1].source == "backend"
+        # The in-batch duplicate shares the representative's answer.
+        assert results[2].value == results[1].value
+
+    def test_precision_exact_rejected_on_approximate_backend(self):
+        engine = CountingEngine(ApproxMCCounter(seed=0))
+        request = CountRequest.from_cnf(_cnf(), precision="exact")
+        with pytest.raises(ValueError, match="exact precision"):
+            engine.solve(request)
+        # The exact engine accepts the same request.
+        assert CountingEngine().solve(request).value == 171
+
+    def test_budget_overrides_and_restores_max_nodes(self):
+        counter = ExactCounter(max_nodes=5_000_000)
+        engine = CountingEngine(counter)
+        request = CountRequest.from_cnf(
+            _cnf("PartialOrder", 4, symmetry=None), budget=3
+        )
+        with pytest.raises(CounterBudgetExceeded):
+            engine.solve(request)
+        assert counter.max_nodes == 5_000_000  # restored after the failure
+        # Unbudgeted retry succeeds and memoizes.
+        value = engine.solve(_cnf("PartialOrder", 4, symmetry=None)).value
+        assert value > 0
+
+    def test_worker_pool_honours_request_budgets(self):
+        import pickle as _pickle
+
+        from repro.counting.parallel import WorkerPool
+
+        hard = _cnf("PartialOrder", 4, symmetry=None)
+        pool = WorkerPool(_pickle.dumps(ExactCounter()), workers=2)
+        try:
+            with pytest.raises(CounterBudgetExceeded):
+                pool.run([CountRequest.from_cnf(hard, budget=2)] * 2)
+            # The override is per problem: the pool still counts unbudgeted
+            # requests afterwards with the backend default.
+            easy = _cnf("Reflexive", 2, symmetry=None)
+            values = pool.run([CountRequest.from_cnf(easy), easy])
+            assert values[0] == values[1]
+        finally:
+            pool.close()
+
+    def test_shims_equal_typed_path(self):
+        engine = CountingEngine()
+        cnf = _cnf("Antisymmetric")
+        assert engine.count(cnf) == engine.solve(cnf).value
+        assert engine.count_many([cnf]) == [engine.solve(cnf).value]
+
+    def test_solve_formula_memoizes_and_gates(self):
+        brute = CountingEngine(make_backend("brute"))
+        problem = translate(get_property("Reflexive"), 2)
+        first = brute.solve_formula(problem.formula, 4)
+        assert first.source == "backend" and first.value == 4
+        assert brute.solve_formula(problem.formula, 4).source == "memo"
+        with pytest.raises(ValueError, match="count formulas"):
+            CountingEngine().solve_formula(problem.formula, 4)
+
+
+class TestCompilationMemoPersistence:
+    def test_translations_warm_from_disk(self, tmp_path):
+        prop = get_property("PartialOrder")
+        config = EngineConfig(cache_dir=tmp_path)
+        with CountingEngine(config=config) as producer:
+            compiled = producer.translate(prop, 3, negate=True)
+            assert producer.stats.translate_store_hits == 0
+        with CountingEngine(config=config) as consumer:
+            warmed = consumer.translate(prop, 3, negate=True)
+            assert consumer.stats.translate_store_hits == 1
+            assert warmed.cnf.signature() == compiled.cnf.signature()
+            assert warmed.name == compiled.name
+            # The warmed compilation counts identically.
+            assert consumer.solve(warmed.cnf).value == producer.solve(compiled.cnf).value
+
+    def test_same_name_different_structure_never_collides(self, tmp_path):
+        reflexive = get_property("Reflexive")
+        irreflexive = get_property("Irreflexive")
+        impostor = type(reflexive)(
+            name=reflexive.name,
+            formula=irreflexive.formula,
+            paper_scope=reflexive.paper_scope,
+            repro_scope=reflexive.repro_scope,
+            oracle=irreflexive.oracle,
+        )
+        config = EngineConfig(cache_dir=tmp_path)
+        with CountingEngine(config=config) as producer:
+            producer.translate(reflexive, 2)
+        with CountingEngine(config=config) as consumer:
+            compiled = consumer.translate(impostor, 2)
+            assert consumer.stats.translate_store_hits == 0  # distinct key
+            assert consumer.solve(compiled.cnf).value == 4  # irreflexive count
+
+    def test_regions_warm_from_disk(self, tmp_path):
+        session = MCMLSession(cache_dir=tmp_path)
+        dataset = session.pipeline.make_dataset("PartialOrder", 3)
+        train, _ = dataset.split(0.5, rng=0)
+        tree = session.pipeline.train("DT", train)
+        paths = tree.decision_paths()
+        region = session.engine.region(paths, 1, 9)
+        session.close()
+        with CountingEngine(config=EngineConfig(cache_dir=tmp_path)) as consumer:
+            warmed = consumer.region(paths, 1, 9)
+            assert consumer.stats.region_store_hits == 1
+            assert warmed.signature() == region.signature()
+
+    def test_memo_store_active_for_approximate_backends(self, tmp_path):
+        config = EngineConfig(cache_dir=tmp_path)
+        prop = get_property("Connex")
+        with CountingEngine(ApproxMCCounter(seed=0), config=config) as producer:
+            assert producer.store is None  # estimates are never persisted
+            producer.translate(prop, 2)
+        with CountingEngine(ApproxMCCounter(seed=0), config=config) as consumer:
+            consumer.translate(prop, 2)
+            assert consumer.stats.translate_store_hits == 1
+
+
+class TestMCMLSession:
+    def test_accmc_matches_direct_evaluator(self):
+        with MCMLSession(seed=0) as session:
+            dataset = session.pipeline.make_dataset("PartialOrder", 3)
+            train, _ = dataset.split(0.10, rng=1)
+            tree = session.pipeline.train("DT", train)
+            via_session = session.accmc(tree, "PartialOrder", 3)
+            direct = AccMC(mode="derived").evaluate(
+                tree, AccMC().ground_truth(get_property("PartialOrder"), 3)
+            )
+            assert via_session.counts == direct.counts
+            assert via_session.counter == "exact"
+
+    def test_diffmc_and_bnnmc_share_the_engine(self):
+        with MCMLSession(seed=0) as session:
+            dataset = session.pipeline.make_dataset("Reflexive", 3)
+            train, _ = dataset.split(0.5, rng=0)
+            first = session.pipeline.train("DT", train)
+            second = session.pipeline.train("DT", train, max_depth=2)
+            diff = session.diffmc(first, second)
+            assert diff.tt + diff.tf + diff.ft + diff.ff == 1 << 9
+            direct = DiffMC(engine=session.engine).evaluate(first, second)
+            assert (diff.tt, diff.tf, diff.ft, diff.ff) == (
+                direct.tt, direct.tf, direct.ft, direct.ff,
+            )
+
+    def test_backend_selection_and_passthroughs(self):
+        from repro.logic.cnf import CNF
+
+        with MCMLSession(backend="brute") as session:
+            assert session.backend_name == "brute"
+            assert session.capabilities.counts_formulas
+            # An auxiliary-free CNF (brute rejects Tseitin auxiliaries):
+            # x1 ∧ x2 over 4 projected vars -> 2 free vars -> 4 models.
+            cnf = CNF([(1,), (2,)], num_vars=4, projection=range(1, 5))
+            assert session.count(cnf) == 4
+            assert session.solve(cnf).source == "memo"  # warmed by count()
+
+    def test_table_dispatch(self):
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(properties=("Reflexive",), scope=3, counter="brute")
+        with MCMLSession(backend="brute") as session:
+            text = session.table(9, config=config)
+            assert "Table 9" in text
+            with pytest.raises(ValueError, match="unknown table"):
+                session.table(12)
+
+    def test_close_is_idempotent(self):
+        session = MCMLSession()
+        session.close()
+        session.close()
+
+
+class TestCLISurface:
+    def test_list_backends_flag(self, capsys):
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("exact", "legacy", "brute", "bdd", "approxmc"):
+            assert name in out
+        assert "supports_projection" in out
+
+    def test_backend_flag_flows_into_config(self):
+        args = build_parser().parse_args(["table9", "--backend", "legacy"])
+        assert config_from_args(args).counter == "legacy"
+        # --counter stays as the deprecated alias.
+        args = build_parser().parse_args(["table9", "--counter", "brute"])
+        assert config_from_args(args).counter == "brute"
+
+    def test_listing_renders_every_backend(self):
+        text = list_backends()
+        assert "aliases: vector" in text and "aliases: approx" in text
+
+    def test_backend_runs_end_to_end(self, capsys):
+        # Fast end-to-end runs for non-default backends: the legacy exact
+        # counter drives Table 9, the OBDD backend drives Table 8 (its
+        # region CNFs are auxiliary-free, the one shape bdd serves).
+        assert main(["table9", "--scope", "3", "--backend", "legacy"]) == 0
+        assert "Table 9" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "table8", "--scope", "3", "--backend", "bdd",
+                    "--properties", "Reflexive",
+                ]
+            )
+            == 0
+        )
+        assert "Table 8" in capsys.readouterr().out

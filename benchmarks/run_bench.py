@@ -5,21 +5,25 @@ Runs the ``TestCounterAblation`` benchmarks of ``bench_substrates.py``
 through pytest-benchmark, extracts the per-backend median times, runs the
 counting-service ablations (1-vs-N worker fan-out on the AccMC
 product-mode batch, warm-vs-cold disk cache on a Table 1 slice, shared
-component cache on the same-φ/many-regions AccMC ratio sweep, a
-``CountStore`` round-trip micro-bench), and writes (or updates)
+component cache on the same-φ/many-regions AccMC ratio sweep, cold-run
+vs warm-restart component *spill* on the per-path variant of that sweep,
+a ``CountStore`` round-trip micro-bench), and writes (or updates)
 ``BENCH_counting.json`` next to this script's repository root.  The JSON
 keeps a ``history`` list so successive PRs append their numbers instead of
 overwriting the trajectory::
 
     PYTHONPATH=src python benchmarks/run_bench.py --label "PR 7 (…)"
 
-``--quick`` runs only the ablations on small instances and writes nothing
-— the CI smoke mode that keeps the harness from rotting.  It also fails
-(exit 1) when the exact counter's median on the ablation instance has
-regressed more than 3x against the last recorded ``history`` entry, which
-turns every CI push into a coarse perf-regression gate (3x because CI
-hardware differs from the recording machine; a genuine algorithmic
-regression is typically much larger).
+``--quick`` runs only the ablations on small instances and never updates
+the JSON — the CI smoke mode that keeps the harness from rotting.  It
+also fails (exit 1) when the exact counter's median on the ablation
+instance has regressed more than 3x against the last recorded ``history``
+entry, which turns every CI push into a coarse perf-regression gate (3x
+because CI hardware differs from the recording machine; a genuine
+algorithmic regression is typically much larger).  ``--smoke-output
+PATH`` additionally writes the quick run's measured medians as JSON; CI
+uploads that as a workflow artifact and renders a median-vs-history diff
+into the job summary via ``benchmarks/diff_smoke.py``.
 
 ``--profile`` cProfiles the exact counter on a scope-5-sized instance and
 prints the hottest functions — the loop used to pick per-PR hot-path work
@@ -226,6 +230,114 @@ def component_cache_ablation(scope: int, fractions: tuple[float, ...]) -> dict:
     }
 
 
+def component_spill_ablation(scope: int, fractions: tuple[float, ...]) -> dict:
+    """Cold-run vs warm-restart on the per-path same-φ/many-regions sweep.
+
+    The sweep is the component-cache ablation's workload — one property's
+    φ/¬φ against the regions of a decision tree retrained per fraction —
+    but counted through the **per-path route**
+    (``CountRequest(strategy="per-path")``: one φ-plus-unit-cube problem
+    per tree path).  Three timed runs:
+
+    * ``conjunction_s`` — the conjunction route, cold, for context;
+    * ``cold_s`` — the per-path route, cold, on a fresh ``cache_dir``
+      (close() spills the component cache to ``components.sqlite``);
+    * ``warm_s`` — a *fresh engine on the same cache_dir* re-counting the
+      sweep after ``counts.sqlite``/``memos.sqlite`` are deleted, so every
+      whole count misses and the measured speedup isolates the spill tier:
+      the engine performs real backend counts whose components promote
+      from disk (``EngineStats.component_spill_hits``).
+
+    Bit-identity of per-path vs conjunction and of warm vs cold is
+    enforced hard.
+    """
+    from repro.core.pipeline import MCMLPipeline
+    from repro.core.tree2cnf import label_cubes, label_region_cnf
+    from repro.counting import CountingEngine, CountRequest, EngineConfig
+    from repro.spec import SymmetryBreaking, get_property, translate
+
+    prop = get_property("PartialOrder")
+    symmetry = SymmetryBreaking()
+    phi = translate(prop, scope, symmetry=symmetry).cnf
+    not_phi = translate(prop, scope, symmetry=symmetry, negate=True).cnf
+    pipeline = MCMLPipeline(seed=0)
+    dataset = pipeline.make_dataset(prop, scope, symmetry=symmetry)
+    conjunction: list = []
+    per_path: list = []
+    m = scope * scope
+    for fraction in fractions:
+        train, _ = dataset.split(fraction, rng=0)
+        tree = pipeline.train("DT", train)
+        paths = tree.decision_paths()
+        for base in (phi, not_phi):
+            for label in (1, 0):
+                conjunction.append(base.conjoin(label_region_cnf(paths, label, m)))
+                per_path.append(
+                    CountRequest.from_cnf(
+                        base, strategy="per-path", cubes=label_cubes(paths, label)
+                    )
+                )
+
+    conjunction_engine = CountingEngine(config=EngineConfig())
+    started = perf_counter()
+    conjunction_counts = [r.value for r in conjunction_engine.solve_many(conjunction)]
+    conjunction_s = perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_engine = CountingEngine(config=EngineConfig(cache_dir=cache_dir))
+        started = perf_counter()
+        cold_counts = [r.value for r in cold_engine.solve_many(per_path)]
+        cold_s = perf_counter() - started
+        cold_engine.close()  # spills the component cache
+        spilled = len(cold_engine.component_store)
+        # Drop the whole-count and compilation stores: the warm engine must
+        # recount for real, so the timing isolates the component spill.
+        for name in ("counts.sqlite", "memos.sqlite"):
+            for suffix in ("", "-wal", "-shm"):
+                (Path(cache_dir) / (name + suffix)).unlink(missing_ok=True)
+        warm_engine = CountingEngine(config=EngineConfig(cache_dir=cache_dir))
+        started = perf_counter()
+        warm_counts = [r.value for r in warm_engine.solve_many(per_path)]
+        warm_s = perf_counter() - started
+        spill_hits = warm_engine.stats.component_spill_hits
+        warm_backend = warm_engine.stats.backend_calls
+        warm_engine.close()
+
+    if cold_counts != conjunction_counts:
+        raise SystemExit(
+            f"per-path counts diverge from conjunction: "
+            f"{cold_counts} != {conjunction_counts}"
+        )
+    if warm_counts != cold_counts:
+        raise SystemExit("warm-restart per-path counts diverge from cold run")
+    if warm_backend == 0:
+        raise SystemExit(
+            "warm restart performed no backend counts — the ablation is "
+            "measuring the whole-count store, not the component spill"
+        )
+    if spill_hits == 0:
+        raise SystemExit("warm restart promoted no spilled components")
+    return {
+        "instance": (
+            f"per-path AccMC ratio sweep: PartialOrder scope {scope}, "
+            f"adjacent symmetry breaking, DT retrained at {len(fractions)} "
+            f"training fractions, φ/¬φ × true/false regions "
+            f"({len(per_path)} region counts; warm restart re-counts with "
+            "counts.sqlite removed so only components.sqlite is warm)"
+        ),
+        "problems": len(per_path),
+        "conjunction_s": round(conjunction_s, 4),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup_x": round(cold_s / warm_s, 2),
+        "vs_conjunction_cold_x": round(conjunction_s / warm_s, 2),
+        "spilled_entries": spilled,
+        "spill_hits": spill_hits,
+        "warm_backend_counts": warm_backend,
+        "bit_identical": True,
+    }
+
+
 def store_roundtrip_bench(entries: int = 2000) -> dict:
     """CountStore micro-bench: buffered single puts, then a batch read-back.
 
@@ -318,6 +430,7 @@ def _print_ablations(
     cache_result: dict,
     component_result: dict | None = None,
     store_result: dict | None = None,
+    spill_result: dict | None = None,
 ) -> None:
     print(
         f"  workers fan-out: serial {workers_result['serial_s']:.3f} s, "
@@ -338,6 +451,15 @@ def _print_ablations(
             f"({component_result['speedup_x']}x over "
             f"{component_result['problems']} unique problems, "
             f"{component_result['cache_hits']} component hits), bit-identical"
+        )
+    if spill_result is not None:
+        print(
+            f"  component spill (per-path sweep): conjunction cold "
+            f"{spill_result['conjunction_s']:.3f} s, per-path cold "
+            f"{spill_result['cold_s']:.3f} s, warm restart "
+            f"{spill_result['warm_s']:.3f} s ({spill_result['speedup_x']}x "
+            f"cold->warm, {spill_result['spill_hits']} promotions from "
+            f"{spill_result['spilled_entries']} spilled entries), bit-identical"
         )
     if store_result is not None:
         print(
@@ -403,14 +525,20 @@ def backend_smoke(name: str, scope: int = 3) -> dict:
     return {"backend": name, "instance": instance, "capabilities": caps.as_dict()}
 
 
-def perf_regression_smoke(output: Path, tolerance: float = 3.0) -> None:
-    """Fail when the exact counter regressed > ``tolerance``x vs history.
+def perf_regression_smoke(
+    output: Path, tolerance: float = 3.0
+) -> tuple[float | None, str | None]:
+    """Gate on the exact counter regressing > ``tolerance``x vs history.
 
     Re-times the ablation instance (median of three) and compares against
     the last recorded ``history`` entry of ``BENCH_counting.json``.  The
     wide tolerance absorbs hardware differences between CI and the
     recording machine — a genuine algorithmic regression (e.g. losing the
-    packed representation) is orders of magnitude, not percents.
+    packed representation) is orders of magnitude, not percents.  Returns
+    ``(measured median, failure message or None)`` instead of raising, so
+    the caller can persist the measurement (the ``--smoke-output`` record
+    CI uploads) *before* failing the run — the numbers matter most on
+    exactly the pushes that trip the gate.
     """
     from statistics import median
 
@@ -419,11 +547,11 @@ def perf_regression_smoke(output: Path, tolerance: float = 3.0) -> None:
 
     if not output.exists():
         print("  perf gate: no BENCH_counting.json, skipping")
-        return
+        return None, None
     history = json.loads(output.read_text()).get("history", [])
     if not history:
         print("  perf gate: empty history, skipping")
-        return
+        return None, None
     recorded = history[-1]["exact_median_s"]
     cnf = translate(
         get_property("PartialOrder"), 4, symmetry=SymmetryBreaking()
@@ -440,10 +568,11 @@ def perf_regression_smoke(output: Path, tolerance: float = 3.0) -> None:
         f"{recorded * 1000:.1f} ms ({ratio:.2f}x, tolerance {tolerance}x)"
     )
     if ratio > tolerance:
-        raise SystemExit(
+        return current, (
             f"exact counter regressed {ratio:.2f}x vs the last recorded "
             f"history entry {history[-1].get('label')!r} (tolerance {tolerance}x)"
         )
+    return current, None
 
 
 def profile_hot_path(scope: int = 5) -> None:
@@ -511,6 +640,12 @@ def main() -> None:
         "--profile", action="store_true",
         help="cProfile the exact counter on a scope-5 instance and exit",
     )
+    parser.add_argument(
+        "--smoke-output", type=Path, default=None, metavar="PATH",
+        help="with --quick: additionally write the measured medians as "
+        "JSON (CI uploads this as an artifact and diffs it against the "
+        "last BENCH_counting.json history entry)",
+    )
     args = parser.parse_args()
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -526,12 +661,37 @@ def main() -> None:
         component_result = component_cache_ablation(
             scope=3, fractions=(0.75, 0.5, 0.25)
         )
+        spill_result = component_spill_ablation(scope=3, fractions=(0.75, 0.5, 0.25))
         store_result = store_roundtrip_bench(entries=500)
-        _print_ablations(workers_result, cache_result, component_result, store_result)
+        _print_ablations(
+            workers_result, cache_result, component_result, store_result, spill_result
+        )
         if args.backend:
             backend_smoke(args.backend)
-        perf_regression_smoke(args.output)
-        print("ok (quick mode writes nothing)")
+        exact_median, gate_failure = perf_regression_smoke(args.output)
+        if args.smoke_output is not None:
+            # The machine-readable smoke record CI uploads as an artifact
+            # and diffs against the recorded history (benchmarks/diff_smoke.py).
+            # Written *before* the gate verdict fires so the numbers are
+            # available precisely when the gate trips.
+            smoke = {
+                "mode": "quick",
+                "cpu_count": os.cpu_count(),
+                "exact_median_s": exact_median,
+                "gate_failure": gate_failure,
+                "ablations": {
+                    "workers_fanout": workers_result,
+                    "disk_cache": cache_result,
+                    "component_cache": component_result,
+                    "component_spill": spill_result,
+                    "store_roundtrip": store_result,
+                },
+            }
+            args.smoke_output.write_text(json.dumps(smoke, indent=2) + "\n")
+            print(f"  wrote smoke record to {args.smoke_output}")
+        if gate_failure is not None:
+            raise SystemExit(gate_failure)
+        print("ok (quick mode never updates BENCH_counting.json)")
         return
 
     backends = run_benchmarks()
@@ -546,6 +706,10 @@ def main() -> None:
             0.15, 0.1,
         ),
     )
+    spill_result = component_spill_ablation(
+        scope=4,
+        fractions=(0.75, 0.65, 0.55, 0.45, 0.35, 0.25, 0.15),
+    )
     store_result = store_roundtrip_bench()
 
     document = {"instance": INSTANCE, "unit": "seconds", "history": []}
@@ -558,6 +722,7 @@ def main() -> None:
         "workers_fanout": workers_result,
         "disk_cache": cache_result,
         "component_cache": component_result,
+        "component_spill": spill_result,
         "store_roundtrip": store_result,
     }
     if args.backend:
@@ -582,6 +747,7 @@ def main() -> None:
             "warm_cache_backend_counts": cache_result["warm_backend_counts"],
             "warm_cache_speedup_x": cache_result["speedup_x"],
             "component_cache_speedup_x": component_result["speedup_x"],
+            "component_spill_speedup_x": spill_result["speedup_x"],
             "store_roundtrip_puts_per_s": store_result["puts_per_s"],
         }
     )
@@ -594,7 +760,9 @@ def main() -> None:
     print(f"wrote {args.output}")
     for label, stats in sorted(backends.items()):
         print(f"  {label:>14}: median {stats['median_s'] * 1000:8.2f} ms")
-    _print_ablations(workers_result, cache_result, component_result, store_result)
+    _print_ablations(
+        workers_result, cache_result, component_result, store_result, spill_result
+    )
 
 
 if __name__ == "__main__":

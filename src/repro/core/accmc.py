@@ -19,6 +19,22 @@ Two construction modes:
   rest from the partition identities ``fn = mc(φ) − tp``,
   ``fp = mc(τ) − tp``, ``tn = 2^{n²} − tp − fp − fn``.  Half the solver
   work; bit-identical results (enforced by tests).
+
+Two region-counting *routes*, orthogonal to the mode:
+
+* ``region_strategy="conjunction"`` (default) — each region count is one
+  problem, the region CNF conjoined with φ (Håstad's
+  one-clause-per-opposite-path construction).
+* ``region_strategy="per-path"`` — each region count decomposes into its
+  disjoint path cubes, ``mc(φ∧τ) = Σ_paths mc(φ∧path)``: the engine
+  expands a ``CountRequest(strategy="per-path")`` into one φ-plus-unit-cube
+  sub-problem per path.  Unit cubes propagate in one sweep, and paths
+  shared between trees (retrained models overlap heavily) produce
+  *identical* sub-problems that dedup through the engine's memo and disk
+  stores — with a warm component spill this turns repeated-φ sweeps into
+  cache assembly.  Sub-counts sum exactly, so the route needs an exact
+  backend; others fall back to the conjunction route.  Both routes are
+  bit-identical by the partition argument (and enforced by tests).
 """
 
 from __future__ import annotations
@@ -28,6 +44,7 @@ from dataclasses import dataclass, field
 
 from collections.abc import Callable
 
+from repro.counting.api import CountRequest
 from repro.counting.engine import CountingEngine, EngineConfig, shared_engine
 from repro.logic.cnf import CNF
 from repro.logic.formula import Formula, TRUE
@@ -148,9 +165,12 @@ class AccMC:
         mode: str = "product",
         engine: CountingEngine | None = None,
         config: EngineConfig | None = None,
+        region_strategy: str = "conjunction",
     ) -> None:
         if mode not in ("product", "derived"):
             raise ValueError(f"unknown mode {mode!r}")
+        if region_strategy not in ("conjunction", "per-path"):
+            raise ValueError(f"unknown region strategy {region_strategy!r}")
         # All counting goes through a shared memoizing engine: repeated
         # regions, translations and counts (across evaluate() calls, rows
         # of a table, or tables sharing a pipeline) are computed once.
@@ -159,6 +179,7 @@ class AccMC:
         self.engine = engine if engine is not None else shared_engine(counter, config)
         self.counter = self.engine
         self.mode = mode
+        self.region_strategy = region_strategy
         # The symmetry-reduced space size is tree- and property-independent;
         # cache it across evaluate() calls (one table = 16 properties at the
         # same scope).
@@ -186,9 +207,6 @@ class AccMC:
                 f"{ground_truth.scope} needs {m}"
             )
         paths = tree.decision_paths()
-        true_region = self.engine.region(paths, 1, m)
-        false_region = self.engine.region(paths, 0, m)
-
         caps = self.engine.capabilities
         if not caps.counts_formulas and not caps.supports_projection:
             # Fail at the routing layer, not deep inside the backend: the
@@ -203,9 +221,16 @@ class AccMC:
         if caps.counts_formulas:
             # Vectorised-sweep backend: counts the pre-Tseitin formulas
             # directly, sidestepping CNF structure sensitivity entirely.
-            counts = self._evaluate_by_formula(ground_truth, true_region, false_region, m)
+            counts = self._evaluate_by_formula(
+                ground_truth,
+                self.engine.region(paths, 1, m),
+                self.engine.region(paths, 0, m),
+                m,
+            )
         else:
-            counts = self._evaluate_by_cnf(ground_truth, true_region, false_region, m)
+            # Region CNFs are compiled inside the route: the per-path
+            # branch works from the raw path cubes and never needs them.
+            counts = self._evaluate_by_cnf(ground_truth, m, paths)
         return AccMCResult(
             property_name=ground_truth.prop.name,
             scope=ground_truth.scope,
@@ -217,7 +242,7 @@ class AccMC:
 
     def count_region(self, cnf: CNF) -> int:
         """Expose the backend count (used by experiments for Table 1)."""
-        return self.counter.count(cnf)
+        return self.engine.solve(cnf).value
 
     def _space_count(self, ground_truth: GroundTruth, compute) -> int:
         if ground_truth.symmetry is None:
@@ -229,25 +254,55 @@ class AccMC:
 
     # -- backend-specific constructions --------------------------------------------
 
+    def _use_per_path(self) -> bool:
+        """Negotiate the per-path route against the backend's contract.
+
+        Per-path sums sub-counts, which is only sound for exact backends
+        (summed (ε, δ) estimates compound their error); anything else
+        falls back to the conjunction construction.
+        """
+        return self.region_strategy == "per-path" and self.engine.capabilities.exact
+
     def _evaluate_by_cnf(
-        self, ground_truth: GroundTruth, true_region: CNF, false_region: CNF, m: int
+        self, ground_truth: GroundTruth, m: int, paths
     ) -> ConfusionCounts:
         """The paper's pipeline: conjoin CNFs, hand them to the counting engine.
 
         Counting goes through the typed ``solve_many`` path, so every
         confusion count carries backend/cache provenance on the way in.
+        With the per-path route negotiated, each region problem is a
+        ``strategy="per-path"`` request over the region's path cubes and
+        no region CNF is ever compiled; otherwise the memoized region
+        compilations are conjoined as before — same values (the cubes
+        partition the region), different decomposition.
         """
+        from repro.core.tree2cnf import label_cubes
+
         phi = ground_truth.positive().cnf
+        per_path = self._use_per_path()
+        if per_path:
+            true_arg = label_cubes(paths, 1, m)
+            false_arg = label_cubes(paths, 0, m)
+
+            def region_problem(base: CNF, cubes) -> CountRequest:
+                return CountRequest.from_cnf(base, strategy="per-path", cubes=cubes)
+
+        else:
+            true_arg = self.engine.region(paths, 1, m)
+            false_arg = self.engine.region(paths, 0, m)
+
+            def region_problem(base: CNF, region: CNF) -> CNF:
+                return base.conjoin(region)
         if self.mode == "product":
             not_phi = ground_truth.negative().cnf
             tp, fp, fn, tn = (
                 r.value
                 for r in self.engine.solve_many(
                     [
-                        phi.conjoin(true_region),
-                        not_phi.conjoin(true_region),
-                        phi.conjoin(false_region),
-                        not_phi.conjoin(false_region),
+                        region_problem(phi, true_arg),
+                        region_problem(not_phi, true_arg),
+                        region_problem(phi, false_arg),
+                        region_problem(not_phi, false_arg),
                     ]
                 )
             )
@@ -256,7 +311,7 @@ class AccMC:
             tp, phi_count, tau_count = (
                 r.value
                 for r in self.engine.solve_many(
-                    [phi.conjoin(true_region), phi, space.conjoin(true_region)]
+                    [region_problem(phi, true_arg), phi, region_problem(space, true_arg)]
                 )
             )
             space_count = self._space_count(

@@ -61,6 +61,9 @@ class MCMLPipeline:
     config:
         :class:`EngineConfig` (worker fan-out, disk cache) for the engine
         built when ``engine`` is not supplied.
+    region_strategy:
+        AccMC region-counting route — ``"conjunction"`` (default) or
+        ``"per-path"``; see :class:`repro.core.accmc.AccMC`.
     """
 
     def __init__(
@@ -70,8 +73,15 @@ class MCMLPipeline:
         seed: int = 0,
         engine: CountingEngine | None = None,
         config: EngineConfig | None = None,
+        region_strategy: str = "conjunction",
     ) -> None:
-        self.accmc = AccMC(counter=counter, mode=accmc_mode, engine=engine, config=config)
+        self.accmc = AccMC(
+            counter=counter,
+            mode=accmc_mode,
+            engine=engine,
+            config=config,
+            region_strategy=region_strategy,
+        )
         self.engine = self.accmc.engine
         self.seed = seed
 

@@ -55,11 +55,20 @@ class MCMLSession:
     engine:
         An existing :class:`CountingEngine` to adopt instead of building
         one — the session then shares (and on ``close()`` releases) it.
-    workers / cache_dir / component_cache_mb:
-        The :class:`EngineConfig` scaling knobs.
+    workers / cache_dir / component_cache_mb / component_spill:
+        The :class:`EngineConfig` scaling knobs (``component_spill``
+        persists the component cache under ``cache_dir`` so component
+        work survives session restarts; on by default, ``0`` opts out).
     accmc_mode:
         Default AccMC construction (``"derived"`` or the paper's
         ``"product"``); overridable per :meth:`accmc` call.
+    region_strategy:
+        How AccMC counts tree regions: ``"conjunction"`` (default, the
+        paper's one-problem-per-region construction) or ``"per-path"``
+        (``mc(φ∧τ) = Σ_paths mc(φ∧path)`` — sub-problems dedup across
+        trees and, with ``cache_dir``, across sessions).  Non-exact
+        backends fall back to the conjunction route; both routes are
+        bit-identical.
     seed:
         Master seed for dataset generation, splitting and training.
     """
@@ -73,7 +82,9 @@ class MCMLSession:
         workers: int = 1,
         cache_dir=None,
         component_cache_mb: float = 512.0,
+        component_spill: bool = True,
         accmc_mode: str = "derived",
+        region_strategy: str = "conjunction",
         seed: int = 0,
     ) -> None:
         if engine is None:
@@ -84,10 +95,12 @@ class MCMLSession:
                     workers=workers,
                     cache_dir=cache_dir,
                     component_cache_mb=component_cache_mb,
+                    component_spill=component_spill,
                 ),
             )
         self.engine = engine
         self.accmc_mode = accmc_mode
+        self.region_strategy = region_strategy
         self.seed = seed
         self._accmc: dict[str, AccMC] = {}
         self._diffmc: DiffMC | None = None
@@ -112,6 +125,11 @@ class MCMLSession:
         """The disk-persistent count store, or None when not configured."""
         return self.engine.store
 
+    @property
+    def component_store(self):
+        """The component-cache disk spill, or None when not configured."""
+        return self.engine.component_store
+
     def solve(self, problem: CountRequest | CNF) -> CountResult:
         """Typed count of one problem through the session engine."""
         return self.engine.solve(problem)
@@ -132,7 +150,10 @@ class MCMLSession:
             from repro.core.pipeline import MCMLPipeline
 
             self._pipeline = MCMLPipeline(
-                accmc_mode=self.accmc_mode, seed=self.seed, engine=self.engine
+                accmc_mode=self.accmc_mode,
+                seed=self.seed,
+                engine=self.engine,
+                region_strategy=self.region_strategy,
             )
         return self._pipeline
 
@@ -153,7 +174,9 @@ class MCMLSession:
     def _accmc_for(self, mode: str) -> AccMC:
         accmc = self._accmc.get(mode)
         if accmc is None:
-            accmc = AccMC(mode=mode, engine=self.engine)
+            accmc = AccMC(
+                mode=mode, engine=self.engine, region_strategy=self.region_strategy
+            )
             self._accmc[mode] = accmc
         return accmc
 

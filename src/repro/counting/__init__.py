@@ -36,8 +36,10 @@ back-ends used for validation and ablation:
 * :mod:`repro.counting.parallel` — multiprocess fan-out for batches of
   independent counting problems: the engine-owned persistent
   :class:`WorkerPool` and the one-shot :func:`count_parallel`.
-* :mod:`repro.counting.store` — :class:`CountStore`, the disk-persistent
-  count cache keyed on canonical CNF signatures.
+* :mod:`repro.counting.store` — the disk tiers: :class:`CountStore`
+  (whole counts keyed on canonical CNF signatures), :class:`BlobStore`
+  (compilation memos) and :class:`ComponentStore` (the component-cache
+  spill).
 """
 
 from repro.counting.api import (
@@ -61,7 +63,13 @@ from repro.counting.exact import ExactCounter, exact_count
 from repro.counting.legacy import LegacyExactCounter
 from repro.counting.oracles import closed_form_count
 from repro.counting.parallel import WorkerPool, count_parallel
-from repro.counting.store import BlobStore, CountStore, signature_key, text_key
+from repro.counting.store import (
+    BlobStore,
+    ComponentStore,
+    CountStore,
+    signature_key,
+    text_key,
+)
 from repro.counting.vector import FormulaBruteCounter, count_formula
 
 __all__ = [
@@ -70,6 +78,7 @@ __all__ = [
     "BlobStore",
     "Capabilities",
     "ComponentCache",
+    "ComponentStore",
     "CountRequest",
     "CountResult",
     "CountStore",

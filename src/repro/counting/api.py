@@ -172,6 +172,17 @@ class CountRequest:
         (``max_nodes``); ``None`` keeps the backend's own.  Budgeted
         requests are solved in-process so the override cannot leak into
         worker clones.
+    ``strategy`` / ``cubes``
+        How the problem is decomposed.  ``"conjunction"`` (default) counts
+        the CNF as-is — the paper's construction.  ``"per-path"`` declares
+        that the requested value is ``Σ_cubes mc(clauses ∧ cube)`` over
+        the *disjoint* unit ``cubes`` (tuples of DIMACS literals —
+        decision-tree path conditions, see
+        :func:`repro.core.tree2cnf.label_cubes`): the engine expands the
+        request into one sub-problem per cube and sums.  Summing estimates
+        compounds their error, so per-path requests require an exact
+        backend; consumers negotiate on ``capabilities.exact`` and fall
+        back to the conjunction route.
     """
 
     clauses: tuple[Clause, ...]
@@ -180,12 +191,23 @@ class CountRequest:
     aux_unique: bool = False
     precision: str = "any"
     budget: int | None = None
+    strategy: str = "conjunction"
+    cubes: tuple[tuple[int, ...], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.precision not in ("any", "exact"):
             raise ValueError(
                 f"precision must be 'any' or 'exact', got {self.precision!r}"
             )
+        if self.strategy not in ("conjunction", "per-path"):
+            raise ValueError(
+                f"strategy must be 'conjunction' or 'per-path', "
+                f"got {self.strategy!r}"
+            )
+        if self.strategy == "per-path" and self.cubes is None:
+            raise ValueError("strategy='per-path' requires cubes")
+        if self.strategy == "conjunction" and self.cubes is not None:
+            raise ValueError("cubes are only meaningful with strategy='per-path'")
 
     @classmethod
     def from_cnf(
@@ -194,6 +216,8 @@ class CountRequest:
         *,
         precision: str = "any",
         budget: int | None = None,
+        strategy: str = "conjunction",
+        cubes: tuple[tuple[int, ...], ...] | None = None,
     ) -> "CountRequest":
         """Freeze a :class:`CNF` into a request."""
         projection = (
@@ -206,10 +230,16 @@ class CountRequest:
             aux_unique=cnf.aux_unique,
             precision=precision,
             budget=budget,
+            strategy=strategy,
+            cubes=cubes,
         )
 
     def cnf(self) -> CNF:
-        """Rebuild the CNF this request describes (clauses are normalised)."""
+        """Rebuild the CNF this request describes (clauses are normalised).
+
+        For per-path requests this is the *base* CNF (φ without any cube);
+        :meth:`expand` materialises the sub-problems.
+        """
         cnf = CNF(
             num_vars=self.num_vars,
             projection=self.projection,
@@ -218,13 +248,35 @@ class CountRequest:
         cnf.clauses = [tuple(clause) for clause in self.clauses]
         return cnf
 
+    def expand(self) -> list[CNF]:
+        """The per-path sub-problems: base CNF plus one unit clause per literal.
+
+        Only meaningful for ``strategy="per-path"``.  Each cube's literals
+        land as unit clauses, which the counter's first propagation pass
+        absorbs wholesale — a sub-problem is φ restricted to one path.
+        """
+        if self.cubes is None:
+            raise ValueError("expand() needs a per-path request with cubes")
+        base = self.cnf()
+        out: list[CNF] = []
+        for cube in self.cubes:
+            sub = base.copy()
+            for literal in cube:
+                sub.add_clause((literal,))
+            out.append(sub)
+        return out
+
     def signature(self) -> tuple:
         """The canonical counting identity (see :meth:`CNF.signature`).
 
         Deliberately excludes ``precision`` and ``budget``: they control
         *how* the count is produced, never its value, so requests differing
-        only in them share memo/store entries.
+        only in them share memo/store entries.  A per-path request's
+        identity *does* include its cubes (they define the counted region);
+        the engine never memoizes the summed parent, only the sub-problems.
         """
+        if self.strategy == "per-path":
+            return ("per-path", self.cnf().signature(), tuple(sorted(self.cubes)))
         return self.cnf().signature()
 
 
@@ -269,12 +321,18 @@ class EngineStats:
     work, serial or parallel) — a warm re-run shows ``backend_calls == 0``.
     ``translate_store_hits``/``region_store_hits`` count compilations
     warmed from the disk-persistent memo store rather than recompiled.
+    ``component_spill_hits`` counts *sub-problem* components promoted from
+    the disk spill tier (:class:`~repro.counting.store.ComponentStore`)
+    back into the shared component cache — a warm-restarted engine doing
+    genuinely new counts over a known φ shows ``backend_calls > 0`` but
+    large ``component_spill_hits``.
     """
 
     count_calls: int = 0
     count_hits: int = 0
     store_hits: int = 0
     backend_calls: int = 0
+    component_spill_hits: int = 0
     translate_calls: int = 0
     translate_hits: int = 0
     translate_store_hits: int = 0

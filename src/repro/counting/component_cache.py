@@ -23,11 +23,21 @@ reuse is its natural extension once an engine owns the batch).
   and/or an entry budget, evicting least-recently-used entries first;
 * it records insertion *deltas* on demand, so worker processes can ship the
   components they solved back to the parent engine's shared cache
-  (:mod:`repro.counting.parallel`).
+  (:mod:`repro.counting.parallel`);
+* it can *spill to disk*: with a
+  :class:`~repro.counting.store.ComponentStore` attached
+  (:meth:`attach_spill`), LRU-evicted entries are persisted instead of
+  dropped, in-memory misses consult the store before declaring a component
+  cold (promoting hits back to memory), and :meth:`spill_all` persists the
+  live entries wholesale — which is how an engine's ``close()`` makes a
+  φ's component work survive restarts the way whole counts already do.
+  Because every value is a pure function of its key, a promoted entry is
+  bit-identical to a cold recount.
 
 Thread-safety: none — the cache is meant to be owned by one engine in one
 process; cross-process sharing happens by value (pickled snapshots out,
-deltas back), never by reference.
+deltas back), never by reference.  The spill store never crosses a process
+boundary: pickling a cache (worker clones) detaches it.
 """
 
 from __future__ import annotations
@@ -98,9 +108,12 @@ class ComponentCache:
         "_data",
         "_bytes",
         "_delta",
+        "_spill",
         "hits",
         "misses",
         "evictions",
+        "spill_hits",
+        "spills",
     )
 
     def __init__(
@@ -113,16 +126,32 @@ class ComponentCache:
         self._data: OrderedDict[ComponentKey, int] = OrderedDict()
         self._bytes = 0
         self._delta: list[tuple[ComponentKey, int]] | None = None
+        self._spill = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.spill_hits = 0
+        self.spills = 0
 
     # -- the hot-path pair ------------------------------------------------------------
 
     def get(self, key: ComponentKey) -> int | None:
-        """The cached count for ``key`` (refreshing its recency), or None."""
+        """The cached count for ``key`` (refreshing its recency), or None.
+
+        With a spill store attached, an in-memory miss consults the disk
+        tier before declaring the component cold; a disk hit is promoted
+        back into memory (as the most-recent entry, possibly evicting —
+        and hence re-spilling — colder ones).
+        """
         value = self._data.get(key)
         if value is None:
+            spill = self._spill
+            if spill is not None:
+                value = spill.get(key)
+                if value is not None:
+                    self.spill_hits += 1
+                    self.put(key, value)
+                    return value
             self.misses += 1
             return None
         self._data.move_to_end(key)
@@ -130,7 +159,12 @@ class ComponentCache:
         return value
 
     def put(self, key: ComponentKey, value: int) -> None:
-        """Insert ``key -> value``, evicting LRU entries past the caps."""
+        """Insert ``key -> value``, evicting LRU entries past the caps.
+
+        With a spill store attached, evicted entries are persisted to disk
+        instead of dropped (the store dedups re-spills of keys it already
+        holds).
+        """
         data = self._data
         if key in data:
             data.move_to_end(key)
@@ -140,12 +174,47 @@ class ComponentCache:
         if self._delta is not None and len(self._delta) < MAX_DELTA_ENTRIES:
             self._delta.append((key, value))
         max_bytes, max_entries = self.max_bytes, self.max_entries
+        spill = self._spill
         while (max_bytes is not None and self._bytes > max_bytes and data) or (
             max_entries is not None and len(data) > max_entries
         ):
             old_key, old_value = data.popitem(last=False)
             self._bytes -= entry_cost(old_key, old_value)
             self.evictions += 1
+            if spill is not None:
+                spill.put(old_key, old_value)
+                self.spills += 1
+
+    # -- the disk tier ----------------------------------------------------------------
+
+    def attach_spill(self, store) -> None:
+        """Attach a :class:`~repro.counting.store.ComponentStore` spill tier.
+
+        Evictions spill to ``store`` from now on and misses consult it;
+        ``None`` detaches (in-memory-only behaviour).
+        """
+        self._spill = store
+
+    @property
+    def spill(self):
+        """The attached spill store, or None."""
+        return self._spill
+
+    def spill_all(self) -> int:
+        """Persist every live in-memory entry to the spill store.
+
+        Called at engine close so a clean shutdown — not just eviction
+        pressure — leaves the component work on disk for the next session.
+        Returns the number of entries offered to the store (which dedups
+        keys it already holds) — 0 when no store is attached.
+        """
+        spill = self._spill
+        if spill is None:
+            return 0
+        for key, value in self._data.items():
+            spill.put(key, value)
+        spill.flush()
+        return len(self._data)
 
     # -- cross-process warming --------------------------------------------------------
 
@@ -190,11 +259,27 @@ class ComponentCache:
         for key, value in reversed(taken):  # restore LRU→MRU insertion order
             clone.put(key, value)
         clone.hits = clone.misses = clone.evictions = 0
+        clone.spill_hits = clone.spills = 0
         return clone
+
+    # -- pickling ---------------------------------------------------------------------
+
+    def __getstate__(self):
+        # The spill store holds a sqlite connection, which neither pickles
+        # nor may be shared across processes: clones (worker processes)
+        # start memory-only and warm the parent through the delta protocol.
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["_spill"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     # -- maintenance ------------------------------------------------------------------
 
     def clear(self) -> None:
+        """Drop the in-memory entries (an attached spill store is kept)."""
         self._data.clear()
         self._bytes = 0
         if self._delta is not None:
@@ -211,6 +296,8 @@ class ComponentCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "spill_hits": self.spill_hits,
+            "spills": self.spills,
         }
 
     def __len__(self) -> int:
@@ -221,7 +308,9 @@ class ComponentCache:
 
     def __repr__(self) -> str:
         cap = "unbounded" if self.max_bytes is None else f"{self.max_bytes >> 20}MiB"
+        spill = ", spill" if self._spill is not None else ""
         return (
             f"ComponentCache(entries={len(self._data)}, cap={cap}, "
-            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}{spill})"
         )

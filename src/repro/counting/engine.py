@@ -34,7 +34,16 @@ scales the cold remainder across processes and sessions:
   :class:`repro.counting.component_cache.ComponentCache` installed on
   backends that declare ``owns_component_cache``, so the *sub-problems* of
   different counting calls share work too (``EngineConfig(component_cache_mb=…)``,
-  0 to opt out);
+  0 to opt out); with ``cache_dir`` configured the cache additionally
+  *spills to disk* (``EngineConfig(component_spill=…)``, on by default):
+  evictions and ``close()`` persist entries into a
+  :class:`repro.counting.store.ComponentStore` and misses consult it
+  before recounting, so component work survives engine restarts;
+* requests with ``strategy="per-path"`` decompose a tree-region count into
+  one sub-problem per disjoint path cube (``mc(φ∧τ) = Σ_paths mc(φ∧path)``)
+  — the cubes are unit clauses that propagate hard, and the sub-problems
+  flow through the same memo/store/fan-out machinery, deduping shared
+  paths across trees and sessions;
 * ``translate`` memoizes grounded-property compilations (property × scope ×
   symmetry × polarity), keyed on the property's *structural* identity —
   two distinct properties sharing a name never collide;
@@ -73,7 +82,13 @@ from repro.counting.api import (
 )
 from repro.counting.component_cache import ComponentCache
 from repro.counting.parallel import WorkerPool, default_workers
-from repro.counting.store import BlobStore, CountStore, signature_key, text_key
+from repro.counting.store import (
+    BlobStore,
+    ComponentStore,
+    CountStore,
+    signature_key,
+    text_key,
+)
 from repro.logic.cnf import CNF
 
 #: Attribute-absence sentinel for budget overrides (no ``hasattr`` here).
@@ -109,6 +124,17 @@ class EngineConfig:
         per-call component caching).  Warm hits are bit-identical to cold
         recounts by construction; only backends declaring
         ``owns_component_cache`` (the exact counter) participate.
+    component_spill:
+        Spill the component cache to disk
+        (:class:`~repro.counting.store.ComponentStore` under
+        ``cache_dir``): LRU evictions and ``close()`` persist entries,
+        and a later engine's misses consult the store before recounting —
+        so a φ's *component* work survives restarts the way whole counts
+        already do (``EngineStats.component_spill_hits`` reports the
+        promotions).  On by default but only active when ``cache_dir`` is
+        configured and the component cache itself is; ``0``/``False``
+        opts out.  Worker deltas reach the shared cache and hence the
+        spill too.
 
     Fan-out additionally requires the backend to declare ``parallel_safe``
     (worker clones reproduce the serial count stream): engines over seeded
@@ -118,6 +144,7 @@ class EngineConfig:
     workers: int = 1
     cache_dir: str | Path | None = None
     component_cache_mb: float = 512.0
+    component_spill: bool = True
 
 
 def _prop_key(prop) -> object:
@@ -201,6 +228,18 @@ class CountingEngine:
                 self.counter.component_cache = self.component_cache
             else:
                 self.counter.component_cache = None
+        # The spill tier rides on both knobs: a component cache to spill
+        # and a cache_dir to spill into.  Attached to the shared cache, so
+        # evictions, close-time spills and worker deltas all reach disk.
+        self.component_store: ComponentStore | None = None
+        if (
+            self.component_cache is not None
+            and self.config.cache_dir is not None
+            and self.config.component_spill
+        ):
+            self.component_store = ComponentStore(self.config.cache_dir)
+            self.component_cache.attach_spill(self.component_store)
+        self._component_spill_hits_base = 0
         self._pool: WorkerPool | None = None
         self.stats = EngineStats()
         self._counts: dict[tuple, int] = {}
@@ -249,10 +288,23 @@ class CountingEngine:
         bit-identical to the serial one by construction.  Each result
         records its provenance; ``stats_delta`` is the whole batch's
         telemetry movement (shared by the batch's results).
+
+        Requests with ``strategy="per-path"`` are *decomposed*: the region
+        they describe is a disjoint union of path cubes, so the request
+        expands into one sub-problem per cube (the base CNF plus unit
+        clauses, which propagate hard) and the result is the sum of the
+        sub-counts.  The sub-problems flow through the same memo → store →
+        fan-out machinery as everything else, which is what makes shared
+        paths dedup across trees, batches and sessions.  Summing estimates
+        would compound their error, so per-path requests require an exact
+        backend (consumers negotiate via ``capabilities.exact`` and fall
+        back to the conjunction route — see :class:`repro.core.accmc.AccMC`).
         """
         before = self.stats.copy()
         caps = self.capabilities
-        items: list[tuple[CNF, int | None]] = []
+        flat: list[tuple[CNF, int | None]] = []
+        #: per input problem: ("one", flat index) or ("sum", flat range)
+        shape: list[tuple[str, int | range]] = []
         for problem in problems:
             if isinstance(problem, CountRequest):
                 if problem.precision == "exact" and not caps.exact:
@@ -260,10 +312,49 @@ class CountingEngine:
                         f"request demands exact precision but backend "
                         f"{self.backend_name!r} is approximate"
                     )
-                items.append((problem.cnf(), problem.budget))
+                if problem.strategy == "per-path":
+                    if not caps.exact:
+                        raise ValueError(
+                            f"per-path requests sum exact sub-counts but "
+                            f"backend {self.backend_name!r} is approximate; "
+                            "use strategy='conjunction'"
+                        )
+                    start = len(flat)
+                    flat.extend(
+                        (sub, problem.budget) for sub in problem.expand()
+                    )
+                    shape.append(("sum", range(start, len(flat))))
+                    continue
+                flat.append((problem.cnf(), problem.budget))
             else:
-                items.append((problem, None))
+                flat.append((problem, None))
+            shape.append(("one", len(flat) - 1))
 
+        partial = self._solve_flat(flat, caps)
+        self._sync_component_stats()
+        delta = self.stats.delta_since(before)
+        results: list[CountResult] = []
+        for kind, ref in shape:
+            if kind == "one":
+                r = partial[ref]
+                results.append(
+                    CountResult(
+                        value=r.value,
+                        exact=r.exact,
+                        backend=r.backend,
+                        source=r.source,
+                        elapsed_seconds=r.elapsed_seconds,
+                        stats_delta=delta,
+                    )
+                )
+            else:
+                results.append(self._sum_result([partial[i] for i in ref], delta))
+        return results
+
+    def _solve_flat(
+        self, items: list[tuple[CNF, int | None]], caps: Capabilities
+    ) -> list[CountResult]:
+        """Solve already-expanded ``(cnf, budget)`` problems (no delta attach)."""
         results: list[CountResult | None] = [None] * len(items)
         positions: dict[tuple, list[int]] = {}
         order: list[tuple] = []
@@ -368,18 +459,38 @@ class CountingEngine:
                 if fresh and self.store is not None:
                     self.store.put_many(fresh)
 
-        delta = self.stats.delta_since(before)
-        return [
-            CountResult(
-                value=r.value,
-                exact=r.exact,
-                backend=r.backend,
-                source=r.source,
-                elapsed_seconds=r.elapsed_seconds,
-                stats_delta=delta,
+        return results
+
+    def _sum_result(self, subs: list[CountResult], delta) -> CountResult:
+        """Fold per-path sub-results into one summed result.
+
+        Provenance reports the *coldest* tier any sub-problem touched
+        (backend over store over memo); an empty cube set (a region with
+        no paths of that label) sums to 0 without any work.
+        """
+        sources = {r.source for r in subs}
+        if "backend" in sources:
+            source = "backend"
+        elif "store" in sources:
+            source = "store"
+        else:
+            source = "memo"
+        return CountResult(
+            value=sum(r.value for r in subs),
+            exact=self.capabilities.exact,
+            backend=self.backend_name,
+            source=source,
+            elapsed_seconds=sum(r.elapsed_seconds for r in subs),
+            stats_delta=delta,
+        )
+
+    def _sync_component_stats(self) -> None:
+        """Mirror the component cache's spill promotions into EngineStats."""
+        cache = self.component_cache
+        if cache is not None and self.component_store is not None:
+            self.stats.component_spill_hits = (
+                cache.spill_hits - self._component_spill_hits_base
             )
-            for r in results
-        ]
 
     def solve_formula(self, formula, num_vars: int) -> CountResult:
         """Typed memoized whole-space formula count (fast-path backends).
@@ -578,6 +689,9 @@ class CountingEngine:
         self._regions.clear()
         if self.component_cache is not None:
             self.component_cache.clear()
+            # The cache's own counters are cumulative; re-baseline so the
+            # fresh EngineStats reports spill promotions from zero.
+            self._component_spill_hits_base = self.component_cache.spill_hits
         self.stats = EngineStats()
 
     def close(self) -> None:
@@ -592,6 +706,13 @@ class CountingEngine:
             self.store.close()
         if self.memo_store is not None:
             self.memo_store.close()
+        if self.component_store is not None:
+            # A clean shutdown persists the live component entries too —
+            # eviction pressure alone would leave an under-budget cache
+            # entirely in memory and the next session cold.
+            if self.component_cache is not None:
+                self.component_cache.spill_all()
+            self.component_store.close()
 
     def __enter__(self) -> "CountingEngine":
         return self
@@ -608,7 +729,8 @@ class CountingEngine:
             pool = "+pool" if self._pool is not None and not self._pool.closed else ""
             extras += f", workers={self._workers}{pool}"
         if self.component_cache is not None:
-            extras += f", components={len(self.component_cache)}"
+            spill = "+spill" if self.component_store is not None else ""
+            extras += f", components={len(self.component_cache)}{spill}"
         if self.store is not None:
             extras += f", store={str(self.store.path)!r}"
         return (

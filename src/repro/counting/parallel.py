@@ -179,6 +179,16 @@ class WorkerPool:
             item if isinstance(item, CountRequest) else cnf_to_payload(item)
             for item in cnfs
         ]
+        for payload in payloads:
+            # Decomposition is the engine's job (the sub-problems must flow
+            # through its memo and stores to dedup): the pool only ever
+            # counts already-expanded conjunction problems.
+            if payload.strategy != "conjunction":
+                raise ValueError(
+                    f"worker pools count plain problems; expand "
+                    f"strategy={payload.strategy!r} requests via "
+                    "CountingEngine.solve_many first"
+                )
         # imap (not map): results arrive in batch order as they finish.
         for value, delta, elapsed in self._pool.imap(
             _count_payload, payloads, chunksize=1

@@ -25,6 +25,19 @@ cache directory and a fresh process warms its translate/region memos from
 disk the way whole counts already do.  Unlike counts, compilations are
 backend-independent, so the blob store is active for *any* backend.
 
+:class:`ComponentStore` is the third tier: the disk spill of the exact
+counter's :class:`~repro.counting.component_cache.ComponentCache`.  Its
+keys are *component* keys — packed clause sets plus a projection mask, or
+the ``("elim", …)``-tagged elimination memos — whose values are pure
+functions of the key, so a spilled entry read back in a later session is
+bit-identical to a cold recount by construction.  Entries arrive on LRU
+eviction and at engine close; misses of the in-memory cache consult this
+store before declaring a component cold (see
+:meth:`ComponentCache.get`).  Because the in-memory miss path is the
+counter's hottest loop, the store keeps the set of present key digests in
+memory: a miss against an absent key costs one digest + one set probe,
+never a query.
+
 Write path.  The database runs in WAL mode (readers of other processes are
 not blocked by a writer mid-table, and commits are one sequential append),
 and single ``put`` calls are *buffered*: they land in an in-memory pending
@@ -53,6 +66,9 @@ STORE_FILENAME = "counts.sqlite"
 #: File name of the compilation-memo database inside the cache directory.
 BLOB_STORE_FILENAME = "memos.sqlite"
 
+#: File name of the component-cache spill database inside the cache directory.
+COMPONENT_STORE_FILENAME = "components.sqlite"
+
 #: Single ``put`` calls buffered before one transaction writes them out.
 AUTOFLUSH_PUTS = 256
 
@@ -62,6 +78,51 @@ CREATE TABLE IF NOT EXISTS counts (
     value TEXT NOT NULL
 )
 """
+
+
+def _open_cache_db(path: Path, schema: str) -> sqlite3.Connection:
+    """Open a cache database with the discipline every disk tier shares.
+
+    WAL keeps concurrent readers (other engines sharing the cache_dir)
+    unblocked during writes; NORMAL sync is plenty for caches that can
+    always be recomputed.  The pragmas are best-effort on a *valid*
+    database — some filesystems refuse WAL and the rollback journal is
+    fine — but "file is not a database" must escape so the caller can
+    rotate the wreck aside.
+    """
+    connection = sqlite3.connect(path)
+    try:
+        try:
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+        except sqlite3.DatabaseError:
+            pass
+        connection.execute(schema)
+        connection.commit()
+        return connection
+    except sqlite3.DatabaseError:
+        connection.close()
+        raise
+
+
+def _connect_or_rotate(path: Path, schema: str) -> sqlite3.Connection:
+    """Open ``path``, rotating a corrupt file aside and starting fresh.
+
+    The degrade-don't-fail half of the shared discipline: a cache is
+    disposable, so a truncated write, bit rot or a foreign file must
+    never crash the owning engine's construction — the wreck is moved to
+    ``<name>.corrupt`` (or deleted when even that fails) and an empty
+    database takes its place.
+    """
+    try:
+        return _open_cache_db(path, schema)
+    except sqlite3.DatabaseError:
+        corrupt = path.with_suffix(path.suffix + ".corrupt")
+        try:
+            os.replace(path, corrupt)
+        except OSError:
+            path.unlink(missing_ok=True)
+        return _open_cache_db(path, schema)
 
 
 def _canonical(obj):
@@ -107,39 +168,8 @@ class CountStore:
 
     # -- connection handling ---------------------------------------------------------
 
-    def _open(self) -> sqlite3.Connection:
-        connection = sqlite3.connect(self.path)
-        try:
-            try:
-                # WAL keeps concurrent readers (other engines sharing the
-                # cache_dir) unblocked during writes; NORMAL sync is plenty
-                # for a cache that can always be recounted.  Best-effort on
-                # a *valid* database: some filesystems refuse WAL and the
-                # rollback journal is fine — but "file is not a database"
-                # must still escape so the wreck gets rotated aside.
-                connection.execute("PRAGMA journal_mode=WAL")
-                connection.execute("PRAGMA synchronous=NORMAL")
-            except sqlite3.DatabaseError:
-                pass
-            connection.execute(_SCHEMA)
-            connection.commit()
-            return connection
-        except sqlite3.DatabaseError:
-            connection.close()
-            raise
-
     def _connect(self) -> sqlite3.Connection:
-        try:
-            return self._open()
-        except sqlite3.DatabaseError:
-            # Not a database (truncated write, foreign file, …): a cache is
-            # disposable, so rotate the wreck aside and start fresh.
-            corrupt = self.path.with_suffix(self.path.suffix + ".corrupt")
-            try:
-                os.replace(self.path, corrupt)
-            except OSError:
-                self.path.unlink(missing_ok=True)
-            return self._open()
+        return _connect_or_rotate(self.path, _SCHEMA)
 
     def close(self) -> None:
         if self._connection is not None:
@@ -284,33 +314,12 @@ class BlobStore:
         self.path = self.cache_dir / BLOB_STORE_FILENAME
         self._connection = self._connect()
 
-    def _open(self) -> sqlite3.Connection:
-        connection = sqlite3.connect(self.path)
-        try:
-            try:
-                connection.execute("PRAGMA journal_mode=WAL")
-                connection.execute("PRAGMA synchronous=NORMAL")
-            except sqlite3.DatabaseError:
-                pass
-            connection.execute(
-                "CREATE TABLE IF NOT EXISTS blobs (key TEXT PRIMARY KEY, value BLOB NOT NULL)"
-            )
-            connection.commit()
-            return connection
-        except sqlite3.DatabaseError:
-            connection.close()
-            raise
-
     def _connect(self) -> sqlite3.Connection:
-        try:
-            return self._open()
-        except sqlite3.DatabaseError:
-            corrupt = self.path.with_suffix(self.path.suffix + ".corrupt")
-            try:
-                os.replace(self.path, corrupt)
-            except OSError:
-                self.path.unlink(missing_ok=True)
-            return self._open()
+        return _connect_or_rotate(
+            self.path,
+            "CREATE TABLE IF NOT EXISTS blobs "
+            "(key TEXT PRIMARY KEY, value BLOB NOT NULL)",
+        )
 
     def close(self) -> None:
         if self._connection is not None:
@@ -370,3 +379,163 @@ class BlobStore:
 
     def __repr__(self) -> str:
         return f"BlobStore(path={str(self.path)!r}, entries={len(self)})"
+
+
+def component_key_digest(key) -> str:
+    """Stable hex digest of a component-cache key.
+
+    Component keys are ``(frozenset of (pos, neg) mask clauses, proj)``
+    pairs, optionally tagged ``("elim", clauses, proj)``.  A frozenset's
+    iteration order is an implementation detail, so the clauses are sorted
+    before hashing; the masks are arbitrary-precision ints whose ``repr``
+    is already canonical.  Plain and tagged keys over the same clauses get
+    distinct digests via the tag prefix.
+    """
+    if len(key) == 2:
+        tag, clauses, proj = "", key[0], key[1]
+    else:
+        tag, clauses, proj = key[0], key[1], key[2]
+    payload = f"{tag}\x1f{proj}\x1f{sorted(clauses)!r}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: Absent-value sentinel for :meth:`ComponentStore.get`'s buffer probe.
+_MISSING = object()
+
+
+class ComponentStore:
+    """Persistent ``component key -> cached value`` map under ``cache_dir``.
+
+    The disk-spill tier of :class:`~repro.counting.component_cache.ComponentCache`:
+    values are model counts (ints), memoized elimination results (tuples of
+    mask clauses) or the ``"unsat"`` marker, stored as pickles.  The
+    degrade-don't-fail contract matches :class:`CountStore` — a corrupted
+    database file rotates aside at open, an unreadable row reads as a miss
+    — and so does the write path (WAL, NORMAL sync, one transaction per
+    :data:`AUTOFLUSH_PUTS` buffered puts).
+
+    The set of present key digests is held in memory (loaded once at open,
+    maintained by ``put``): the caller probes misses out of the counter's
+    hottest loop, so an absent key must never cost a query.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.cache_dir / COMPONENT_STORE_FILENAME
+        self._pending: dict[str, object] = {}
+        self._connection = self._connect()
+        self._keys: set[str] = self._load_keys()
+
+    # -- connection handling ---------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        return _connect_or_rotate(
+            self.path,
+            "CREATE TABLE IF NOT EXISTS components "
+            "(key TEXT PRIMARY KEY, value BLOB NOT NULL)",
+        )
+
+    def _load_keys(self) -> set[str]:
+        try:
+            rows = self._connection.execute("SELECT key FROM components")
+            return {row[0] for row in rows}
+        except sqlite3.DatabaseError:
+            return set()
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self.flush()
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ComponentStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reads -----------------------------------------------------------------------
+
+    def get(self, key):
+        """The spilled value for component ``key``, or None.
+
+        Returns None without touching sqlite when the key is known absent
+        (the digest-set probe), and on any unreadable/unpicklable row.  A
+        missing or corrupt row also drops its digest from the known set —
+        ``put`` dedups on that set, so keeping the digest would block the
+        recount's re-spill and make the corruption permanent.
+        """
+        if self._connection is None or not self._keys:
+            return None
+        digest = component_key_digest(key)
+        pending = self._pending.get(digest, _MISSING)
+        if pending is not _MISSING:
+            return pending
+        if digest not in self._keys:
+            return None
+        try:
+            row = self._connection.execute(
+                "SELECT value FROM components WHERE key = ?", (digest,)
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            return None  # transient read failure: keep the digest
+        if row is None:
+            self._keys.discard(digest)  # lost row: let a re-spill repair it
+            return None
+        try:
+            return pickle.loads(row[0])
+        except Exception:
+            self._keys.discard(digest)  # corrupt row: let a re-spill repair it
+            return None
+
+    # -- writes ----------------------------------------------------------------------
+
+    def put(self, key, value) -> None:
+        """Spill one entry; buffered — written out every AUTOFLUSH_PUTS.
+
+        Values are pure functions of their keys, so a key already present
+        (on disk or in the buffer) is never re-stored.
+        """
+        if self._connection is None:
+            return  # closed store: a cache accepts and drops the write
+        digest = component_key_digest(key)
+        if digest in self._keys:
+            return
+        self._keys.add(digest)
+        self._pending[digest] = value
+        if len(self._pending) >= AUTOFLUSH_PUTS:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered spills to sqlite in one transaction."""
+        if self._connection is None:
+            self._pending.clear()
+            return
+        if not self._pending:
+            return
+        rows = []
+        for digest, value in self._pending.items():
+            try:
+                rows.append((digest, sqlite3.Binary(pickle.dumps(value))))
+            except Exception:
+                self._keys.discard(digest)  # unpicklable: simply not spilled
+        try:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO components (key, value) VALUES (?, ?)",
+                rows,
+            )
+            self._connection.commit()
+        except sqlite3.DatabaseError:
+            # A spill write failure must never break counting — but the
+            # digests of rows that never landed must not stay "known",
+            # or put()'s dedup would block every later re-spill attempt.
+            for digest, _ in rows:
+                self._keys.discard(digest)
+        self._pending.clear()
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:
+        return f"ComponentStore(path={str(self.path)!r}, entries={len(self)})"

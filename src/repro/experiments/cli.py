@@ -111,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="budget of the cross-call component cache shared by all "
         "counting problems of a run (default 512; 0 disables sharing)",
     )
+    parser.add_argument(
+        "--component-spill", type=int, default=1, metavar="0|1",
+        help="spill the component cache to cache-dir/components.sqlite "
+        "(evictions and shutdown persist entries, misses consult disk) so "
+        "component work survives re-runs; needs --cache-dir "
+        "(default 1; 0 disables)",
+    )
+    parser.add_argument(
+        "--region-strategy", choices=("conjunction", "per-path"),
+        default="conjunction",
+        help="AccMC region route: per-path decomposes each tree-region "
+        "count into its disjoint path cubes (mc(phi&tau) = sum over paths "
+        "of mc(phi&path)), deduping shared paths across trees and cached "
+        "sessions; conjunction is the paper's construction (default)",
+    )
     return parser
 
 
@@ -125,6 +140,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         workers=args.workers,
         cache_dir=args.cache_dir,
         component_cache_mb=args.component_cache_mb,
+        component_spill=bool(args.component_spill),
+        region_strategy=args.region_strategy,
     )
     if args.properties:
         kwargs["properties"] = tuple(args.properties)

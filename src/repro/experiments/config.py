@@ -58,18 +58,23 @@ class ExperimentConfig:
     component cache that lets overlapping counting problems (same φ,
     different tree regions) reuse each other's sub-counts (see
     :class:`repro.counting.EngineConfig`; 0 opts out).
+    ``component_spill`` additionally persists that component cache under
+    ``cache_dir`` (on by default, 0 opts out), and ``region_strategy``
+    picks AccMC's region route (``"conjunction"`` or ``"per-path"``).
     """
 
     properties: tuple[str, ...] = tuple(p.name for p in PROPERTIES)
     scope: int | None = None
     counter: str = "exact"
     accmc_mode: str = "derived"
+    region_strategy: str = "conjunction"
     seed: int = 0
     train_fraction: float = 0.10
     max_positives: int | None = 5000
     workers: int = 1
     cache_dir: str | None = None
     component_cache_mb: float = 512.0
+    component_spill: bool = True
     model_params: dict[str, dict] = field(
         default_factory=lambda: {k: dict(v) for k, v in EXPERIMENT_MODEL_PARAMS.items()}
     )
@@ -89,6 +94,7 @@ class ExperimentConfig:
             workers=self.workers,
             cache_dir=self.cache_dir,
             component_cache_mb=self.component_cache_mb,
+            component_spill=self.component_spill,
         )
 
     def build_engine(self) -> CountingEngine:
@@ -106,5 +112,6 @@ class ExperimentConfig:
         return MCMLSession(
             engine=self.build_engine(),
             accmc_mode=self.accmc_mode,
+            region_strategy=self.region_strategy,
             seed=self.seed,
         )

@@ -1,0 +1,456 @@
+"""Tests for the component-cache disk spill and the per-path AccMC route (PR 5).
+
+Covers:
+
+* :class:`ComponentStore` — round-trips of every value shape the component
+  cache holds (counts, elimination tuples, the ``"unsat"`` marker), digest
+  separation of plain vs ``("elim", …)``-tagged keys, write buffering, and
+  the degrade-don't-fail contract (bit-flipped/truncated ``components.sqlite``
+  rotates aside and reads as misses — engine construction never crashes);
+* the :class:`ComponentCache` spill tier — evict→spill→promote round trips,
+  ``spill_all`` at engine close, warm-restart promotions surfacing as
+  ``EngineStats.component_spill_hits``, ``component_spill=0`` opt-out, and
+  pickled caches/counters detaching the store (worker clones);
+* the per-path route — ``CountRequest(strategy="per-path")`` validation and
+  expansion, engine-level sum correctness and sub-problem dedup, rejection
+  on approximate backends, the worker-pool guard, and AccMC bit-identity of
+  the per-path vs conjunction routes over the 16-property × scope 2–4
+  matrix (both construction modes);
+* the knob plumbing — ``EngineConfig``/``MCMLSession``/CLI defaults.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.accmc import AccMC
+from repro.core.pipeline import MCMLPipeline
+from repro.core.session import MCMLSession
+from repro.core.tree2cnf import label_cubes, label_region_cnf
+from repro.counting import (
+    ComponentCache,
+    ComponentStore,
+    CountingEngine,
+    CountRequest,
+    EngineConfig,
+    make_backend,
+)
+from repro.counting.store import COMPONENT_STORE_FILENAME, component_key_digest
+from repro.logic import CNF
+from repro.spec import SymmetryBreaking, get_property, translate
+from repro.spec.properties import PROPERTIES
+
+
+def _key(*clauses, proj=1):
+    return (frozenset(clauses), proj)
+
+
+def _phi(scope=3, name="PartialOrder", negate=False):
+    return translate(
+        get_property(name), scope, symmetry=SymmetryBreaking(), negate=negate
+    ).cnf
+
+
+# -- ComponentStore -----------------------------------------------------------------
+
+
+class TestComponentStore:
+    def test_round_trip_of_every_value_shape(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        count_key = _key((1, 2), (4, 0))
+        elim_key = ("elim", frozenset({(1, 2), (4, 0)}), 3)
+        store.put(count_key, 42)
+        store.put(elim_key, ((5, 2), (1, 0)))
+        store.put(_key((8, 1)), "unsat")
+        store.put(_key((2, 4), proj=6), 0)  # 0 is a count, not a miss
+        store.flush()
+        store.close()
+        fresh = ComponentStore(tmp_path)
+        assert fresh.get(count_key) == 42
+        assert fresh.get(elim_key) == ((5, 2), (1, 0))
+        assert fresh.get(_key((8, 1))) == "unsat"
+        assert fresh.get(_key((2, 4), proj=6)) == 0
+        assert fresh.get(_key((9, 0))) is None
+        assert len(fresh) == 4
+        fresh.close()
+
+    def test_tagged_and_plain_keys_do_not_collide(self):
+        clauses = frozenset({(1, 2), (4, 0)})
+        assert component_key_digest((clauses, 3)) != component_key_digest(
+            ("elim", clauses, 3)
+        )
+
+    def test_buffered_puts_visible_before_flush(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        store.put(_key((1, 0)), 7)
+        assert store.get(_key((1, 0))) == 7  # served from the buffer
+        store.close()
+
+    def test_put_of_known_key_is_dropped(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        store.put(_key((1, 0)), 7)
+        store.put(_key((1, 0)), 7)
+        store.flush()
+        assert len(store) == 1
+        store.close()
+
+    def test_closed_store_accepts_and_drops(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        store.close()
+        store.put(_key((1, 0)), 7)  # must not raise
+        assert store.get(_key((1, 0))) is None
+        store.close()  # idempotent
+
+    def test_bit_flipped_file_degrades_to_misses(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        store.put(_key((1, 0)), 7)
+        store.flush()
+        store.close()
+        path = tmp_path / COMPONENT_STORE_FILENAME
+        blob = bytearray(path.read_bytes())
+        for i in range(0, min(len(blob), 64)):  # wreck the sqlite header
+            blob[i] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        reopened = ComponentStore(tmp_path)  # must not raise
+        assert reopened.get(_key((1, 0))) is None
+        reopened.put(_key((2, 0)), 9)  # and must be writable again
+        reopened.flush()
+        assert reopened.get(_key((2, 0))) == 9
+        reopened.close()
+        assert path.with_suffix(".sqlite.corrupt").exists()
+
+    def test_truncated_file_never_crashes_engine_construction(self, tmp_path):
+        (tmp_path / COMPONENT_STORE_FILENAME).write_bytes(b"SQLite format 3\x00tru")
+        engine = CountingEngine(config=EngineConfig(cache_dir=tmp_path))
+        assert engine.component_store is not None
+        assert engine.solve(_phi()).value == 42
+        engine.close()
+
+
+# -- the spill tier on ComponentCache ------------------------------------------------
+
+
+class TestSpillTier:
+    def test_evict_spill_promote_round_trip(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        cache = ComponentCache(max_bytes=None, max_entries=2)
+        cache.attach_spill(store)
+        keys = [_key((1 << i, 0)) for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        # keys[0] was evicted — to disk, not dropped.
+        assert keys[0] not in cache
+        assert cache.spills == 1 and cache.evictions == 1
+        assert store.get(keys[0]) == 0
+        # A miss consults the store and promotes the entry back to memory …
+        assert cache.get(keys[0]) == 0
+        assert cache.spill_hits == 1
+        assert keys[0] in cache
+        # … which evicted (and spilled) the then-LRU keys[1].
+        assert keys[1] not in cache
+        assert cache.get(keys[1]) == 1  # promoted back in turn
+        store.close()
+
+    def test_spill_all_persists_live_entries(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        cache = ComponentCache()
+        cache.attach_spill(store)
+        for i in range(5):
+            cache.put(_key((1 << i, 0)), i)
+        assert cache.spill_all() == 5
+        store.close()
+        fresh = ComponentStore(tmp_path)
+        assert all(fresh.get(_key((1 << i, 0))) == i for i in range(5))
+        fresh.close()
+
+    def test_absent_key_costs_no_query_when_store_empty(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        cache = ComponentCache()
+        cache.attach_spill(store)
+        assert cache.get(_key((1, 0))) is None
+        assert cache.misses == 1 and cache.spill_hits == 0
+        store.close()
+
+    def test_pickled_cache_detaches_spill(self, tmp_path):
+        store = ComponentStore(tmp_path)
+        cache = ComponentCache()
+        cache.attach_spill(store)
+        cache.put(_key((1, 0)), 3)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.spill is None
+        assert clone.get(_key((1, 0))) == 3  # entries themselves travel
+        assert cache.spill is store  # the original keeps its tier
+        store.close()
+
+    def test_counter_with_spill_attached_pickles(self, tmp_path):
+        engine = CountingEngine(config=EngineConfig(cache_dir=tmp_path))
+        engine.solve(_phi())
+        clone = pickle.loads(pickle.dumps(engine.counter))
+        assert clone.component_cache.spill is None
+        assert clone.count(_phi()) == 42
+        engine.close()
+
+
+# -- engine-level spill semantics ----------------------------------------------------
+
+
+class TestEngineSpill:
+    def test_warm_restart_promotes_components(self, tmp_path):
+        phi = _phi()
+        cold = CountingEngine(config=EngineConfig(cache_dir=tmp_path))
+        expected = cold.solve(phi).value
+        cold.close()  # spills the live entries
+        assert len(ComponentStore(tmp_path)) > 0
+        # Remove the whole-count store so the warm engine must genuinely
+        # recount — through promoted components, not memoized answers.
+        os.remove(tmp_path / "counts.sqlite")
+        warm = CountingEngine(config=EngineConfig(cache_dir=tmp_path))
+        result = warm.solve(phi)
+        assert result.value == expected
+        assert result.source == "backend"
+        assert warm.stats.component_spill_hits > 0
+        assert warm.stats.component_spill_hits == warm.component_cache.spill_hits
+        warm.close()
+
+    def test_spill_serves_new_regions_of_a_known_phi(self, tmp_path):
+        """The workload the tier exists for: same φ, *different* regions."""
+        prop = get_property("PartialOrder")
+        sym = SymmetryBreaking()
+        pipeline = MCMLPipeline(seed=0)
+        dataset = pipeline.make_dataset(prop, 3, symmetry=sym)
+        phi = _phi()
+
+        def problems(fraction):
+            train, _ = dataset.split(fraction, rng=0)
+            tree = pipeline.train("DT", train)
+            paths = tree.decision_paths()
+            return [
+                phi.conjoin(label_region_cnf(paths, label, 9)) for label in (1, 0)
+            ]
+
+        first = CountingEngine(config=EngineConfig(cache_dir=tmp_path))
+        first.solve_many(problems(0.75))
+        first.close()
+        warm = CountingEngine(config=EngineConfig(cache_dir=tmp_path))
+        batch = problems(0.3)  # a different tree: whole counts are cold
+        results = warm.solve_many(batch)
+        assert [r.source for r in results] == ["backend", "backend"]
+        assert warm.stats.component_spill_hits > 0
+        fresh = CountingEngine()
+        assert [r.value for r in results] == [
+            r.value for r in fresh.solve_many(batch)
+        ]
+        warm.close()
+
+    def test_component_spill_zero_opts_out(self, tmp_path):
+        engine = CountingEngine(
+            config=EngineConfig(cache_dir=tmp_path, component_spill=0)
+        )
+        assert engine.component_store is None
+        assert engine.component_cache is not None  # the memory tier stays
+        engine.solve(_phi())
+        engine.close()
+        assert not (tmp_path / COMPONENT_STORE_FILENAME).exists()
+
+    def test_no_cache_dir_means_no_spill(self):
+        engine = CountingEngine()
+        assert engine.component_store is None
+        engine.close()
+
+    def test_no_component_cache_means_no_spill(self, tmp_path):
+        engine = CountingEngine(
+            config=EngineConfig(cache_dir=tmp_path, component_cache_mb=0)
+        )
+        assert engine.component_store is None
+        engine.close()
+
+    def test_clear_rebaselines_spill_hits(self, tmp_path):
+        phi = _phi()
+        engine = CountingEngine(config=EngineConfig(cache_dir=tmp_path))
+        engine.solve(phi)
+        engine.component_cache.spill_all()
+        # Empty the *whole-count* store and memos so the re-solve genuinely
+        # recounts (through promoted components) instead of replaying.
+        engine.store.clear()
+        engine.clear()
+        engine.solve(phi)
+        assert engine.stats.component_spill_hits > 0
+        delta_base = engine.stats.component_spill_hits
+        engine.store.clear()
+        engine.clear()
+        assert engine.stats.component_spill_hits == 0  # re-baselined
+        engine.solve(phi)
+        assert engine.stats.component_spill_hits > 0
+        assert engine.component_cache.spill_hits >= delta_base
+        engine.close()
+
+    def test_session_exposes_component_store(self, tmp_path):
+        with MCMLSession(cache_dir=tmp_path) as session:
+            assert session.component_store is not None
+        with MCMLSession(cache_dir=tmp_path, component_spill=False) as session:
+            assert session.component_store is None
+
+
+# -- the per-path route --------------------------------------------------------------
+
+
+class TestPerPathRequests:
+    def test_request_validation(self):
+        phi = _phi()
+        with pytest.raises(ValueError, match="requires cubes"):
+            CountRequest.from_cnf(phi, strategy="per-path")
+        with pytest.raises(ValueError, match="only meaningful"):
+            CountRequest.from_cnf(phi, cubes=((1,),))
+        with pytest.raises(ValueError, match="strategy"):
+            CountRequest.from_cnf(phi, strategy="per-leaf")
+
+    def test_expand_adds_unit_clauses(self):
+        cnf = CNF([(1, 2), (-1, 3)], num_vars=3)
+        request = CountRequest.from_cnf(
+            cnf, strategy="per-path", cubes=((1, -2), (-1,))
+        )
+        subs = request.expand()
+        assert len(subs) == 2
+        assert subs[0].clauses == [(1, 2), (-1, 3), (1,), (-2,)]
+        assert subs[1].clauses == [(1, 2), (-1, 3), (-1,)]
+
+    def test_split_on_one_variable_sums_to_plain_count(self):
+        phi = _phi()
+        engine = CountingEngine()
+        split = engine.solve(
+            CountRequest.from_cnf(phi, strategy="per-path", cubes=((1,), (-1,)))
+        )
+        assert split.value == engine.solve(phi).value
+
+    def test_empty_cube_set_counts_zero(self):
+        result = CountingEngine().solve(
+            CountRequest.from_cnf(_phi(), strategy="per-path", cubes=())
+        )
+        assert result.value == 0
+        assert result.cached  # no backend work was done
+
+    def test_signature_includes_cubes(self):
+        phi = _phi()
+        plain = CountRequest.from_cnf(phi)
+        split = CountRequest.from_cnf(phi, strategy="per-path", cubes=((1,),))
+        other = CountRequest.from_cnf(phi, strategy="per-path", cubes=((-1,),))
+        assert split.signature() != plain.signature()
+        assert split.signature() != other.signature()
+
+    def test_shared_paths_dedup_across_requests(self):
+        phi = _phi()
+        engine = CountingEngine()
+        cubes = ((1, 2), (1, -2), (-1,))
+        engine.solve(CountRequest.from_cnf(phi, strategy="per-path", cubes=cubes))
+        before = engine.stats.copy()
+        engine.solve(CountRequest.from_cnf(phi, strategy="per-path", cubes=cubes))
+        delta = engine.stats.delta_since(before)
+        assert delta.backend_calls == 0  # every sub-problem was a memo hit
+        assert delta.count_hits == len(cubes)
+
+    def test_per_path_rejected_on_approximate_backend(self):
+        engine = CountingEngine(make_backend("approxmc", seed=7))
+        request = CountRequest.from_cnf(_phi(), strategy="per-path", cubes=((1,),))
+        with pytest.raises(ValueError, match="per-path"):
+            engine.solve(request)
+
+    def test_worker_pool_refuses_unexpanded_per_path(self):
+        from repro.counting.parallel import WorkerPool
+
+        request = CountRequest.from_cnf(_phi(), strategy="per-path", cubes=((1,),))
+        pool = WorkerPool(pickle.dumps(None), workers=1)
+        try:
+            with pytest.raises(ValueError, match="expand"):
+                pool.run([request])
+        finally:
+            pool.close()
+
+    def test_request_pickles(self):
+        request = CountRequest.from_cnf(
+            _phi(), strategy="per-path", cubes=((1, -2), (3,))
+        )
+        clone = pickle.loads(pickle.dumps(request))
+        assert clone == request
+
+
+class TestPerPathAccMC:
+    def _tree(self, prop, scope, fraction=0.5):
+        pipeline = MCMLPipeline(seed=0)
+        dataset = pipeline.make_dataset(
+            prop, scope, symmetry=SymmetryBreaking(), max_positives=500
+        )
+        train, _ = dataset.split(fraction, rng=0)
+        return pipeline.train("DT", train)
+
+    @pytest.mark.parametrize("prop", PROPERTIES, ids=lambda p: p.name)
+    @pytest.mark.parametrize("scope", (2, 3, 4))
+    def test_per_path_bit_identical_to_conjunction(self, prop, scope):
+        """The conformance matrix: both routes, identical confusion counts."""
+        tree = self._tree(prop, scope)
+        sym = SymmetryBreaking()
+        conjunction = AccMC(mode="product")
+        per_path = AccMC(mode="product", region_strategy="per-path")
+        expected = conjunction.evaluate(
+            tree, conjunction.ground_truth(prop, scope, symmetry=sym)
+        )
+        actual = per_path.evaluate(
+            tree, per_path.ground_truth(prop, scope, symmetry=sym)
+        )
+        assert actual.counts == expected.counts
+
+    def test_derived_mode_matches_product_under_per_path(self):
+        prop = get_property("Antisymmetric")
+        tree = self._tree(prop, 3)
+        sym = SymmetryBreaking()
+        results = [
+            AccMC(mode=mode, region_strategy="per-path")
+            .evaluate(
+                tree,
+                AccMC(mode=mode).ground_truth(prop, 3, symmetry=sym),
+            )
+            .counts
+            for mode in ("product", "derived")
+        ]
+        assert results[0] == results[1]
+
+    def test_label_cubes_partition_matches_region(self):
+        prop = get_property("PartialOrder")
+        tree = self._tree(prop, 3)
+        paths = tree.decision_paths()
+        engine = CountingEngine()
+        for label in (0, 1):
+            region = label_region_cnf(paths, label, 9)
+            cubes = label_cubes(paths, label)
+            split = engine.solve(
+                CountRequest.from_cnf(
+                    CNF(num_vars=9, projection=range(1, 10)),
+                    strategy="per-path",
+                    cubes=cubes,
+                )
+            )
+            assert split.value == engine.solve(region).value
+
+    def test_approximate_backend_falls_back_to_conjunction(self):
+        accmc = AccMC(
+            counter=make_backend("approxmc", seed=3), region_strategy="per-path"
+        )
+        prop = get_property("Reflexive")
+        tree = self._tree(prop, 2)
+        # Must not raise: the route negotiation falls back before the
+        # engine ever sees a per-path request.
+        result = accmc.evaluate(tree, accmc.ground_truth(prop, 2))
+        assert result.counts.total > 0
+
+    def test_session_region_strategy_threads_through(self, tmp_path):
+        with MCMLSession(region_strategy="per-path", cache_dir=tmp_path) as s:
+            data = s.pipeline.make_dataset("Reflexive", 2)
+            train, _ = data.split(0.5, rng=0)
+            tree = s.pipeline.train("DT", train)
+            result = s.accmc(tree, "Reflexive", 2)
+            assert s.pipeline.accmc.region_strategy == "per-path"
+        with MCMLSession() as plain:
+            data = plain.pipeline.make_dataset("Reflexive", 2)
+            train, _ = data.split(0.5, rng=0)
+            tree = plain.pipeline.train("DT", train)
+            assert plain.accmc(tree, "Reflexive", 2).counts == result.counts

@@ -198,7 +198,22 @@ class AccMC:
         self,
         tree: DecisionTreeClassifier,
         ground_truth: GroundTruth,
+        *,
+        deadline: float | None = None,
+        budget: int | None = None,
     ) -> AccMCResult:
+        """Whole-space confusion metrics of ``tree`` against ``ground_truth``.
+
+        ``deadline`` (wall-clock seconds) and ``budget`` (search nodes)
+        apply *per counting problem* on the CNF route: each confusion
+        count becomes a limited :class:`~repro.counting.api.CountRequest`,
+        so an intractable region raises
+        :class:`~repro.counting.exact.CounterTimeout` /
+        :class:`~repro.counting.exact.CounterBudgetExceeded` (or degrades
+        to the engine's configured fallback backend) instead of running
+        unbounded.  The formula-sweep route has no search loop to
+        interrupt and ignores both knobs.
+        """
         started = time.perf_counter()
         m = ground_truth.num_primary
         if tree.n_features != m:
@@ -230,7 +245,9 @@ class AccMC:
         else:
             # Region CNFs are compiled inside the route: the per-path
             # branch works from the raw path cubes and never needs them.
-            counts = self._evaluate_by_cnf(ground_truth, m, paths)
+            counts = self._evaluate_by_cnf(
+                ground_truth, m, paths, deadline=deadline, budget=budget
+            )
         return AccMCResult(
             property_name=ground_truth.prop.name,
             scope=ground_truth.scope,
@@ -264,7 +281,12 @@ class AccMC:
         return self.region_strategy == "per-path" and self.engine.capabilities.exact
 
     def _evaluate_by_cnf(
-        self, ground_truth: GroundTruth, m: int, paths
+        self,
+        ground_truth: GroundTruth,
+        m: int,
+        paths,
+        deadline: float | None = None,
+        budget: int | None = None,
     ) -> ConfusionCounts:
         """The paper's pipeline: conjoin CNFs, hand them to the counting engine.
 
@@ -285,14 +307,29 @@ class AccMC:
             false_arg = label_cubes(paths, 0, m)
 
             def region_problem(base: CNF, cubes) -> CountRequest:
-                return CountRequest.from_cnf(base, strategy="per-path", cubes=cubes)
+                return CountRequest.from_cnf(
+                    base,
+                    strategy="per-path",
+                    cubes=cubes,
+                    deadline=deadline,
+                    budget=budget,
+                )
 
-        else:
+        elif deadline is None and budget is None:
             true_arg = self.engine.region(paths, 1, m)
             false_arg = self.engine.region(paths, 0, m)
 
             def region_problem(base: CNF, region: CNF) -> CNF:
                 return base.conjoin(region)
+
+        else:
+            true_arg = self.engine.region(paths, 1, m)
+            false_arg = self.engine.region(paths, 0, m)
+
+            def region_problem(base: CNF, region: CNF) -> CountRequest:
+                return CountRequest.from_cnf(
+                    base.conjoin(region), deadline=deadline, budget=budget
+                )
         if self.mode == "product":
             not_phi = ground_truth.negative().cnf
             tp, fp, fn, tn = (
@@ -308,10 +345,19 @@ class AccMC:
             )
         else:
             space = ground_truth.space_cnf()
+            phi_problem = (
+                phi
+                if deadline is None and budget is None
+                else CountRequest.from_cnf(phi, deadline=deadline, budget=budget)
+            )
             tp, phi_count, tau_count = (
                 r.value
                 for r in self.engine.solve_many(
-                    [region_problem(phi, true_arg), phi, region_problem(space, true_arg)]
+                    [
+                        region_problem(phi, true_arg),
+                        phi_problem,
+                        region_problem(space, true_arg),
+                    ]
                 )
             )
             space_count = self._space_count(

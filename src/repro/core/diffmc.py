@@ -82,7 +82,17 @@ class DiffMC:
         self,
         first: DecisionTreeClassifier,
         second: DecisionTreeClassifier,
+        *,
+        deadline: float | None = None,
+        budget: int | None = None,
     ) -> DiffMCResult:
+        """The four agreement counts of ``first`` vs ``second``.
+
+        ``deadline`` (wall-clock seconds) and ``budget`` (search nodes)
+        bound each of the four counting problems individually; past a
+        limit the count raises its typed abort (or degrades to the
+        engine's configured fallback backend).
+        """
         if first.n_features is None or second.n_features is None:
             raise RuntimeError("both trees must be fitted")
         if first.n_features != second.n_features:
@@ -98,17 +108,20 @@ class DiffMC:
         true2 = self.engine.region(paths2, 1, m)
         false2 = self.engine.region(paths2, 0, m)
 
-        tt, tf, ft, ff = (
-            r.value
-            for r in self.engine.solve_many(
-                [
-                    true1.conjoin(true2),
-                    true1.conjoin(false2),
-                    false1.conjoin(true2),
-                    false1.conjoin(false2),
-                ]
-            )
-        )
+        problems = [
+            true1.conjoin(true2),
+            true1.conjoin(false2),
+            false1.conjoin(true2),
+            false1.conjoin(false2),
+        ]
+        if deadline is not None or budget is not None:
+            from repro.counting.api import CountRequest
+
+            problems = [
+                CountRequest.from_cnf(cnf, deadline=deadline, budget=budget)
+                for cnf in problems
+            ]
+        tt, tf, ft, ff = (r.value for r in self.engine.solve_many(problems))
         result = DiffMCResult(
             tt=tt,
             tf=tf,

@@ -59,6 +59,17 @@ class MCMLSession:
         The :class:`EngineConfig` scaling knobs (``component_spill``
         persists the component cache under ``cache_dir`` so component
         work survives session restarts; on by default, ``0`` opts out).
+    fallback / fallback_opts:
+        The degradation ladder: a registered backend name failed problems
+        (budget, deadline, lost worker) are re-counted on, with explicit
+        ``source="fallback"`` provenance on the results — e.g.
+        ``fallback="approxmc"`` trades exactness for an answer when the
+        exact backend cannot finish in budget.  ``None`` (default)
+        disables it.  See :class:`EngineConfig`.
+    deadline_grace / task_retries:
+        Fault-tolerance knobs of the engine's worker pool: watchdog slack
+        past a request's deadline before a wedged worker is killed, and
+        re-dispatches granted to problems whose worker died.
     accmc_mode:
         Default AccMC construction (``"derived"`` or the paper's
         ``"product"``); overridable per :meth:`accmc` call.
@@ -83,6 +94,12 @@ class MCMLSession:
         cache_dir=None,
         component_cache_mb: float = 512.0,
         component_spill: bool = True,
+        fallback: str | None = None,
+        fallback_opts: dict | None = None,
+        deadline_grace: float = 5.0,
+        task_retries: int = 2,
+        deadline: float | None = None,
+        budget: int | None = None,
         accmc_mode: str = "derived",
         region_strategy: str = "conjunction",
         seed: int = 0,
@@ -96,11 +113,20 @@ class MCMLSession:
                     cache_dir=cache_dir,
                     component_cache_mb=component_cache_mb,
                     component_spill=component_spill,
+                    fallback=fallback,
+                    fallback_opts=fallback_opts,
+                    deadline_grace=deadline_grace,
+                    task_retries=task_retries,
                 ),
             )
         self.engine = engine
         self.accmc_mode = accmc_mode
         self.region_strategy = region_strategy
+        #: Session-wide default per-problem limits, applied by the metric
+        #: entry points (:meth:`accmc`, :meth:`diffmc`) unless a call
+        #: overrides them.
+        self.deadline = deadline
+        self.budget = budget
         self.seed = seed
         self._accmc: dict[str, AccMC] = {}
         self._diffmc: DiffMC | None = None
@@ -130,12 +156,14 @@ class MCMLSession:
         """The component-cache disk spill, or None when not configured."""
         return self.engine.component_store
 
-    def solve(self, problem: CountRequest | CNF) -> CountResult:
+    def solve(
+        self, problem: CountRequest | CNF, *, on_failure: str = "raise"
+    ) -> CountResult:
         """Typed count of one problem through the session engine."""
-        return self.engine.solve(problem)
+        return self.engine.solve(problem, on_failure=on_failure)
 
-    def solve_many(self, problems) -> list[CountResult]:
-        return self.engine.solve_many(problems)
+    def solve_many(self, problems, *, on_failure: str = "raise"):
+        return self.engine.solve_many(problems, on_failure=on_failure)
 
     def count(self, cnf: CNF) -> int:
         """Bare-int convenience over :meth:`solve`."""
@@ -187,16 +215,39 @@ class MCMLSession:
         scope: int,
         symmetry: SymmetryBreaking | None = None,
         mode: str | None = None,
+        deadline: float | None = None,
+        budget: int | None = None,
     ) -> AccMCResult:
-        """Whole-input-space confusion metrics of ``tree`` against a property."""
-        ground_truth = self.ground_truth(prop, scope, symmetry=symmetry)
-        return self._accmc_for(mode or self.accmc_mode).evaluate(tree, ground_truth)
+        """Whole-input-space confusion metrics of ``tree`` against a property.
 
-    def diffmc(self, first, second) -> DiffMCResult:
+        ``deadline``/``budget`` bound each counting problem individually
+        (falling back to the session-wide defaults when omitted); see
+        :meth:`AccMC.evaluate`.
+        """
+        ground_truth = self.ground_truth(prop, scope, symmetry=symmetry)
+        return self._accmc_for(mode or self.accmc_mode).evaluate(
+            tree,
+            ground_truth,
+            deadline=deadline if deadline is not None else self.deadline,
+            budget=budget if budget is not None else self.budget,
+        )
+
+    def diffmc(
+        self,
+        first,
+        second,
+        deadline: float | None = None,
+        budget: int | None = None,
+    ) -> DiffMCResult:
         """Whole-space semantic difference between two decision trees."""
         if self._diffmc is None:
             self._diffmc = DiffMC(engine=self.engine)
-        return self._diffmc.evaluate(first, second)
+        return self._diffmc.evaluate(
+            first,
+            second,
+            deadline=deadline if deadline is not None else self.deadline,
+            budget=budget if budget is not None else self.budget,
+        )
 
     def bnnmc(
         self,

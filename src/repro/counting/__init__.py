@@ -40,10 +40,20 @@ back-ends used for validation and ablation:
   (whole counts keyed on canonical CNF signatures), :class:`BlobStore`
   (compilation memos) and :class:`ComponentStore` (the component-cache
   spill).
+* :mod:`repro.counting.faults` — the fault-injection harness the chaos
+  suite drives the robustness layer with (corrupt stores, full disks,
+  SIGKILLed workers, unpicklable backends).
+
+Failure taxonomy: :class:`CounterAbort` is the base of the cooperative
+resource aborts (:class:`CounterBudgetExceeded` for node budgets,
+:class:`CounterTimeout` for wall-clock deadlines);
+:class:`CountFailure` is the engine/pool-level typed outcome a failed
+batch problem becomes.
 """
 
 from repro.counting.api import (
     Capabilities,
+    CountFailure,
     CountRequest,
     CountResult,
     CounterBackend,
@@ -59,7 +69,13 @@ from repro.counting.bdd import BDDCounter, bdd_count
 from repro.counting.brute import brute_force_count, brute_force_models
 from repro.counting.component_cache import ComponentCache
 from repro.counting.engine import CountingEngine, EngineConfig, shared_engine
-from repro.counting.exact import ExactCounter, exact_count
+from repro.counting.exact import (
+    CounterAbort,
+    CounterBudgetExceeded,
+    CounterTimeout,
+    ExactCounter,
+    exact_count,
+)
 from repro.counting.legacy import LegacyExactCounter
 from repro.counting.oracles import closed_form_count
 from repro.counting.parallel import WorkerPool, count_parallel
@@ -79,10 +95,14 @@ __all__ = [
     "Capabilities",
     "ComponentCache",
     "ComponentStore",
+    "CountFailure",
     "CountRequest",
     "CountResult",
     "CountStore",
+    "CounterAbort",
     "CounterBackend",
+    "CounterBudgetExceeded",
+    "CounterTimeout",
     "CountingEngine",
     "EngineConfig",
     "EngineStats",

@@ -46,6 +46,7 @@ from repro.logic.cnf import CNF, Clause
 
 __all__ = [
     "Capabilities",
+    "CountFailure",
     "CountRequest",
     "CountResult",
     "CounterBackend",
@@ -169,9 +170,19 @@ class CountRequest:
         configured backend produces.
     ``budget``
         Per-problem search-node budget overriding the backend's default
-        (``max_nodes``); ``None`` keeps the backend's own.  Budgeted
-        requests are solved in-process so the override cannot leak into
-        worker clones.
+        (``max_nodes``); ``None`` keeps the backend's own.  The override
+        is applied per problem and restored afterwards, in-process and in
+        worker clones alike.
+    ``deadline``
+        Per-problem wall-clock seconds.  Backends with a ``deadline``
+        knob (the exact and approxmc counters) enforce it cooperatively
+        and raise :class:`~repro.counting.exact.CounterTimeout`; the
+        worker pool additionally backstops it with a kill-and-respawn
+        watchdog at deadline + grace, so even a wedged worker cannot hang
+        a batch.  For per-path requests the deadline applies to each
+        sub-problem.  Like ``budget`` it never changes a count's value —
+        only whether the count finishes — so it is excluded from the
+        request's :meth:`signature`.
     ``strategy`` / ``cubes``
         How the problem is decomposed.  ``"conjunction"`` (default) counts
         the CNF as-is — the paper's construction.  ``"per-path"`` declares
@@ -191,6 +202,7 @@ class CountRequest:
     aux_unique: bool = False
     precision: str = "any"
     budget: int | None = None
+    deadline: float | None = None
     strategy: str = "conjunction"
     cubes: tuple[tuple[int, ...], ...] | None = None
 
@@ -199,6 +211,8 @@ class CountRequest:
             raise ValueError(
                 f"precision must be 'any' or 'exact', got {self.precision!r}"
             )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline!r}")
         if self.strategy not in ("conjunction", "per-path"):
             raise ValueError(
                 f"strategy must be 'conjunction' or 'per-path', "
@@ -216,6 +230,7 @@ class CountRequest:
         *,
         precision: str = "any",
         budget: int | None = None,
+        deadline: float | None = None,
         strategy: str = "conjunction",
         cubes: tuple[tuple[int, ...], ...] | None = None,
     ) -> "CountRequest":
@@ -230,6 +245,7 @@ class CountRequest:
             aux_unique=cnf.aux_unique,
             precision=precision,
             budget=budget,
+            deadline=deadline,
             strategy=strategy,
             cubes=cubes,
         )
@@ -269,9 +285,9 @@ class CountRequest:
     def signature(self) -> tuple:
         """The canonical counting identity (see :meth:`CNF.signature`).
 
-        Deliberately excludes ``precision`` and ``budget``: they control
-        *how* the count is produced, never its value, so requests differing
-        only in them share memo/store entries.  A per-path request's
+        Deliberately excludes ``precision``, ``budget`` and ``deadline``:
+        they control *how* the count is produced, never its value, so
+        requests differing only in them share memo/store entries.  A per-path request's
         identity *does* include its cubes (they define the counted region);
         the engine never memoizes the summed parent, only the sub-problems.
         """
@@ -287,10 +303,18 @@ class CountResult:
     ``value`` is the projected model count; ``exact`` whether the backend
     guarantees it bit-exactly; ``backend`` the producing backend's
     registered name; ``source`` where the answer came from (``"memo"``,
-    ``"store"`` or ``"backend"``); ``elapsed_seconds`` the wall time this
-    problem cost (≈0 for cache hits); ``stats_delta`` the
+    ``"store"``, ``"backend"`` or ``"fallback"``); ``elapsed_seconds`` the
+    wall time this problem cost (≈0 for cache hits); ``stats_delta`` the
     :class:`EngineStats` movement the solving call caused (per batch for
     ``solve_many``).  ``int(result)`` returns the bare count.
+
+    A result produced by the engine's degradation ladder (the primary
+    backend timed out or blew its budget and ``EngineConfig(fallback=…)``
+    re-routed the problem) carries explicit provenance so an estimate can
+    never masquerade as exact: ``source == "fallback"``,
+    ``fallback_from`` names the backend that failed, ``exact`` reflects
+    the *fallback* backend's guarantee, and ``epsilon``/``delta`` carry
+    its (ε, δ) tolerance when it is approximate.
     """
 
     value: int
@@ -298,6 +322,9 @@ class CountResult:
     backend: str
     source: str
     elapsed_seconds: float = 0.0
+    fallback_from: str | None = None
+    epsilon: float | None = None
+    delta: float | None = None
     stats_delta: "EngineStats | None" = field(default=None, compare=False)
 
     def __int__(self) -> int:
@@ -309,7 +336,91 @@ class CountResult:
     @property
     def cached(self) -> bool:
         """True when no backend work was performed for this problem."""
-        return self.source != "backend"
+        return self.source not in ("backend", "fallback")
+
+    @property
+    def exactness(self) -> str:
+        """Human-readable exactness: ``"exact"`` or ``"approximate(ε,δ)"``."""
+        if self.exact:
+            return "exact"
+        if self.epsilon is not None and self.delta is not None:
+            return f"approximate(ε={self.epsilon:g}, δ={self.delta:g})"
+        return "approximate"
+
+
+class CountFailure(Exception):
+    """A counting problem that could not be answered, as a typed outcome.
+
+    Raised (or returned, with ``solve_many(..., on_failure="return")``)
+    by the engine when a problem exhausts its budget or deadline with no
+    configured fallback, when a worker died and the retry budget ran out,
+    or when the backend itself raised.  Carries enough provenance for the
+    caller to decide what to do next:
+
+    ``kind``
+        ``"timeout"`` (wall-clock deadline), ``"budget"`` (node budget),
+        ``"worker-lost"`` (worker died, retries exhausted) or ``"error"``
+        (any other backend exception).
+    ``backend``
+        The backend that was counting when the problem failed.
+    ``cause``
+        The original exception when one exists (``CounterTimeout``,
+        ``CounterBudgetExceeded``, …); ``None`` for watchdog kills and
+        lost workers, where no in-process exception ever fired.
+    ``elapsed_seconds`` / ``retries``
+        Wall time burned on the problem and how many times it was
+        re-dispatched after a worker loss.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        *,
+        backend: str = "?",
+        cause: BaseException | None = None,
+        elapsed_seconds: float = 0.0,
+        retries: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.backend = backend
+        self.cause = cause
+        self.elapsed_seconds = elapsed_seconds
+        self.retries = retries
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        *,
+        backend: str = "?",
+        elapsed_seconds: float = 0.0,
+        retries: int = 0,
+    ) -> "CountFailure":
+        """Classify a backend exception into its failure kind."""
+        from repro.counting.exact import CounterBudgetExceeded, CounterTimeout
+
+        if isinstance(exc, CounterTimeout):
+            kind = "timeout"
+        elif isinstance(exc, CounterBudgetExceeded):
+            kind = "budget"
+        else:
+            kind = "error"
+        return cls(
+            kind,
+            f"{kind} on backend {backend!r}: {exc}",
+            backend=backend,
+            cause=exc,
+            elapsed_seconds=elapsed_seconds,
+            retries=retries,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CountFailure(kind={self.kind!r}, backend={self.backend!r}, "
+            f"retries={self.retries}, {self.args[0]!r})"
+        )
 
 
 @dataclass
@@ -326,6 +437,18 @@ class EngineStats:
     back into the shared component cache — a warm-restarted engine doing
     genuinely new counts over a known φ shows ``backend_calls > 0`` but
     large ``component_spill_hits``.
+
+    The failure-path counters observe the robustness layer:
+    ``timeouts`` counts problems aborted by a wall-clock deadline
+    (cooperative ``CounterTimeout`` or the pool watchdog);
+    ``worker_respawns`` dead workers replaced by the self-healing pool;
+    ``retries`` problems re-dispatched after a worker loss;
+    ``fallbacks`` problems the degradation ladder re-routed to the
+    configured fallback backend; ``serial_fallbacks`` batches counted
+    serially because the backend did not pickle;
+    ``store_degradations`` disk-tier degradation events (corrupt database
+    rotated aside, unreadable row read as a miss, swallowed write
+    failure) across all three stores.
     """
 
     count_calls: int = 0
@@ -339,6 +462,12 @@ class EngineStats:
     region_calls: int = 0
     region_hits: int = 0
     region_store_hits: int = 0
+    timeouts: int = 0
+    worker_respawns: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    serial_fallbacks: int = 0
+    store_degradations: int = 0
 
     @property
     def count_misses(self) -> int:

@@ -28,8 +28,10 @@ import math
 import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from time import monotonic
 
 from repro.counting.api import Capabilities
+from repro.counting.exact import CounterTimeout
 from repro.logic.cnf import CNF
 from repro.sat.enumerate import count_models
 
@@ -124,15 +126,27 @@ class ApproxMCCounter:
         delta: float = 0.2,
         seed: int | None = 0,
         rounds: int | None = None,
+        deadline: float | None = None,
     ) -> None:
         self.epsilon = epsilon
         self.delta = delta
         self.threshold = compute_threshold(epsilon)
         self.rounds = rounds if rounds is not None else compute_rounds(delta)
+        self.deadline = deadline
+        self._deadline_at: float | None = None
         self._rng = random.Random(seed)
+
+    def _check_deadline(self) -> None:
+        # Probed between cell enumerations (the unit of work here), so the
+        # abort granularity is one bounded AllSAT call, not one round.
+        if self._deadline_at is not None and monotonic() > self._deadline_at:
+            raise CounterTimeout(f"exceeded {self.deadline}s wall-clock deadline")
 
     def count(self, cnf: CNF) -> int:
         """Approximate number of projected models."""
+        self._deadline_at = (
+            monotonic() + self.deadline if self.deadline is not None else None
+        )
         projection = sorted(cnf.projected_vars())
         # Quick exit: fewer than `threshold` solutions are counted exactly.
         exact_small = count_models(cnf, projection=projection, limit=self.threshold)
@@ -156,6 +170,7 @@ class ApproxMCCounter:
         self, cnf: CNF, projection: Sequence[int], xors: Sequence[XorConstraint], m: int
     ) -> int:
         """Solutions in the cell carved by the first ``m`` hashes, capped."""
+        self._check_deadline()
         hashed = cnf.copy()
         for constraint in xors[:m]:
             encode_xor(hashed, constraint)

@@ -298,6 +298,9 @@ class ComponentCache:
             "evictions": self.evictions,
             "spill_hits": self.spill_hits,
             "spills": self.spills,
+            "spill_degradations": (
+                getattr(self._spill, "degradations", 0) if self._spill is not None else 0
+            ),
         }
 
     def __len__(self) -> int:

@@ -44,6 +44,17 @@ scales the cold remainder across processes and sessions:
   — the cubes are unit clauses that propagate hard, and the sub-problems
   flow through the same memo/store/fan-out machinery, deduping shared
   paths across trees and sessions;
+* failures are *typed and contained*: budget exhaustions, wall-clock
+  deadline overruns (``CountRequest(deadline=...)``) and workers lost to
+  SIGKILL/OOM become per-problem
+  :class:`~repro.counting.api.CountFailure` outcomes instead of batch
+  aborts — completed counts always merge into the caches, the pool
+  respawns dead workers and re-dispatches their problems within a retry
+  budget, and with ``EngineConfig(fallback="approxmc")`` the *degradation
+  ladder* re-counts failed problems on an explicitly-provenanced fallback
+  backend (``solve_many(..., on_failure="return")`` surfaces the
+  remaining failures; the default re-raises the first original
+  exception);
 * ``translate`` memoizes grounded-property compilations (property × scope ×
   symmetry × polarity), keyed on the property's *structural* identity —
   two distinct properties sharing a name never collide;
@@ -72,13 +83,17 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
+from typing import NamedTuple
 
+from repro.counting import faults
 from repro.counting.api import (
     Capabilities,
+    CountFailure,
     CountRequest,
     CountResult,
     EngineStats,
     capabilities_of,
+    make_backend,
 )
 from repro.counting.component_cache import ComponentCache
 from repro.counting.parallel import WorkerPool, default_workers
@@ -136,6 +151,31 @@ class EngineConfig:
         opts out.  Worker deltas reach the shared cache and hence the
         spill too.
 
+    fallback:
+        Registered backend name (see
+        :func:`repro.counting.api.make_backend`) the *degradation ladder*
+        re-routes failed problems to — a problem that exhausts its node
+        budget, exceeds its wall-clock deadline, or loses its worker past
+        the retry budget is re-counted once on this backend instead of
+        failing the batch.  ``None`` (the default) disables the ladder.
+        The fallback result carries explicit provenance
+        (``source="fallback"``, ``fallback_from``, ``exact``/(ε, δ)), and
+        an inexact fallback (e.g. ``"approxmc"``) is never used for
+        requests demanding exact precision nor for per-path sub-problems
+        (summing estimates compounds their error) — those failures stand.
+        Inexact fallback counts are never memoized or persisted.
+    fallback_opts:
+        Keyword options for constructing the fallback backend (e.g.
+        ``{"epsilon": 0.8, "rounds": 1}``).
+    deadline_grace:
+        Parent-side watchdog slack on top of a request's ``deadline``
+        before a wedged worker is killed (the cooperative
+        ``CounterTimeout`` normally fires inside the worker well before
+        this backstop).
+    task_retries:
+        Re-dispatches granted to a problem whose worker *died*
+        (SIGKILL/OOM) before the problem is declared lost.
+
     Fan-out additionally requires the backend to declare ``parallel_safe``
     (worker clones reproduce the serial count stream): engines over seeded
     approximate backends quietly stay serial and unpersisted.
@@ -145,6 +185,10 @@ class EngineConfig:
     cache_dir: str | Path | None = None
     component_cache_mb: float = 512.0
     component_spill: bool = True
+    fallback: str | None = None
+    fallback_opts: dict | None = None
+    deadline_grace: float = 5.0
+    task_retries: int = 2
 
 
 def _prop_key(prop) -> object:
@@ -166,6 +210,16 @@ def _prop_key(prop) -> object:
             repr(getattr(prop, "formula", prop)),
         )
     return prop
+
+
+class _Flat(NamedTuple):
+    """One already-expanded problem of a ``solve_many`` batch."""
+
+    cnf: CNF
+    budget: int | None
+    deadline: float | None
+    exact_only: bool  #: request demanded exact precision
+    per_path: bool  #: sub-problem of a per-path decomposition
 
 
 class CountingEngine:
@@ -240,12 +294,26 @@ class CountingEngine:
             self.component_store = ComponentStore(self.config.cache_dir)
             self.component_cache.attach_spill(self.component_store)
         self._component_spill_hits_base = 0
+        self._store_degradations_base = 0
         self._pool: WorkerPool | None = None
+        self._pool_respawns_base = 0
+        self._pool_retries_base = 0
+        # The degradation ladder's fallback backend, built eagerly so a
+        # misconfigured name fails at construction, not at the first
+        # failure it was supposed to absorb.
+        self._fallback_counter = None
+        self._fallback_caps: Capabilities | None = None
+        if self.config.fallback is not None:
+            self._fallback_counter = make_backend(
+                self.config.fallback, **(self.config.fallback_opts or {})
+            )
+            self._fallback_caps = capabilities_of(self._fallback_counter)
         self.stats = EngineStats()
         self._counts: dict[tuple, int] = {}
         self._translations: dict[tuple, object] = {}
         self._ground_truths: dict[tuple, object] = {}
         self._regions: dict[tuple, CNF] = {}
+        self._sync_store_degradations()
 
     def __getattr__(self, name: str):
         # Fall through to the backend for everything the engine does not
@@ -270,11 +338,13 @@ class CountingEngine:
 
     # -- typed counting API ----------------------------------------------------------
 
-    def solve(self, problem: CountRequest | CNF) -> CountResult:
+    def solve(
+        self, problem: CountRequest | CNF, *, on_failure: str = "raise"
+    ) -> CountResult:
         """Solve one counting problem, returning the typed result."""
-        return self.solve_many([problem])[0]
+        return self.solve_many([problem], on_failure=on_failure)[0]
 
-    def solve_many(self, problems) -> list[CountResult]:
+    def solve_many(self, problems, *, on_failure: str = "raise"):
         """Solve a batch of problems, reusing every cache layer.
 
         Accepts :class:`~repro.counting.api.CountRequest` objects or raw
@@ -299,10 +369,32 @@ class CountingEngine:
         would compound their error, so per-path requests require an exact
         backend (consumers negotiate via ``capabilities.exact`` and fall
         back to the conjunction route — see :class:`repro.core.accmc.AccMC`).
+
+        Failure semantics.  A problem can fail without poisoning the
+        batch: a node-budget exhaustion
+        (:class:`~repro.counting.exact.CounterBudgetExceeded`), a
+        wall-clock deadline overrun
+        (:class:`~repro.counting.exact.CounterTimeout`), or a worker lost
+        past its retry budget each produce a typed
+        :class:`~repro.counting.api.CountFailure` for *that position* —
+        every other problem still completes, and completed counts always
+        reach the memo and the disk store (a retry resumes, it does not
+        recount).  With ``config.fallback`` set, failed problems are
+        re-counted once on the fallback backend first (results carry
+        ``source="fallback"`` provenance).  ``on_failure`` selects what
+        happens to failures that remain: ``"raise"`` (the default)
+        re-raises the first failure's original exception after the batch
+        completes; ``"return"`` returns the ``CountFailure`` objects in
+        their batch positions alongside the successes (a failed per-path
+        request is represented by its first failed sub-problem).
         """
+        if on_failure not in ("raise", "return"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'return', got {on_failure!r}"
+            )
         before = self.stats.copy()
         caps = self.capabilities
-        flat: list[tuple[CNF, int | None]] = []
+        flat: list[_Flat] = []
         #: per input problem: ("one", flat index) or ("sum", flat range)
         shape: list[tuple[str, int | range]] = []
         for problem in problems:
@@ -312,6 +404,7 @@ class CountingEngine:
                         f"request demands exact precision but backend "
                         f"{self.backend_name!r} is approximate"
                     )
+                exact_only = problem.precision == "exact"
                 if problem.strategy == "per-path":
                     if not caps.exact:
                         raise ValueError(
@@ -321,22 +414,35 @@ class CountingEngine:
                         )
                     start = len(flat)
                     flat.extend(
-                        (sub, problem.budget) for sub in problem.expand()
+                        _Flat(sub, problem.budget, problem.deadline, exact_only, True)
+                        for sub in problem.expand()
                     )
                     shape.append(("sum", range(start, len(flat))))
                     continue
-                flat.append((problem.cnf(), problem.budget))
+                flat.append(
+                    _Flat(
+                        problem.cnf(), problem.budget, problem.deadline,
+                        exact_only, False,
+                    )
+                )
             else:
-                flat.append((problem, None))
+                flat.append(_Flat(problem, None, None, False, False))
             shape.append(("one", len(flat) - 1))
 
         partial = self._solve_flat(flat, caps)
         self._sync_component_stats()
-        delta = self.stats.delta_since(before)
-        results: list[CountResult] = []
+        self._sync_store_degradations()
+        stats_delta = self.stats.delta_since(before)
+        results: list[CountResult | CountFailure] = []
+        primary: CountFailure | None = None
         for kind, ref in shape:
             if kind == "one":
                 r = partial[ref]
+                if isinstance(r, CountFailure):
+                    if primary is None:
+                        primary = r
+                    results.append(r)
+                    continue
                 results.append(
                     CountResult(
                         value=r.value,
@@ -344,24 +450,44 @@ class CountingEngine:
                         backend=r.backend,
                         source=r.source,
                         elapsed_seconds=r.elapsed_seconds,
-                        stats_delta=delta,
+                        fallback_from=r.fallback_from,
+                        epsilon=r.epsilon,
+                        delta=r.delta,
+                        stats_delta=stats_delta,
                     )
                 )
             else:
-                results.append(self._sum_result([partial[i] for i in ref], delta))
+                subs = [partial[i] for i in ref]
+                failed = next(
+                    (s for s in subs if isinstance(s, CountFailure)), None
+                )
+                if failed is not None:
+                    if primary is None:
+                        primary = failed
+                    results.append(failed)
+                    continue
+                results.append(self._sum_result(subs, stats_delta))
+        if primary is not None and on_failure == "raise":
+            if primary.cause is not None:
+                raise primary.cause from primary
+            raise primary
         return results
 
-    def _solve_flat(
-        self, items: list[tuple[CNF, int | None]], caps: Capabilities
-    ) -> list[CountResult]:
-        """Solve already-expanded ``(cnf, budget)`` problems (no delta attach)."""
-        results: list[CountResult | None] = [None] * len(items)
+    def _solve_flat(self, items: list[_Flat], caps: Capabilities):
+        """Solve already-expanded :class:`_Flat` problems (no delta attach).
+
+        Returns one :class:`~repro.counting.api.CountResult` or
+        :class:`~repro.counting.api.CountFailure` per item.
+        """
+        from repro.counting.exact import CounterAbort
+
+        results: list[CountResult | CountFailure | None] = [None] * len(items)
         positions: dict[tuple, list[int]] = {}
         order: list[tuple] = []
-        cold: dict[tuple, tuple[CNF, int | None]] = {}
-        for i, (cnf, budget) in enumerate(items):
+        cold: dict[tuple, _Flat] = {}
+        for i, item in enumerate(items):
             self.stats.count_calls += 1
-            key = cnf.signature()
+            key = item.cnf.signature()
             cached = self._counts.get(key)
             if cached is not None:
                 self.stats.count_hits += 1
@@ -374,7 +500,7 @@ class CountingEngine:
                 positions[key].append(i)
                 continue
             positions[key] = [i]
-            cold[key] = (cnf, budget)
+            cold[key] = item
             order.append(key)
 
         missing = order
@@ -395,11 +521,18 @@ class CountingEngine:
                     results[i] = hit
 
         if missing:
-            # Budgeted requests stay in-process (the override must not
-            # leak into worker clones); the rest may fan out.
-            pooled = [key for key in missing if cold[key][1] is None]
-            serial = [key for key in missing if cold[key][1] is not None]
+            # Budgeted and deadlined requests stay in-process (the knob
+            # overrides must not leak into worker clones); the rest may
+            # fan out.
+            pooled = [
+                key
+                for key in missing
+                if cold[key].budget is None and cold[key].deadline is None
+            ]
+            limited = set(pooled)
+            serial = [key for key in missing if key not in limited]
             completed: dict[tuple, tuple[int, float]] = {}
+            failed: dict[tuple, CountFailure] = {}
             deltas: list = []
             try:
                 pool = None
@@ -411,25 +544,37 @@ class CountingEngine:
                 ):
                     pool = self._ensure_pool()
                 if pool is not None:
-                    values: list[int] = []
-                    elapsed: list[float] = []
                     try:
-                        pool.run(
-                            [cold[key][0] for key in pooled],
-                            partial_sink=values,
-                            delta_sink=deltas,
-                            elapsed_sink=elapsed,
+                        outcomes = pool.run_tasks(
+                            [cold[key].cnf for key in pooled]
                         )
                     finally:
-                        for key, value, seconds in zip(pooled, values, elapsed):
-                            completed[key] = (value, seconds)
+                        self._sync_pool_stats(pool)
+                    for key, outcome in zip(pooled, outcomes):
+                        if isinstance(outcome, CountFailure):
+                            failed[key] = outcome
+                            continue
+                        completed[key] = (outcome.value, outcome.elapsed_seconds)
+                        if outcome.delta:
+                            deltas.extend(outcome.delta)
                 else:
                     serial = pooled + serial
                 for key in serial:
-                    cnf, budget = cold[key]
+                    item = cold[key]
                     started = time.perf_counter()
-                    with self._budget(budget):
-                        value = self.counter.count(cnf)
+                    try:
+                        with self._limits(item.budget, item.deadline):
+                            value = self.counter.count(item.cnf)
+                    except CounterAbort as exc:
+                        # Budget/deadline aborts are per-problem outcomes,
+                        # not batch aborts: record and keep counting — the
+                        # rest of the batch is still worth paying for.
+                        failed[key] = CountFailure.from_exception(
+                            exc,
+                            backend=self.backend_name,
+                            elapsed_seconds=time.perf_counter() - started,
+                        )
+                        continue
                     completed[key] = (value, time.perf_counter() - started)
             finally:
                 # Components the workers solved warm the shared cache, so
@@ -437,10 +582,10 @@ class CountingEngine:
                 # start from them too.
                 if deltas and self.component_cache is not None:
                     self.component_cache.absorb(deltas)
-                # Merge whatever completed even when a later problem raised
-                # (CounterBudgetExceeded acts as a timeout): counts already
-                # paid for must reach the memo and the disk store, so a
-                # retry resumes instead of re-counting from scratch.
+                # Merge whatever completed even when a later problem
+                # failed or raised: counts already paid for must reach the
+                # memo and the disk store, so a retry resumes instead of
+                # re-counting from scratch.
                 self.stats.backend_calls += len(completed)
                 fresh: list[tuple[str, int]] = []
                 for key, (value, seconds) in completed.items():
@@ -459,17 +604,77 @@ class CountingEngine:
                 if fresh and self.store is not None:
                     self.store.put_many(fresh)
 
+            # The degradation ladder: each failed problem gets one shot on
+            # the configured fallback backend; failures the ladder cannot
+            # absorb stand as the problem's typed outcome.
+            for key, failure in failed.items():
+                if failure.kind == "timeout":
+                    self.stats.timeouts += 1
+                outcome = self._try_fallback(failure, cold[key])
+                if isinstance(outcome, CountResult):
+                    if self._fallback_caps is not None and self._fallback_caps.exact:
+                        # Exact fallback counts are interchangeable with
+                        # the primary backend's; estimates are neither
+                        # memoized nor persisted.
+                        self._counts[key] = outcome.value
+                        if self.store is not None:
+                            self.store.put(hashed[key], outcome.value)
+                for i in positions[key]:
+                    results[i] = outcome
+
         return results
+
+    def _try_fallback(self, failure: CountFailure, item: _Flat):
+        """One fallback attempt for a failed problem (or the failure itself).
+
+        The ladder only absorbs *resource* failures (timeout, budget,
+        worker-lost) — a genuine backend error would fail on any backend.
+        An inexact fallback is refused for exact-precision requests and
+        per-path sub-problems.  The fallback does *not* inherit the
+        request's budget/deadline limits: the ladder exists to still
+        produce an answer after those limits already failed, and a
+        fallback algorithm's cost profile is unrelated to the one they
+        were calibrated for — bound the fallback through its own
+        construction knobs (``fallback_opts``, e.g. ``{"deadline": ...}``)
+        when needed.  A fallback's own abort, or its failure to converge,
+        leaves the original failure standing.
+        """
+        from repro.counting.exact import CounterAbort
+
+        fallback = self._fallback_counter
+        if fallback is None or failure.kind == "error":
+            return failure
+        fb_caps = self._fallback_caps
+        if not fb_caps.exact and (item.exact_only or item.per_path):
+            return failure
+        started = time.perf_counter()
+        try:
+            value = fallback.count(item.cnf)
+        except (CounterAbort, RuntimeError):
+            return failure
+        self.stats.fallbacks += 1
+        return CountResult(
+            value=value,
+            exact=fb_caps.exact,
+            backend=getattr(fallback, "name", type(fallback).__name__),
+            source="fallback",
+            elapsed_seconds=time.perf_counter() - started,
+            fallback_from=self.backend_name,
+            epsilon=None if fb_caps.exact else getattr(fallback, "epsilon", None),
+            delta=None if fb_caps.exact else getattr(fallback, "delta", None),
+        )
 
     def _sum_result(self, subs: list[CountResult], delta) -> CountResult:
         """Fold per-path sub-results into one summed result.
 
         Provenance reports the *coldest* tier any sub-problem touched
-        (backend over store over memo); an empty cube set (a region with
-        no paths of that label) sums to 0 without any work.
+        (fallback over backend over store over memo); an empty cube set (a
+        region with no paths of that label) sums to 0 without any work.
         """
         sources = {r.source for r in subs}
-        if "backend" in sources:
+        if "fallback" in sources:
+            source = "fallback"
+        elif "backend" in sources:
             source = "backend"
         elif "store" in sources:
             source = "store"
@@ -491,6 +696,32 @@ class CountingEngine:
             self.stats.component_spill_hits = (
                 cache.spill_hits - self._component_spill_hits_base
             )
+
+    def _store_degradations_total(self) -> int:
+        total = 0
+        for store in (self.store, self.memo_store, self.component_store):
+            if store is not None:
+                total += store.degradations
+        return total
+
+    def _sync_store_degradations(self) -> None:
+        """Mirror the disk tiers' self-repair events into EngineStats."""
+        self.stats.store_degradations = (
+            self._store_degradations_total() - self._store_degradations_base
+        )
+
+    def _sync_pool_stats(self, pool: WorkerPool) -> None:
+        """Mirror the pool's self-healing counters into EngineStats.
+
+        The pool's counters are cumulative over its lifetime; the engine
+        tracks bases so each sync moves the stats by exactly the delta
+        since the last one (and ``clear()``'s fresh EngineStats starts
+        from zero without touching the live pool).
+        """
+        self.stats.worker_respawns += pool.respawns - self._pool_respawns_base
+        self.stats.retries += pool.retries - self._pool_retries_base
+        self._pool_respawns_base = pool.respawns
+        self._pool_retries_base = pool.retries
 
     def solve_formula(self, formula, num_vars: int) -> CountResult:
         """Typed memoized whole-space formula count (fast-path backends).
@@ -543,20 +774,39 @@ class CountingEngine:
         )
 
     @contextmanager
-    def _budget(self, budget: int | None):
-        """Temporarily override the backend's node budget, if it has one."""
-        if budget is None:
-            yield
-            return
-        previous = getattr(self.counter, "max_nodes", _MISSING)
-        if previous is _MISSING:
-            yield  # backend has no budget knob: the request's cap is moot
-            return
-        self.counter.max_nodes = budget
+    def _limits(
+        self,
+        budget: int | None,
+        deadline: float | None = None,
+        *,
+        counter=None,
+    ):
+        """Temporarily override the backend's resource knobs, if it has them.
+
+        ``budget`` maps onto a ``max_nodes`` attribute and ``deadline``
+        onto a ``deadline`` attribute; a knob the backend lacks makes the
+        corresponding request limit moot (the pool watchdog still
+        backstops deadlines for parallel batches).  Restores on exit even
+        when the count aborts.
+        """
+        counter = self.counter if counter is None else counter
+        previous_budget = _MISSING
+        previous_deadline = _MISSING
+        if budget is not None:
+            previous_budget = getattr(counter, "max_nodes", _MISSING)
+            if previous_budget is not _MISSING:
+                counter.max_nodes = budget
+        if deadline is not None:
+            previous_deadline = getattr(counter, "deadline", _MISSING)
+            if previous_deadline is not _MISSING:
+                counter.deadline = deadline
         try:
             yield
         finally:
-            self.counter.max_nodes = previous
+            if previous_budget is not _MISSING:
+                counter.max_nodes = previous_budget
+            if previous_deadline is not _MISSING:
+                counter.deadline = previous_deadline
 
     # -- bare-int shims (deprecated spelling of the typed API) -----------------------
 
@@ -661,14 +911,24 @@ class CountingEngine:
         if self._pool is not None and not self._pool.closed:
             return self._pool
         try:
+            if faults.active("backend-unpicklable"):
+                raise pickle.PicklingError("injected: backend does not pickle")
             blob = pickle.dumps(self.counter)
-        except Exception:
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # The probe catches exactly the serialization failures — a
+            # genuinely broken backend still raises loudly here.
+            self.stats.serial_fallbacks += 1
             return None
         self._pool = WorkerPool(
             blob,
             self._workers,
             record_deltas=self.component_cache is not None,
+            grace=self.config.deadline_grace,
+            task_retries=self.config.task_retries,
+            backend_name=self.backend_name,
         )
+        self._pool_respawns_base = 0
+        self._pool_retries_base = 0
         return self._pool
 
     # -- maintenance -----------------------------------------------------------------
@@ -692,6 +952,11 @@ class CountingEngine:
             # The cache's own counters are cumulative; re-baseline so the
             # fresh EngineStats reports spill promotions from zero.
             self._component_spill_hits_base = self.component_cache.spill_hits
+        # Same re-baselining for the cumulative store and pool counters.
+        self._store_degradations_base = self._store_degradations_total()
+        if self._pool is not None:
+            self._pool_respawns_base = self._pool.respawns
+            self._pool_retries_base = self._pool.retries
         self.stats = EngineStats()
 
     def close(self) -> None:
@@ -733,6 +998,8 @@ class CountingEngine:
             extras += f", components={len(self.component_cache)}{spill}"
         if self.store is not None:
             extras += f", store={str(self.store.path)!r}"
+        if self.config.fallback is not None:
+            extras += f", fallback={self.config.fallback!r}"
         return (
             f"CountingEngine(backend={self.backend_name!r}, counts={len(self._counts)}, "
             f"hits={s.count_hits}/{s.count_calls}{extras})"

@@ -46,6 +46,8 @@ supplied CNFs.
 
 from __future__ import annotations
 
+from time import monotonic
+
 from repro.counting.api import Capabilities
 from repro.counting.component_cache import ComponentCache
 from repro.logic.cnf import CNF, MaskClause
@@ -57,9 +59,35 @@ _FRESH_CACHE = object()
 #: (worker clones get the MRU slice and warm the rest themselves).
 _PICKLED_CACHE_BYTES = 64 << 20
 
+#: Search nodes between wall-clock probes when a deadline is armed: the
+#: monotonic() call stays off the per-node path, and at Python node rates
+#: (~1M nodes/s at best) the cadence bounds overshoot well under a
+#: millisecond.
+_DEADLINE_CHECK_MASK = 127
 
-class CounterBudgetExceeded(Exception):
-    """Raised when the counter exceeds its node budget (acts as a timeout)."""
+
+class CounterAbort(Exception):
+    """A count was abandoned before producing a value (budget or deadline).
+
+    The common base of the two resource-limit aborts, so callers that
+    treat "the counter gave up" uniformly — the engine's degradation
+    ladder, retry loops — can catch one type.  Partial work (component
+    cache entries, elimination memos) survives the abort, which is what
+    makes a retried count resume warm instead of starting over.
+    """
+
+
+class CounterBudgetExceeded(CounterAbort):
+    """Raised when the counter exceeds its node budget (a portable timeout)."""
+
+
+class CounterTimeout(CounterAbort):
+    """Raised when the counter exceeds its wall-clock deadline.
+
+    The paper's 5000-second timeout, enforced cooperatively: the search
+    probes ``time.monotonic()`` every :data:`_DEADLINE_CHECK_MASK` + 1
+    nodes, so the abort lands within the deadline plus one probe interval.
+    """
 
 
 class ExactCounter:
@@ -72,6 +100,13 @@ class ExactCounter:
         exhausted.  This substitutes for the paper's 5000-second timeout.
         The budget is per ``count()`` call; a warm component cache makes a
         call spend fewer nodes, never more.
+    deadline:
+        Wall-clock seconds per ``count()`` call; ``CounterTimeout`` is
+        raised when exceeded (checked cooperatively at the node-budget
+        cadence, so the abort lands within a few milliseconds of the
+        deadline).  ``None`` (default) disables the clock.  Unlike the
+        node budget, a deadline is machine-dependent — counts themselves
+        remain bit-identical; only *whether a count finishes* varies.
     component_cache:
         The component cache counted through.  By default the counter owns a
         private bounded :class:`ComponentCache` that survives across
@@ -101,9 +136,12 @@ class ExactCounter:
         self,
         max_nodes: int = 5_000_000,
         component_cache: ComponentCache | None | object = _FRESH_CACHE,
+        deadline: float | None = None,
     ) -> None:
         self.max_nodes = max_nodes
+        self.deadline = deadline
         self._nodes = 0
+        self._deadline_at: float | None = None
         if component_cache is _FRESH_CACHE:
             component_cache = ComponentCache()
         self.component_cache: ComponentCache | None = component_cache
@@ -117,6 +155,8 @@ class ExactCounter:
         state = self.__dict__.copy()
         state.pop("_cache_get", None)
         state.pop("_cache_put", None)
+        # Mid-call clock state: meaningless in a clone, reset per count().
+        state["_deadline_at"] = None
         cache = state.get("component_cache")
         if cache is not None and (
             cache.max_bytes is None
@@ -133,6 +173,9 @@ class ExactCounter:
     def count(self, cnf: CNF) -> int:
         """Number of models of ``cnf`` projected onto ``cnf.projected_vars()``."""
         self._nodes = 0
+        self._deadline_at = (
+            monotonic() + self.deadline if self.deadline is not None else None
+        )
         # Bind the cache pair for this call: the persistent (possibly
         # engine-shared) cache when one is attached, a scratch dict
         # otherwise.  Rebinding per call keeps an engine free to attach a
@@ -258,6 +301,12 @@ class ExactCounter:
         self._nodes += 1
         if self._nodes > self.max_nodes:
             raise CounterBudgetExceeded(f"exceeded {self.max_nodes} nodes")
+        if (
+            self._deadline_at is not None
+            and self._nodes & _DEADLINE_CHECK_MASK == 0
+            and monotonic() > self._deadline_at
+        ):
+            raise CounterTimeout(f"exceeded {self.deadline}s wall-clock deadline")
 
         if has_units:
             simplified = _propagate(clauses)
@@ -324,6 +373,12 @@ class ExactCounter:
         self._nodes += 1
         if self._nodes > self.max_nodes:
             raise CounterBudgetExceeded(f"exceeded {self.max_nodes} nodes")
+        if (
+            self._deadline_at is not None
+            and self._nodes & _DEADLINE_CHECK_MASK == 0
+            and monotonic() > self._deadline_at
+        ):
+            raise CounterTimeout(f"exceeded {self.deadline}s wall-clock deadline")
         simplified = _propagate(clauses)
         if simplified is None:
             return False
@@ -340,9 +395,11 @@ class ExactCounter:
         return False
 
 
-def exact_count(cnf: CNF, max_nodes: int = 5_000_000) -> int:
+def exact_count(
+    cnf: CNF, max_nodes: int = 5_000_000, deadline: float | None = None
+) -> int:
     """One-shot exact projected model count."""
-    return ExactCounter(max_nodes=max_nodes).count(cnf)
+    return ExactCounter(max_nodes=max_nodes, deadline=deadline).count(cnf)
 
 
 # -- packed clause helpers --------------------------------------------------------------

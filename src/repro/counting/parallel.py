@@ -11,22 +11,45 @@ shipping one is the fork itself.
 
 Two entry points share the same worker protocol:
 
-* :class:`WorkerPool` — a *persistent* pool meant to be owned by a
-  :class:`repro.counting.engine.CountingEngine`: created lazily on the
-  first cold batch, reused across ``count_many`` calls and table rows
+* :class:`WorkerPool` — a *persistent*, **self-healing** pool meant to be
+  owned by a :class:`repro.counting.engine.CountingEngine`: forked lazily
+  on the first batch, reused across ``count_many`` calls and table rows
   (amortizing the fork cost that a per-batch pool pays every time), closed
-  by ``engine.close()``.  The backend counter is pickled once per pool via
-  the worker initializer, so each worker owns an independent clone — which
-  preserves serial semantics exactly, and means a worker's component cache
-  (:class:`repro.counting.component_cache.ComponentCache`) warms up over
-  the pool's lifetime.  With ``record_deltas=True`` workers additionally
-  ship the component-cache entries each problem inserted back to the
-  parent, so the engine's *shared* cache warms from parallel runs too.
+  by ``engine.close()``.  The backend counter is pickled once per pool and
+  unpickled once per worker, so each worker owns an independent clone —
+  which preserves serial semantics exactly, and means a worker's component
+  cache (:class:`repro.counting.component_cache.ComponentCache`) warms up
+  over the pool's lifetime.  With ``record_deltas=True`` workers
+  additionally ship the component-cache entries each problem inserted back
+  to the parent, so the engine's *shared* cache warms from parallel runs
+  too.
 * :func:`count_parallel` — the stateless one-shot wrapper (an ephemeral
   pool per call), kept for direct use and as the reference the engine's
   pool path is differentially tested against.
 
-Neither deduplicates nor persists: caching happens in
+Fault tolerance.  Earlier revisions collected results through
+``multiprocessing.Pool.imap``, which blocks forever if a worker is
+SIGKILLed (OOM killer, operator) mid-task.  The pool now owns one duplex
+pipe per worker and collects results asynchronously through
+``multiprocessing.connection.wait``:
+
+* a worker that dies is detected (EOF on its pipe), **respawned**, and its
+  in-flight problem is re-dispatched up to ``task_retries`` times before
+  it is declared lost (``respawns``/``retries`` telemetry; the engine
+  mirrors them into :class:`~repro.counting.api.EngineStats`);
+* a problem carrying a :attr:`CountRequest.deadline` is backstopped by a
+  parent-side watchdog: the cooperative
+  :class:`~repro.counting.exact.CounterTimeout` normally fires inside the
+  worker, but a wedged worker (or a backend without a deadline knob) is
+  killed and replaced at deadline + ``grace``;
+* :meth:`WorkerPool.run_tasks` therefore **never hangs** and returns one
+  typed outcome per problem — a :class:`TaskResult` or a
+  :class:`~repro.counting.api.CountFailure` — instead of letting one bad
+  problem poison the batch.  The legacy :meth:`WorkerPool.run` keeps its
+  historical contract (delivers every completed count, then re-raises the
+  first failure's original exception).
+
+Neither entry point deduplicates nor persists: caching happens in
 :class:`repro.counting.engine.CountingEngine`, which hands this module only
 the cold, unique problems.
 """
@@ -36,15 +59,26 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import signal
+from collections import deque
 from collections.abc import Iterable, Sequence
-from time import perf_counter
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from time import monotonic, perf_counter
 
-from repro.counting.api import CountRequest
+from repro.counting import faults
+from repro.counting.api import CountFailure, CountRequest
 from repro.logic.cnf import CNF
 
 #: The wire format of one counting problem (kept as an alias: the payload
 #: *is* the typed request object since the API v2 redesign).
 ProblemPayload = CountRequest
+
+#: Parent-side poll tick while waiting on worker pipes (seconds).
+_TICK = 0.05
+
+#: Bounded join when reaping a dead or killed worker process (seconds).
+_REAP_TIMEOUT = 5.0
 
 
 def cnf_to_payload(cnf: CNF) -> CountRequest:
@@ -68,17 +102,20 @@ def _start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
-# Worker-side state, installed once per process by the pool initializer
-# instead of being re-pickled per task: the counter clone this process
-# counts with, and whether to ship component-cache deltas back.
+# Worker-side state, installed once per process instead of being re-pickled
+# per task: the counter clone this process counts with, whether to ship
+# component-cache deltas back, and the per-process task counter the
+# ``worker-kill`` fault injection point consults.
 _WORKER_COUNTER = None
 _WORKER_RECORDS_DELTAS = False
+_WORKER_TASKS = 0
 
 
 def _initialize_worker(counter_blob: bytes, record_deltas: bool) -> None:
-    global _WORKER_COUNTER, _WORKER_RECORDS_DELTAS
+    global _WORKER_COUNTER, _WORKER_RECORDS_DELTAS, _WORKER_TASKS
     _WORKER_COUNTER = pickle.loads(counter_blob)
     _WORKER_RECORDS_DELTAS = False
+    _WORKER_TASKS = 0
     if record_deltas:
         cache = getattr(_WORKER_COUNTER, "component_cache", None)
         if cache is not None:
@@ -86,53 +123,159 @@ def _initialize_worker(counter_blob: bytes, record_deltas: bool) -> None:
             _WORKER_RECORDS_DELTAS = True
 
 
-#: Attribute-absence sentinel for the budget override below.
-_NO_BUDGET_KNOB = object()
+#: Attribute-absence sentinel for the per-problem knob overrides below.
+_NO_KNOB = object()
+
+
+def _maybe_injected_kill() -> None:
+    """The ``worker-kill`` fault point: SIGKILL this worker on its Nth task.
+
+    With ``worker-kill-marker`` armed to a path, the kill fires at most
+    once pool-wide — the first worker to atomically create the marker file
+    dies, respawned replacements survive — so chaos tests can assert the
+    batch still completes.  Without a marker every worker dies at its Nth
+    task, exercising retry-budget exhaustion.
+    """
+    threshold = faults.active("worker-kill")
+    if threshold is None:
+        return
+    global _WORKER_TASKS
+    _WORKER_TASKS += 1
+    if _WORKER_TASKS < int(threshold):
+        return
+    marker = faults.active("worker-kill-marker")
+    if marker is not None:
+        try:
+            os.close(os.open(str(marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return  # the injected crash already fired once
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 def _count_payload(payload: CountRequest) -> tuple[int, list, float]:
     """Count one problem; returns ``(count, cache delta, elapsed_seconds)``.
 
-    A request's per-problem ``budget`` overrides the worker clone's
-    ``max_nodes`` for just this count (restored afterwards), so
-    ``CounterBudgetExceeded`` fires in the worker exactly as it would in
-    the serial path.
+    A request's per-problem ``budget``/``deadline`` override the worker
+    clone's ``max_nodes``/``deadline`` knobs for just this count (restored
+    afterwards), so ``CounterBudgetExceeded``/``CounterTimeout`` fire in
+    the worker exactly as they would in the serial path.
     """
-    previous = _NO_BUDGET_KNOB
+    _maybe_injected_kill()
+    previous_budget = _NO_KNOB
+    previous_deadline = _NO_KNOB
     if payload.budget is not None:
-        previous = getattr(_WORKER_COUNTER, "max_nodes", _NO_BUDGET_KNOB)
-        if previous is not _NO_BUDGET_KNOB:
+        previous_budget = getattr(_WORKER_COUNTER, "max_nodes", _NO_KNOB)
+        if previous_budget is not _NO_KNOB:
             _WORKER_COUNTER.max_nodes = payload.budget
+    if payload.deadline is not None:
+        previous_deadline = getattr(_WORKER_COUNTER, "deadline", _NO_KNOB)
+        if previous_deadline is not _NO_KNOB:
+            _WORKER_COUNTER.deadline = payload.deadline
     started = perf_counter()
     try:
         value = _WORKER_COUNTER.count(payload.cnf())
     finally:
-        if previous is not _NO_BUDGET_KNOB:
-            _WORKER_COUNTER.max_nodes = previous
+        if previous_budget is not _NO_KNOB:
+            _WORKER_COUNTER.max_nodes = previous_budget
+        if previous_deadline is not _NO_KNOB:
+            _WORKER_COUNTER.deadline = previous_deadline
     elapsed = perf_counter() - started
     if _WORKER_RECORDS_DELTAS:
         return value, _WORKER_COUNTER.component_cache.drain_delta(), elapsed
     return value, [], elapsed
 
 
+def _worker_main(conn, counter_blob: bytes, record_deltas: bool) -> None:
+    """Worker process: receive ``(task_id, payload)``, count, send outcome.
+
+    Messages back are ``(task_id, "ok", (value, delta, elapsed))`` or
+    ``(task_id, "error", (exception, elapsed))``; a ``None`` task is the
+    shutdown sentinel.  The worker survives arbitrary backend exceptions —
+    they are shipped to the parent as typed outcomes, never allowed to
+    take the process down (an *unexpected* death is exactly what the
+    parent's respawn machinery is for).
+    """
+    _initialize_worker(counter_blob, record_deltas)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break  # parent went away: nothing left to serve
+        if task is None:
+            break
+        task_id, payload = task
+        started = perf_counter()
+        try:
+            body = _count_payload(payload)
+        except Exception as exc:  # ship the failure; the worker lives on
+            elapsed = perf_counter() - started
+            try:
+                conn.send((task_id, "error", (exc, elapsed)))
+            except (pickle.PicklingError, TypeError, AttributeError):
+                shell = RuntimeError(f"{type(exc).__name__}: {exc}")
+                conn.send((task_id, "error", (shell, elapsed)))
+            continue
+        conn.send((task_id, "ok", body))
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One successfully counted problem from :meth:`WorkerPool.run_tasks`."""
+
+    value: int
+    elapsed_seconds: float = 0.0
+    delta: list = field(default_factory=list, compare=False)
+
+
+class _WorkerHandle:
+    """One worker process plus the parent end of its pipe."""
+
+    __slots__ = ("process", "conn", "task_id", "started_at", "deadline_at")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.task_id: int | None = None  # in-flight batch index, None if idle
+        self.started_at = 0.0
+        self.deadline_at: float | None = None
+
+
 class WorkerPool:
-    """A persistent pool of worker processes, each owning a counter clone.
+    """A persistent, self-healing pool of workers, each owning a counter clone.
 
     Parameters
     ----------
     counter_blob:
         The pickled backend counter (``pickle.dumps(counter)``) each worker
-        unpickles once in its initializer.  Pickling is the caller's job so
-        an unpicklable backend fails *before* any process is forked.
+        unpickles once at startup.  Pickling is the caller's job so an
+        unpicklable backend fails *before* any process is forked.
     workers:
         Number of worker processes.  Fixed for the pool's lifetime; batches
-        smaller than the pool simply leave workers idle.
+        smaller than the pool simply leave workers idle.  Workers are
+        forked lazily on the first batch (and re-forked individually when
+        one dies — see ``respawns``).
     record_deltas:
         When True, workers record the component-cache entries each problem
         inserts and ship them back with the count, so the caller can warm a
         shared cache (:meth:`ComponentCache.absorb`).
     start_method:
         ``multiprocessing`` start method; default prefers ``fork``.
+    grace:
+        Watchdog slack on top of a problem's ``deadline`` before the
+        parent kills a worker that failed to abort cooperatively.
+    task_retries:
+        How many times a problem whose worker *died* (SIGKILL/OOM — not a
+        clean exception) is re-dispatched before it is declared lost.
+    drain_timeout:
+        Bounded seconds :meth:`close` waits for workers to drain and exit
+        cleanly before falling back to ``terminate()``.
+    backend_name:
+        Label stamped on the :class:`~repro.counting.api.CountFailure`
+        outcomes this pool produces.
     """
 
     def __init__(
@@ -142,17 +285,203 @@ class WorkerPool:
         *,
         record_deltas: bool = False,
         start_method: str | None = None,
+        grace: float = 5.0,
+        task_retries: int = 2,
+        drain_timeout: float = 5.0,
+        backend_name: str = "?",
     ) -> None:
-        context = multiprocessing.get_context(start_method or _start_method())
+        self._context = multiprocessing.get_context(start_method or _start_method())
+        self._counter_blob = counter_blob
         self.workers = max(1, int(workers))
         self.record_deltas = record_deltas
-        self.batches = 0  #: completed ``run`` calls (pool-reuse telemetry)
+        self.grace = grace
+        self.task_retries = max(0, int(task_retries))
+        self.drain_timeout = drain_timeout
+        self.backend_name = backend_name
+        self.batches = 0  #: completed batches (pool-reuse telemetry)
+        self.respawns = 0  #: dead workers replaced over the pool's lifetime
+        self.retries = 0  #: problems re-dispatched after a worker loss
+        self.timeouts = 0  #: watchdog kills (deadline + grace exceeded)
         self.closed = False
-        self._pool = context.Pool(
-            processes=self.workers,
-            initializer=_initialize_worker,
-            initargs=(counter_blob, record_deltas),
+        self._handles: list[_WorkerHandle] = []
+
+    # -- worker lifecycle --------------------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self._counter_blob, self.record_deltas),
+            daemon=True,
         )
+        process.start()
+        child_conn.close()  # the child keeps its own end
+        return _WorkerHandle(process, parent_conn)
+
+    def _ensure_workers(self) -> None:
+        if not self._handles:
+            self._handles = [self._spawn_worker() for _ in range(self.workers)]
+
+    def _retire(self, handle: _WorkerHandle) -> None:
+        """Reap one worker (dead or condemned); bounded, never hangs."""
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        process = handle.process
+        if process.is_alive():
+            process.terminate()
+        process.join(_REAP_TIMEOUT)
+        if process.is_alive():
+            process.kill()
+            process.join(_REAP_TIMEOUT)
+
+    def _replace(self, index: int) -> None:
+        """Retire the worker at ``index`` and fork its replacement."""
+        self._retire(self._handles[index])
+        self._handles[index] = self._spawn_worker()
+        self.respawns += 1
+
+    # -- batch execution ---------------------------------------------------------------
+
+    def run_tasks(
+        self,
+        problems: Sequence[CNF | CountRequest],
+        *,
+        grace: float | None = None,
+    ) -> list[TaskResult | CountFailure]:
+        """Count ``problems``, returning one typed outcome per problem.
+
+        Never raises for per-problem trouble and never hangs: worker
+        deaths respawn-and-retry within ``task_retries``, deadline
+        overruns are killed at deadline + grace, and clean backend
+        exceptions come back classified — each as a
+        :class:`~repro.counting.api.CountFailure` in the problem's batch
+        position, alongside the :class:`TaskResult` successes.
+        """
+        if self.closed:
+            raise RuntimeError("WorkerPool is closed")
+        payloads = [
+            item if isinstance(item, CountRequest) else cnf_to_payload(item)
+            for item in problems
+        ]
+        for payload in payloads:
+            # Decomposition is the engine's job (the sub-problems must flow
+            # through its memo and stores to dedup): the pool only ever
+            # counts already-expanded conjunction problems.  Checked before
+            # any fork so a bad batch costs no processes.
+            if payload.strategy != "conjunction":
+                raise ValueError(
+                    f"worker pools count plain problems; expand "
+                    f"strategy={payload.strategy!r} requests via "
+                    "CountingEngine.solve_many first"
+                )
+        if not payloads:
+            self.batches += 1
+            return []
+        grace = self.grace if grace is None else grace
+        self._ensure_workers()
+        outcomes: list[TaskResult | CountFailure | None] = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        pending: deque[int] = deque(range(len(payloads)))
+        remaining = len(payloads)
+
+        while remaining:
+            now = monotonic()
+            for i, handle in enumerate(self._handles):
+                if not pending:
+                    break
+                if handle.task_id is not None:
+                    continue
+                task_id = pending[0]
+                payload = payloads[task_id]
+                try:
+                    handle.conn.send((task_id, payload))
+                except (BrokenPipeError, OSError):
+                    # Died while idle: replace it; the next pass assigns.
+                    self._replace(i)
+                    continue
+                pending.popleft()
+                handle.task_id = task_id
+                handle.started_at = now
+                handle.deadline_at = (
+                    now + payload.deadline + grace
+                    if payload.deadline is not None
+                    else None
+                )
+            busy = [h for h in self._handles if h.task_id is not None]
+            if not busy:
+                continue  # freshly respawned workers pick work up next pass
+            timeout = _TICK
+            for handle in busy:
+                if handle.deadline_at is not None:
+                    timeout = min(timeout, max(handle.deadline_at - now, 0.0))
+            ready = set(_connection_wait([h.conn for h in busy], timeout))
+            now = monotonic()
+            for i, handle in enumerate(self._handles):
+                task_id = handle.task_id
+                if task_id is None:
+                    continue
+                if handle.conn in ready:
+                    try:
+                        message = handle.conn.recv()
+                    except (EOFError, OSError):
+                        # SIGKILL/OOM mid-task: respawn the worker and
+                        # re-dispatch the problem within its retry budget.
+                        elapsed = now - handle.started_at
+                        self._replace(i)
+                        if attempts[task_id] < self.task_retries:
+                            attempts[task_id] += 1
+                            self.retries += 1
+                            pending.append(task_id)
+                        else:
+                            outcomes[task_id] = CountFailure(
+                                "worker-lost",
+                                f"worker died counting batch problem {task_id} "
+                                f"and {attempts[task_id]} retries were exhausted",
+                                backend=self.backend_name,
+                                elapsed_seconds=elapsed,
+                                retries=attempts[task_id],
+                            )
+                            remaining -= 1
+                        continue
+                    _, status, body = message
+                    if status == "ok":
+                        value, delta, elapsed = body
+                        outcomes[task_id] = TaskResult(
+                            value=value, elapsed_seconds=elapsed, delta=delta
+                        )
+                    else:
+                        exc, elapsed = body
+                        outcomes[task_id] = CountFailure.from_exception(
+                            exc,
+                            backend=self.backend_name,
+                            elapsed_seconds=elapsed,
+                            retries=attempts[task_id],
+                        )
+                    remaining -= 1
+                    handle.task_id = None
+                    handle.deadline_at = None
+                    continue
+                if handle.deadline_at is not None and now > handle.deadline_at:
+                    # Watchdog backstop: deadline + grace passed without the
+                    # cooperative CounterTimeout firing (wedged worker, or a
+                    # backend with no deadline knob).  Kill and replace; a
+                    # timeout is final — retrying would just time out again.
+                    self.timeouts += 1
+                    outcomes[task_id] = CountFailure(
+                        "timeout",
+                        f"batch problem {task_id} exceeded its "
+                        f"{payloads[task_id].deadline}s deadline plus "
+                        f"{grace}s grace; worker killed",
+                        backend=self.backend_name,
+                        elapsed_seconds=now - handle.started_at,
+                        retries=attempts[task_id],
+                    )
+                    remaining -= 1
+                    self._replace(i)
+        self.batches += 1
+        return outcomes  # type: ignore[return-value]
 
     def run(
         self,
@@ -162,52 +491,72 @@ class WorkerPool:
         delta_sink: list | None = None,
         elapsed_sink: list[float] | None = None,
     ) -> list[int]:
-        """Count ``cnfs`` (or prepared requests) across the pool, in batch order.
+        """Count ``cnfs`` (or prepared requests), returning bare counts.
 
-        ``partial_sink`` receives each count as it completes, so a failure
-        at position k still delivers the first k results (a worker
-        exception — e.g. ``CounterBudgetExceeded`` — propagates here but
-        leaves the pool alive and reusable).  ``delta_sink`` receives the
-        workers' component-cache deltas when ``record_deltas`` is on;
-        ``elapsed_sink`` the per-problem worker wall times (the provenance
-        :class:`repro.counting.api.CountResult` reports).
+        The historical strict entry point over :meth:`run_tasks`:
+        ``partial_sink`` receives every count that completed (so a failure
+        at one position still delivers the others — counts already paid
+        for are never discarded), ``delta_sink`` the workers'
+        component-cache deltas when ``record_deltas`` is on, and
+        ``elapsed_sink`` the per-problem worker wall times.  If any
+        problem failed, the first failure's original exception (e.g.
+        ``CounterBudgetExceeded``) is re-raised after the batch completes;
+        the pool stays alive and reusable.
         """
-        if self.closed:
-            raise RuntimeError("WorkerPool is closed")
+        outcomes = self.run_tasks(cnfs)
         out = partial_sink if partial_sink is not None else []
-        payloads = [
-            item if isinstance(item, CountRequest) else cnf_to_payload(item)
-            for item in cnfs
-        ]
-        for payload in payloads:
-            # Decomposition is the engine's job (the sub-problems must flow
-            # through its memo and stores to dedup): the pool only ever
-            # counts already-expanded conjunction problems.
-            if payload.strategy != "conjunction":
-                raise ValueError(
-                    f"worker pools count plain problems; expand "
-                    f"strategy={payload.strategy!r} requests via "
-                    "CountingEngine.solve_many first"
-                )
-        # imap (not map): results arrive in batch order as they finish.
-        for value, delta, elapsed in self._pool.imap(
-            _count_payload, payloads, chunksize=1
-        ):
-            out.append(value)
-            if delta and delta_sink is not None:
-                delta_sink.extend(delta)
+        failure: CountFailure | None = None
+        for outcome in outcomes:
+            if isinstance(outcome, CountFailure):
+                if failure is None:
+                    failure = outcome
+                continue
+            out.append(outcome.value)
+            if outcome.delta and delta_sink is not None:
+                delta_sink.extend(outcome.delta)
             if elapsed_sink is not None:
-                elapsed_sink.append(elapsed)
-        self.batches += 1
+                elapsed_sink.append(outcome.elapsed_seconds)
+        if failure is not None:
+            if failure.cause is not None:
+                raise failure.cause
+            raise failure
         return list(out)
 
-    def close(self) -> None:
-        """Terminate the workers (idempotent)."""
+    # -- shutdown ----------------------------------------------------------------------
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain the workers gracefully, then terminate stragglers (idempotent).
+
+        Sends each worker the shutdown sentinel and joins with a bounded
+        ``timeout`` (default :attr:`drain_timeout`); workers that have not
+        exited by then — wedged, or mid-count — are terminated the way the
+        historical pool always was.  Between batches workers are idle, so
+        the drain is normally instant and no paid-for work is discarded.
+        """
         if self.closed:
             return
         self.closed = True
-        self._pool.terminate()
-        self._pool.join()
+        timeout = self.drain_timeout if timeout is None else timeout
+        deadline = monotonic() + timeout
+        for handle in self._handles:
+            try:
+                handle.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass  # already dead: the join below reaps it
+        for handle in self._handles:
+            handle.process.join(max(0.0, deadline - monotonic()))
+        for handle in self._handles:
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(_REAP_TIMEOUT)
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(_REAP_TIMEOUT)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._handles = []
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -217,7 +566,15 @@ class WorkerPool:
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else "alive"
-        return f"WorkerPool(workers={self.workers}, batches={self.batches}, {state})"
+        healing = (
+            f", respawns={self.respawns}, retries={self.retries}"
+            if self.respawns
+            else ""
+        )
+        return (
+            f"WorkerPool(workers={self.workers}, batches={self.batches}"
+            f"{healing}, {state})"
+        )
 
 
 def count_parallel(
@@ -236,13 +593,16 @@ def count_parallel(
     clone starts from the *initial* RNG state, so approximate backends
     should be fanned out only when that is acceptable).  Falls back to the
     serial loop when the batch or the machine cannot use a pool: a single
-    problem, ``workers <= 1``, or a backend that does not pickle.
+    problem, ``workers <= 1``, or a backend that does not pickle (the
+    probe catches exactly the serialization failures —
+    ``pickle.PicklingError``/``TypeError``/``AttributeError`` — so a
+    genuinely broken backend still raises loudly).
     ``workers <= 0`` means "one per core" (:func:`default_workers`).
 
-    ``partial_sink``, when given, receives each result in batch order as it
-    completes — if a problem raises (e.g. ``CounterBudgetExceeded``), the
-    sink holds the completed prefix, so callers can keep counts that were
-    already paid for.
+    ``partial_sink``, when given, receives each completed result (if a
+    problem raises — e.g. ``CounterBudgetExceeded`` — the sink holds the
+    completed counts, so callers can keep counts that were already paid
+    for).
 
     The pool here is ephemeral (forked and torn down per call); an engine
     that counts many batches should own a :class:`WorkerPool` instead.
@@ -255,14 +615,21 @@ def count_parallel(
     if workers <= 0:
         workers = default_workers()
     workers = min(workers, len(cnfs))
-    try:
-        counter_blob = pickle.dumps(counter) if workers > 1 else None
-    except Exception:
-        counter_blob = None  # unpicklable backend: count serially
+    counter_blob = None
+    if workers > 1:
+        try:
+            if faults.active("backend-unpicklable"):
+                raise pickle.PicklingError("injected: backend does not pickle")
+            counter_blob = pickle.dumps(counter)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            counter_blob = None  # unpicklable backend: count serially
     if workers == 1 or counter_blob is None:
         for cnf in cnfs:
             out.append(counter.count(cnf))
         return list(out)
-    with WorkerPool(counter_blob, workers, start_method=start_method) as pool:
+    backend_name = getattr(counter, "name", type(counter).__name__)
+    with WorkerPool(
+        counter_blob, workers, start_method=start_method, backend_name=backend_name
+    ) as pool:
         pool.run(cnfs, partial_sink=out)
     return list(out)

@@ -15,7 +15,13 @@ integers far beyond sqlite's 64-bit INTEGER range (2^{n²} spaces).
 The store is a *cache*, so it degrades rather than fails: a corrupted
 database file is rotated aside and recreated, and a corrupted row (text
 that does not parse back to an int) reads as a miss and is overwritten by
-the recount.
+the recount.  Every such degradation — rotation at open, unreadable row,
+failed read, swallowed write — increments the store's ``degradations``
+counter, which :class:`~repro.counting.engine.CountingEngine` surfaces as
+``EngineStats.store_degradations``: silent self-repair stays silent in the
+hot path but visible in telemetry.  The ``store-read-corrupt`` and
+``store-disk-full`` points of :mod:`repro.counting.faults` hook the read
+and write paths so chaos tests can drive these handlers on demand.
 
 :class:`BlobStore` is the sibling cache for *compilation* memos: grounded
 property translations (:class:`repro.spec.translate.RelationalProblem`)
@@ -59,6 +65,8 @@ import pickle
 import sqlite3
 from collections.abc import Iterable, Sequence
 from pathlib import Path
+
+from repro.counting import faults
 
 #: File name of the sqlite database inside the cache directory.
 STORE_FILENAME = "counts.sqlite"
@@ -105,24 +113,37 @@ def _open_cache_db(path: Path, schema: str) -> sqlite3.Connection:
         raise
 
 
-def _connect_or_rotate(path: Path, schema: str) -> sqlite3.Connection:
+def _connect_or_rotate(path: Path, schema: str) -> tuple[sqlite3.Connection, bool]:
     """Open ``path``, rotating a corrupt file aside and starting fresh.
 
     The degrade-don't-fail half of the shared discipline: a cache is
     disposable, so a truncated write, bit rot or a foreign file must
     never crash the owning engine's construction — the wreck is moved to
     ``<name>.corrupt`` (or deleted when even that fails) and an empty
-    database takes its place.
+    database takes its place.  Returns ``(connection, rotated)`` so the
+    owning store can count the rotation as a degradation.
     """
     try:
-        return _open_cache_db(path, schema)
+        return _open_cache_db(path, schema), False
     except sqlite3.DatabaseError:
         corrupt = path.with_suffix(path.suffix + ".corrupt")
         try:
             os.replace(path, corrupt)
         except OSError:
             path.unlink(missing_ok=True)
-        return _open_cache_db(path, schema)
+        return _open_cache_db(path, schema), True
+
+
+def _fault_read() -> None:
+    """The ``store-read-corrupt`` injection point (no-op unless armed)."""
+    if faults.active("store-read-corrupt"):
+        raise sqlite3.DatabaseError("injected: database disk image is malformed")
+
+
+def _fault_write() -> None:
+    """The ``store-disk-full`` injection point (no-op unless armed)."""
+    if faults.active("store-disk-full"):
+        raise sqlite3.OperationalError("injected: database or disk is full")
 
 
 def _canonical(obj):
@@ -164,12 +185,18 @@ class CountStore:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.cache_dir / STORE_FILENAME
         self._pending: dict[str, int] = {}
+        #: Self-repair events absorbed so far (rotations, corrupt rows,
+        #: failed reads, swallowed writes) — mirrored into EngineStats.
+        self.degradations = 0
         self._connection = self._connect()
 
     # -- connection handling ---------------------------------------------------------
 
     def _connect(self) -> sqlite3.Connection:
-        return _connect_or_rotate(self.path, _SCHEMA)
+        connection, rotated = _connect_or_rotate(self.path, _SCHEMA)
+        if rotated:
+            self.degradations += 1
+        return connection
 
     def close(self) -> None:
         if self._connection is not None:
@@ -206,17 +233,20 @@ class CountStore:
             if not keys:
                 return found
         try:
+            _fault_read()
             placeholders = ",".join("?" for _ in keys)
             rows = self._connection.execute(
                 f"SELECT key, value FROM counts WHERE key IN ({placeholders})",
                 keys,
             ).fetchall()
         except sqlite3.DatabaseError:
+            self.degradations += 1
             return found
         for key, value in rows:
             try:
                 found[key] = int(value)
             except (TypeError, ValueError):
+                self.degradations += 1
                 continue  # corrupted row: treat as a miss, recount repairs it
         return found
 
@@ -246,12 +276,13 @@ class CountStore:
             return
         rows = [(key, str(value)) for key, value in self._pending.items()]
         try:
+            _fault_write()
             self._connection.executemany(
                 "INSERT OR REPLACE INTO counts (key, value) VALUES (?, ?)", rows
             )
             self._connection.commit()
         except sqlite3.DatabaseError:
-            pass  # a cache write failure must never break counting
+            self.degradations += 1  # a cache write failure must never break counting
         # Dropped even on failure: a cache entry is always recountable, and
         # keeping a poisoned buffer would re-fail every later flush.
         self._pending.clear()
@@ -312,14 +343,18 @@ class BlobStore:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.cache_dir / BLOB_STORE_FILENAME
+        self.degradations = 0
         self._connection = self._connect()
 
     def _connect(self) -> sqlite3.Connection:
-        return _connect_or_rotate(
+        connection, rotated = _connect_or_rotate(
             self.path,
             "CREATE TABLE IF NOT EXISTS blobs "
             "(key TEXT PRIMARY KEY, value BLOB NOT NULL)",
         )
+        if rotated:
+            self.degradations += 1
+        return connection
 
     def close(self) -> None:
         if self._connection is not None:
@@ -337,16 +372,19 @@ class BlobStore:
         if self._connection is None:
             return None
         try:
+            _fault_read()
             row = self._connection.execute(
                 "SELECT value FROM blobs WHERE key = ?", (key,)
             ).fetchone()
         except sqlite3.DatabaseError:
+            self.degradations += 1
             return None
         if row is None:
             return None
         try:
             return pickle.loads(row[0])
         except Exception:
+            self.degradations += 1
             return None  # unpicklable row: a miss, the recompute repairs it
 
     def put(self, key: str, value: object) -> None:
@@ -358,13 +396,14 @@ class BlobStore:
         except Exception:
             return  # an unpicklable compilation simply is not persisted
         try:
+            _fault_write()
             self._connection.execute(
                 "INSERT OR REPLACE INTO blobs (key, value) VALUES (?, ?)",
                 (key, sqlite3.Binary(blob)),
             )
             self._connection.commit()
         except sqlite3.DatabaseError:
-            pass  # a cache write failure must never break compilation
+            self.degradations += 1  # a cache write failure must never break compilation
 
     def __len__(self) -> int:
         if self._connection is None:
@@ -424,17 +463,21 @@ class ComponentStore:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.path = self.cache_dir / COMPONENT_STORE_FILENAME
         self._pending: dict[str, object] = {}
+        self.degradations = 0
         self._connection = self._connect()
         self._keys: set[str] = self._load_keys()
 
     # -- connection handling ---------------------------------------------------------
 
     def _connect(self) -> sqlite3.Connection:
-        return _connect_or_rotate(
+        connection, rotated = _connect_or_rotate(
             self.path,
             "CREATE TABLE IF NOT EXISTS components "
             "(key TEXT PRIMARY KEY, value BLOB NOT NULL)",
         )
+        if rotated:
+            self.degradations += 1
+        return connection
 
     def _load_keys(self) -> set[str]:
         try:
@@ -475,18 +518,22 @@ class ComponentStore:
         if digest not in self._keys:
             return None
         try:
+            _fault_read()
             row = self._connection.execute(
                 "SELECT value FROM components WHERE key = ?", (digest,)
             ).fetchone()
         except sqlite3.DatabaseError:
+            self.degradations += 1
             return None  # transient read failure: keep the digest
         if row is None:
             self._keys.discard(digest)  # lost row: let a re-spill repair it
+            self.degradations += 1
             return None
         try:
             return pickle.loads(row[0])
         except Exception:
             self._keys.discard(digest)  # corrupt row: let a re-spill repair it
+            self.degradations += 1
             return None
 
     # -- writes ----------------------------------------------------------------------
@@ -521,6 +568,7 @@ class ComponentStore:
             except Exception:
                 self._keys.discard(digest)  # unpicklable: simply not spilled
         try:
+            _fault_write()
             self._connection.executemany(
                 "INSERT OR REPLACE INTO components (key, value) VALUES (?, ?)",
                 rows,
@@ -530,6 +578,7 @@ class ComponentStore:
             # A spill write failure must never break counting — but the
             # digests of rows that never landed must not stay "known",
             # or put()'s dedup would block every later re-spill attempt.
+            self.degradations += 1
             for digest, _ in rows:
                 self._keys.discard(digest)
         self._pending.clear()

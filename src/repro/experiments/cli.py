@@ -119,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1; 0 disables)",
     )
     parser.add_argument(
+        "--fallback", default=None, metavar="NAME",
+        help="degradation ladder: registered backend failed counts "
+        "(budget/deadline/lost worker) are re-counted on, with explicit "
+        "fallback provenance on the results (e.g. approxmc; default: off)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-problem wall-clock deadline on every metric count "
+        "(CounterTimeout past it; default: none)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None, metavar="NODES",
+        help="per-problem search-node budget on every metric count "
+        "(CounterBudgetExceeded past it; default: none)",
+    )
+    parser.add_argument(
         "--region-strategy", choices=("conjunction", "per-path"),
         default="conjunction",
         help="AccMC region route: per-path decomposes each tree-region "
@@ -141,6 +157,9 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         cache_dir=args.cache_dir,
         component_cache_mb=args.component_cache_mb,
         component_spill=bool(args.component_spill),
+        fallback=args.fallback,
+        deadline=args.deadline,
+        budget=args.budget,
         region_strategy=args.region_strategy,
     )
     if args.properties:

@@ -61,6 +61,10 @@ class ExperimentConfig:
     ``component_spill`` additionally persists that component cache under
     ``cache_dir`` (on by default, 0 opts out), and ``region_strategy``
     picks AccMC's region route (``"conjunction"`` or ``"per-path"``).
+    ``fallback`` names a backend the engine's degradation ladder
+    re-counts failed problems on (``mcml --fallback approxmc``), and
+    ``deadline``/``budget`` apply per-problem wall-clock and node limits
+    to every metric count made through drivers that accept them.
     """
 
     properties: tuple[str, ...] = tuple(p.name for p in PROPERTIES)
@@ -75,6 +79,9 @@ class ExperimentConfig:
     cache_dir: str | None = None
     component_cache_mb: float = 512.0
     component_spill: bool = True
+    fallback: str | None = None
+    deadline: float | None = None
+    budget: int | None = None
     model_params: dict[str, dict] = field(
         default_factory=lambda: {k: dict(v) for k, v in EXPERIMENT_MODEL_PARAMS.items()}
     )
@@ -95,6 +102,8 @@ class ExperimentConfig:
             cache_dir=self.cache_dir,
             component_cache_mb=self.component_cache_mb,
             component_spill=self.component_spill,
+            fallback=self.fallback,
+            fallback_opts={"seed": self.seed} if self.fallback in ("approx", "approxmc") else None,
         )
 
     def build_engine(self) -> CountingEngine:
@@ -113,5 +122,7 @@ class ExperimentConfig:
             engine=self.build_engine(),
             accmc_mode=self.accmc_mode,
             region_strategy=self.region_strategy,
+            deadline=self.deadline,
+            budget=self.budget,
             seed=self.seed,
         )

@@ -1,0 +1,523 @@
+"""Chaos suite: fault-injected tests of the counting stack's robustness layer.
+
+Drives the failure machinery on demand through :mod:`repro.counting.faults`
+and asserts the PR's acceptance criteria:
+
+* wall-clock deadlines abort cooperatively (``CounterTimeout``) and, for a
+  wedged worker, via the pool's kill-and-respawn watchdog — never by
+  hanging;
+* a SIGKILLed worker mid-batch neither hangs nor corrupts: the batch
+  completes bit-identical to the serial reference and the respawn shows up
+  in ``EngineStats``;
+* the degradation ladder re-routes timeout/budget/worker-lost failures to
+  the configured fallback backend with explicit provenance (an estimate
+  can never masquerade as exact, and is never memoized or persisted);
+* the disk tiers degrade (rotate, miss, swallow) instead of failing, and
+  every such event is visible as ``store_degradations``;
+* an unpicklable backend degrades to serial counting (``serial_fallbacks``)
+  while a genuinely broken backend still raises loudly.
+
+Every test disarms the fault registry on the way out (autouse fixture), and
+the tests that could conceivably hang carry a SIGALRM hard timeout so a
+regression fails fast instead of wedging the suite.
+"""
+
+import os
+import pickle
+import signal
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.counting import (
+    ApproxMCCounter,
+    CounterAbort,
+    CounterBudgetExceeded,
+    CounterTimeout,
+    CountFailure,
+    CountingEngine,
+    CountStore,
+    EngineConfig,
+    ExactCounter,
+    faults,
+)
+from repro.counting.api import CountRequest, CountResult
+from repro.counting.parallel import TaskResult, WorkerPool, count_parallel
+from repro.counting.store import STORE_FILENAME
+from repro.logic import CNF
+from repro.spec import get_property, translate
+
+#: Pinned exact counts (scope 3 is cheap; scope 5 Transitive is the one
+#: problem in the repro matrix big enough — ~1.8k search nodes — for the
+#: every-128-nodes deadline probe to actually fire).
+TRANSITIVE_3 = 171
+TRANSITIVE_5 = 154303
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """No chaos leaks in either direction: disarm before and after."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@contextmanager
+def hard_timeout(seconds: int):
+    """SIGALRM backstop: a hang becomes a fast, attributable failure."""
+
+    def _alarm(signum, frame):
+        raise TimeoutError(f"chaos test exceeded its {seconds}s hard timeout")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def property_cnf(name: str, scope: int) -> CNF:
+    return translate(get_property(name), scope).cnf
+
+
+class SleepyCounter:
+    """A picklable backend with no deadline knob that wedges forever."""
+
+    name = "sleepy"
+
+    def count(self, cnf):
+        time.sleep(30)
+        return 0
+
+
+class ExplodingPickle:
+    """A backend whose pickling fails with a *non*-serialization error."""
+
+    def count(self, cnf):
+        return 0
+
+    def __reduce__(self):
+        raise RuntimeError("boom: not a serialization failure")
+
+
+# -- taxonomy and request validation --------------------------------------------------
+
+
+class TestFailureTaxonomy:
+    def test_aborts_share_a_base(self):
+        assert issubclass(CounterTimeout, CounterAbort)
+        assert issubclass(CounterBudgetExceeded, CounterAbort)
+        assert issubclass(CounterAbort, Exception)
+
+    def test_from_exception_classifies(self):
+        timeout = CountFailure.from_exception(CounterTimeout("t"), backend="exact")
+        budget = CountFailure.from_exception(CounterBudgetExceeded("b"))
+        error = CountFailure.from_exception(ValueError("e"))
+        assert timeout.kind == "timeout"
+        assert timeout.backend == "exact"
+        assert isinstance(timeout.cause, CounterTimeout)
+        assert budget.kind == "budget"
+        assert error.kind == "error"
+        assert isinstance(error.cause, ValueError)
+
+    def test_deadline_must_be_positive(self):
+        cnf = CNF([[1]], num_vars=1)
+        with pytest.raises(ValueError, match="deadline"):
+            CountRequest.from_cnf(cnf, deadline=0)
+        with pytest.raises(ValueError, match="deadline"):
+            CountRequest.from_cnf(cnf, deadline=-1.5)
+
+    def test_signature_ignores_limits(self):
+        cnf = property_cnf("Transitive", 3)
+        plain = CountRequest.from_cnf(cnf)
+        limited = CountRequest.from_cnf(cnf, deadline=5.0, budget=10)
+        assert plain.signature() == limited.signature()
+
+
+class TestFaultHarness:
+    def test_env_round_trip(self):
+        faults.inject("store-read-corrupt")
+        faults.inject("worker-kill", 2)
+        assert os.environ[faults.ENV_VAR] == "store-read-corrupt,worker-kill:2"
+        assert faults.active("worker-kill") == 2
+        assert faults.active("store-read-corrupt") is True
+        assert faults.active("not-armed") is None
+        faults.clear("worker-kill")
+        assert os.environ[faults.ENV_VAR] == "store-read-corrupt"
+        faults.clear()
+        assert faults.ENV_VAR not in os.environ
+        assert faults.active("store-read-corrupt") is None
+
+    def test_injected_context_manager(self):
+        with faults.injected("worker-kill-marker", "/tmp/marker"):
+            assert faults.active("worker-kill-marker") == "/tmp/marker"
+        assert faults.active("worker-kill-marker") is None
+
+
+# -- cooperative deadlines ------------------------------------------------------------
+
+
+class TestCooperativeDeadline:
+    def test_exact_counter_times_out(self):
+        cnf = property_cnf("Transitive", 5)
+        counter = ExactCounter(deadline=0.01)
+        started = time.monotonic()
+        with hard_timeout(60):
+            with pytest.raises(CounterTimeout):
+                counter.count(cnf)
+        # The probe fires every 128 nodes, so the abort lands promptly —
+        # generous bound, the unlimited count itself takes well under 1s.
+        assert time.monotonic() - started < 5.0
+
+    def test_unlimited_count_pins_the_value(self):
+        assert ExactCounter().count(property_cnf("Transitive", 5)) == TRANSITIVE_5
+
+    def test_approxmc_times_out(self):
+        cnf = property_cnf("Transitive", 5)
+        counter = ApproxMCCounter(seed=0, deadline=0.05)
+        with hard_timeout(60):
+            with pytest.raises(CounterTimeout):
+                counter.count(cnf)
+
+    def test_engine_deadline_raises_and_restores_the_knob(self):
+        engine = CountingEngine(ExactCounter())
+        request = CountRequest.from_cnf(property_cnf("Transitive", 5), deadline=0.01)
+        with hard_timeout(60):
+            with pytest.raises(CounterTimeout):
+                engine.solve(request)
+        assert engine.counter.deadline is None  # per-problem override restored
+        assert engine.stats.timeouts == 1
+
+    def test_timed_out_work_warms_the_resume(self):
+        """A retry after a timeout resumes from the warm tiers, not scratch."""
+        engine = CountingEngine(ExactCounter())
+        cnf = property_cnf("Transitive", 5)
+        with hard_timeout(60):
+            with pytest.raises(CounterTimeout):
+                engine.solve(CountRequest.from_cnf(cnf, deadline=0.02))
+        # The aborted search already paid for components; they stayed.
+        assert engine.component_cache is not None
+        warmed = len(engine.component_cache)
+        assert warmed > 0
+        result = engine.solve(cnf)
+        assert result.value == TRANSITIVE_5
+        assert result.source == "backend"
+
+    def test_mid_batch_failure_leaves_the_rest_typed(self):
+        """on_failure="return": one bad problem cannot poison the batch."""
+        engine = CountingEngine(ExactCounter())
+        easy = property_cnf("Transitive", 3)
+        easy2 = property_cnf("PartialOrder", 3)
+        hard = CountRequest.from_cnf(property_cnf("Transitive", 5), budget=10)
+        results = engine.solve_many([easy, hard, easy2], on_failure="return")
+        assert isinstance(results[0], CountResult)
+        assert results[0].value == TRANSITIVE_3
+        assert isinstance(results[1], CountFailure)
+        assert results[1].kind == "budget"
+        assert isinstance(results[1].cause, CounterBudgetExceeded)
+        assert isinstance(results[2], CountResult)
+        # Completed counts reached the memo even though a sibling failed.
+        assert engine.solve(easy).source == "memo"
+        assert engine.stats.backend_calls == 2
+
+    def test_raise_mode_reraises_the_original_exception(self):
+        engine = CountingEngine(ExactCounter())
+        hard = CountRequest.from_cnf(property_cnf("Transitive", 3), budget=5)
+        with pytest.raises(CounterBudgetExceeded):
+            engine.solve_many([hard])
+
+
+# -- the degradation ladder -----------------------------------------------------------
+
+
+class TestDegradationLadder:
+    def _fallback_engine(self, **fallback_opts):
+        opts = {"epsilon": 0.8, "rounds": 3, "seed": 0}
+        opts.update(fallback_opts)
+        return CountingEngine(
+            ExactCounter(),
+            config=EngineConfig(fallback="approxmc", fallback_opts=opts),
+        )
+
+    def test_budget_failure_degrades_to_estimate(self):
+        engine = self._fallback_engine()
+        request = CountRequest.from_cnf(property_cnf("Transitive", 3), budget=10)
+        result = engine.solve(request)
+        assert isinstance(result, CountResult)
+        assert result.exact is False
+        assert result.source == "fallback"
+        assert result.fallback_from == "exact"
+        assert result.backend == "approxmc"
+        assert result.epsilon == 0.8
+        assert result.exactness.startswith("approximate")
+        # The (1+ε) guarantee around the true count.
+        assert TRANSITIVE_3 / 1.8 <= result.value <= TRANSITIVE_3 * 1.8
+        assert engine.stats.fallbacks == 1
+
+    def test_estimates_are_never_memoized(self):
+        engine = self._fallback_engine()
+        cnf = property_cnf("Transitive", 3)
+        engine.solve(CountRequest.from_cnf(cnf, budget=10))
+        # The unlimited retry must recount exactly, not serve the estimate.
+        retry = engine.solve(cnf)
+        assert retry.exact is True
+        assert retry.source == "backend"
+        assert retry.value == TRANSITIVE_3
+        if engine.store is not None:  # no cache_dir here, but be explicit
+            pytest.fail("unexpected disk store")
+
+    def test_inexact_fallback_refused_for_exact_precision(self):
+        engine = self._fallback_engine()
+        request = CountRequest.from_cnf(
+            property_cnf("Transitive", 3), budget=10, precision="exact"
+        )
+        with pytest.raises(CounterBudgetExceeded):
+            engine.solve(request)
+        assert engine.stats.fallbacks == 0
+
+    def test_deadline_failure_degrades_to_estimate(self):
+        """The PR's acceptance path: deadline blown, approxmc answers."""
+        engine = self._fallback_engine(epsilon=4.0, rounds=1)
+        request = CountRequest.from_cnf(property_cnf("Transitive", 5), deadline=0.01)
+        with hard_timeout(120):
+            result = engine.solve(request)
+        assert result.exact is False
+        assert result.source == "fallback"
+        assert result.fallback_from == "exact"
+        assert result.epsilon == 4.0
+        assert TRANSITIVE_5 / 5.0 <= result.value <= TRANSITIVE_5 * 5.0
+        assert engine.stats.timeouts == 1
+        assert engine.stats.fallbacks == 1
+
+    def test_exact_fallback_is_memoized(self, tmp_path):
+        engine = CountingEngine(
+            ExactCounter(),
+            config=EngineConfig(fallback="exact", cache_dir=tmp_path),
+        )
+        cnf = property_cnf("Transitive", 3)
+        result = engine.solve(CountRequest.from_cnf(cnf, budget=10))
+        assert result.exact is True
+        assert result.source == "fallback"
+        assert result.value == TRANSITIVE_3
+        # Exact fallback counts are interchangeable: memoized and persisted.
+        assert engine.solve(cnf).source == "memo"
+        assert len(engine.store) == 1
+        engine.close()
+
+    def test_genuine_errors_are_not_absorbed(self):
+        class BrokenCounter:
+            name = "broken"
+
+            def count(self, cnf):
+                raise ValueError("not a resource failure")
+
+        engine = CountingEngine(
+            BrokenCounter(), config=EngineConfig(fallback="exact")
+        )
+        with pytest.raises(ValueError, match="not a resource failure"):
+            engine.solve(property_cnf("Transitive", 3))
+        assert engine.stats.fallbacks == 0
+
+    def test_misconfigured_fallback_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown counter"):
+            CountingEngine(ExactCounter(), config=EngineConfig(fallback="nope"))
+
+
+# -- the self-healing worker pool -----------------------------------------------------
+
+
+class TestSelfHealingPool:
+    def test_sigkilled_worker_batch_matches_serial(self, tmp_path):
+        """The PR's acceptance path: SIGKILL mid-batch, no hang, no drift."""
+        names = [
+            "Reflexive",
+            "Transitive",
+            "Connex",
+            "Function",
+            "PartialOrder",
+            "Equivalence",
+        ]
+        cnfs = [property_cnf(name, 3) for name in names]
+        serial = [ExactCounter().count(cnf) for cnf in cnfs]
+        engine = CountingEngine(ExactCounter(), config=EngineConfig(workers=2))
+        faults.inject("worker-kill", 2)
+        faults.inject("worker-kill-marker", str(tmp_path / "killed-once"))
+        try:
+            with hard_timeout(120):
+                results = engine.solve_many(cnfs)
+        finally:
+            faults.clear()
+            engine.close()
+        assert [r.value for r in results] == serial
+        assert engine.stats.worker_respawns >= 1
+        assert engine.stats.retries >= 1
+
+    def test_worker_loss_exhausts_retries_then_recovers(self):
+        cnf = property_cnf("Transitive", 3)
+        pool = WorkerPool(
+            pickle.dumps(ExactCounter()), 1, task_retries=1, backend_name="exact"
+        )
+        try:
+            faults.inject("worker-kill", 1)  # no marker: every worker dies
+            with hard_timeout(120):
+                [outcome] = pool.run_tasks([cnf])
+            assert isinstance(outcome, CountFailure)
+            assert outcome.kind == "worker-lost"
+            assert outcome.retries == 1
+            assert outcome.cause is None  # the process died; nothing raised
+            assert pool.respawns >= 2
+            faults.clear()
+            # The pool heals: one straggler worker forked under the armed
+            # fault may still die once, but the retry budget covers it.
+            with hard_timeout(120):
+                [again] = pool.run_tasks([cnf])
+            assert isinstance(again, TaskResult)
+            assert again.value == TRANSITIVE_3
+        finally:
+            faults.clear()
+            pool.close()
+
+    def test_watchdog_kills_a_wedged_worker(self):
+        request = CountRequest.from_cnf(CNF([[1]], num_vars=1), deadline=0.1)
+        pool = WorkerPool(
+            pickle.dumps(SleepyCounter()), 1, grace=0.2, backend_name="sleepy"
+        )
+        try:
+            started = time.monotonic()
+            with hard_timeout(60):
+                [outcome] = pool.run_tasks([request])
+            elapsed = time.monotonic() - started
+            assert isinstance(outcome, CountFailure)
+            assert outcome.kind == "timeout"
+            assert outcome.cause is None  # watchdog kill, not a cooperative abort
+            assert pool.timeouts == 1
+            # deadline (0.1) + grace (0.2) plus scheduling slack — nowhere
+            # near the 30s the worker wanted to sleep.
+            assert elapsed < 10.0
+        finally:
+            pool.close()
+
+    def test_per_path_requests_are_rejected_before_forking(self):
+        request = CountRequest.from_cnf(
+            property_cnf("Transitive", 3), strategy="per-path", cubes=((1,), (-1,))
+        )
+        pool = WorkerPool(pickle.dumps(ExactCounter()), 2)
+        try:
+            with pytest.raises(ValueError, match="solve_many"):
+                pool.run_tasks([request])
+            assert pool._handles == []  # validation ran before any fork
+        finally:
+            pool.close()
+
+    def test_graceful_close_is_idempotent(self):
+        cnfs = [property_cnf("Transitive", 3), property_cnf("PartialOrder", 3)]
+        pool = WorkerPool(pickle.dumps(ExactCounter()), 2)
+        with hard_timeout(120):
+            outcomes = pool.run_tasks(cnfs)
+        assert all(isinstance(o, TaskResult) for o in outcomes)
+        processes = [handle.process for handle in pool._handles]
+        pool.close()
+        assert pool.closed
+        assert all(not process.is_alive() for process in processes)
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run_tasks(cnfs)
+
+
+# -- serial fallback on unpicklable backends ------------------------------------------
+
+
+class TestSerialFallback:
+    def test_engine_counts_serially_when_backend_does_not_pickle(self):
+        engine = CountingEngine(ExactCounter(), config=EngineConfig(workers=2))
+        faults.inject("backend-unpicklable")
+        results = engine.solve_many(
+            [property_cnf("Transitive", 3), property_cnf("PartialOrder", 3)]
+        )
+        assert results[0].value == TRANSITIVE_3
+        assert engine.stats.serial_fallbacks == 1
+        assert engine._pool is None
+
+    def test_count_parallel_probe_degrades_to_serial(self):
+        cnfs = [property_cnf("Transitive", 3), property_cnf("PartialOrder", 3)]
+        faults.inject("backend-unpicklable")
+        values = count_parallel(ExactCounter(), cnfs, workers=2)
+        assert values == [ExactCounter().count(cnf) for cnf in cnfs]
+
+    def test_non_serialization_pickle_errors_raise_loudly(self):
+        cnfs = [property_cnf("Transitive", 3), property_cnf("PartialOrder", 3)]
+        with pytest.raises(RuntimeError, match="boom"):
+            count_parallel(ExplodingPickle(), cnfs, workers=2)
+
+
+# -- disk-tier degradations -----------------------------------------------------------
+
+
+class TestStoreDegradations:
+    def test_corrupt_database_rotation_is_counted(self, tmp_path):
+        (tmp_path / STORE_FILENAME).write_bytes(b"this is not a sqlite file")
+        with CountStore(tmp_path) as store:
+            assert store.degradations == 1
+            assert (tmp_path / (STORE_FILENAME + ".corrupt")).exists()
+            store.put("k", 7)
+            store.flush()
+            assert store.get("k") == 7
+
+    def test_injected_read_corruption_reads_as_miss(self, tmp_path):
+        with CountStore(tmp_path) as store:
+            store.put("k", 7)
+            store.flush()
+            with faults.injected("store-read-corrupt"):
+                assert store.get("k") is None
+            assert store.degradations == 1
+            assert store.get("k") == 7  # healthy again once disarmed
+
+    def test_injected_disk_full_is_swallowed(self, tmp_path):
+        with CountStore(tmp_path) as store:
+            with faults.injected("store-disk-full"):
+                store.put_many([("k", 7)])
+            assert store.degradations == 1
+            # The failed write was dropped (a cache entry is recountable).
+            assert store.get("k") is None
+            store.put_many([("k", 7)])  # the "recount" repairs it
+            assert store.get("k") == 7
+
+    def test_engine_surfaces_store_degradations(self, tmp_path):
+        engine = CountingEngine(
+            ExactCounter(), config=EngineConfig(cache_dir=tmp_path)
+        )
+        with faults.injected("store-disk-full"):
+            engine.solve(property_cnf("Transitive", 3))
+        assert engine.stats.store_degradations >= 1
+        engine.close()
+
+
+# -- decomposition agreement under failure --------------------------------------------
+
+
+class TestPerPathAgreementUnderFailure:
+    def test_per_path_sum_survives_a_failed_sibling(self):
+        engine = CountingEngine(ExactCounter())
+        cnf = property_cnf("Transitive", 3)
+        # Branching on variable 1 partitions the space, so the per-path
+        # sum must equal the plain conjunction count exactly.
+        per_path = CountRequest.from_cnf(cnf, strategy="per-path", cubes=((1,), (-1,)))
+        doomed = CountRequest.from_cnf(property_cnf("Transitive", 5), budget=10)
+        results = engine.solve_many([per_path, doomed], on_failure="return")
+        assert isinstance(results[0], CountResult)
+        assert results[0].value == TRANSITIVE_3
+        assert isinstance(results[1], CountFailure)
+        assert results[1].kind == "budget"
+
+    def test_per_path_failure_is_represented_by_its_first_sub_failure(self):
+        engine = CountingEngine(ExactCounter())
+        cnf = property_cnf("Transitive", 5)
+        per_path = CountRequest.from_cnf(
+            cnf, strategy="per-path", cubes=((1,), (-1,)), budget=10
+        )
+        [outcome] = engine.solve_many([per_path], on_failure="return")
+        assert isinstance(outcome, CountFailure)
+        assert outcome.kind == "budget"

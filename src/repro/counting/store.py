@@ -44,6 +44,11 @@ counter's hottest loop, the store keeps the set of present key digests in
 memory: a miss against an absent key costs one digest + one set probe,
 never a query.
 
+All tiers share one implementation, :class:`_SqliteStore`: a subclass is a
+file name, a table name, a value codec and a buffering policy — the WAL
+discipline, rotation, degradation accounting and buffer semantics are
+written once.
+
 Write path.  The database runs in WAL mode (readers of other processes are
 not blocked by a writer mid-table, and commits are one sequential append),
 and single ``put`` calls are *buffered*: they land in an in-memory pending
@@ -53,7 +58,9 @@ commit (an fsync!) per count.  Reads observe the buffer, so a put is
 always visible to its own process; ``flush()``/``close()`` force the disk
 write.  The buffer is the cache trade-off: a process killed before a flush
 loses at most the last ``AUTOFLUSH_PUTS`` single puts (``put_many`` — the
-batch path — flushes through in its own transaction immediately).
+batch path — flushes through in its own transaction immediately).  Tiers
+whose values are few and large (compilation memos) set their buffer depth
+to 1 and write through, one transaction per put.
 """
 
 from __future__ import annotations
@@ -79,13 +86,6 @@ COMPONENT_STORE_FILENAME = "components.sqlite"
 
 #: Single ``put`` calls buffered before one transaction writes them out.
 AUTOFLUSH_PUTS = 256
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS counts (
-    key TEXT PRIMARY KEY,
-    value TEXT NOT NULL
-)
-"""
 
 
 def _open_cache_db(path: Path, schema: str) -> sqlite3.Connection:
@@ -170,21 +170,66 @@ def signature_key(signature: tuple) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-class CountStore:
-    """Persistent ``signature key -> model count`` map under ``cache_dir``.
+def text_key(*parts: object) -> str:
+    """Stable hex key for a tuple of repr-able components.
 
-    Parameters
-    ----------
-    cache_dir:
-        Directory holding the database (created if missing).  Distinct
-        engines and sessions pointing at the same directory share counts.
+    Compilation memos (translations, tree regions) are keyed on the
+    deterministic ``repr`` of frozen-dataclass structures — property ASTs,
+    tree paths — so two structurally equal inputs share a key across
+    processes while same-named-but-different ones never collide.
     """
+    payload = "\x1f".join(repr(part) for part in parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def component_key_digest(key) -> str:
+    """Stable hex digest of a component-cache key.
+
+    Component keys are ``(frozenset of (pos, neg) mask clauses, proj)``
+    pairs, optionally tagged ``("elim", clauses, proj)``.  A frozenset's
+    iteration order is an implementation detail, so the clauses are sorted
+    before hashing; the masks are arbitrary-precision ints whose ``repr``
+    is already canonical.  Plain and tagged keys over the same clauses get
+    distinct digests via the tag prefix.
+    """
+    if len(key) == 2:
+        tag, clauses, proj = "", key[0], key[1]
+    else:
+        tag, clauses, proj = key[0], key[1], key[2]
+    payload = f"{tag}\x1f{proj}\x1f{sorted(clauses)!r}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: Absent-value sentinel for the stores' buffer probes.
+_MISSING = object()
+
+
+class _SqliteStore:
+    """Shared machinery of the disk tiers: one sqlite cache discipline.
+
+    Every tier is a ``key TEXT -> value`` table under ``cache_dir`` with
+    the same contract — WAL + NORMAL sync at open, corrupt-file rotation,
+    puts buffered into one transaction per ``AUTOFLUSH`` calls, reads that
+    observe the buffer, and degrade-don't-fail semantics with every
+    self-repair event counted in ``degradations``.  A subclass declares
+    ``FILENAME``/``TABLE``/``VALUE_TYPE``, the value codec
+    (:meth:`_encode`/:meth:`_decode`) and its buffer depth (``AUTOFLUSH``;
+    1 is write-through, one transaction per put), and may hook
+    :meth:`_drop_unencodable`/:meth:`_flush_failed` to keep auxiliary
+    indexes consistent with what actually landed on disk.
+    """
+
+    FILENAME: str = ""
+    TABLE: str = ""
+    VALUE_TYPE: str = "TEXT"
+    #: Puts buffered before one transaction writes them out (1 = write-through).
+    AUTOFLUSH: int = AUTOFLUSH_PUTS
 
     def __init__(self, cache_dir: str | Path) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self.path = self.cache_dir / STORE_FILENAME
-        self._pending: dict[str, int] = {}
+        self.path = self.cache_dir / self.FILENAME
+        self._pending: dict[str, object] = {}
         #: Self-repair events absorbed so far (rotations, corrupt rows,
         #: failed reads, swallowed writes) — mirrored into EngineStats.
         self.degradations = 0
@@ -193,7 +238,11 @@ class CountStore:
     # -- connection handling ---------------------------------------------------------
 
     def _connect(self) -> sqlite3.Connection:
-        connection, rotated = _connect_or_rotate(self.path, _SCHEMA)
+        schema = (
+            f"CREATE TABLE IF NOT EXISTS {self.TABLE} "
+            f"(key TEXT PRIMARY KEY, value {self.VALUE_TYPE} NOT NULL)"
+        )
+        connection, rotated = _connect_or_rotate(self.path, schema)
         if rotated:
             self.degradations += 1
         return connection
@@ -204,11 +253,131 @@ class CountStore:
             self._connection.close()
             self._connection = None
 
-    def __enter__(self) -> "CountStore":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- value codec -----------------------------------------------------------------
+
+    def _encode(self, value):
+        """``value`` as the sqlite cell; raise to drop the row instead."""
+        raise NotImplementedError
+
+    def _decode(self, raw):
+        """The sqlite cell back as a value; raise to read as a corrupt miss."""
+        raise NotImplementedError
+
+    def _drop_unencodable(self, key: str) -> None:
+        """Hook: ``key``'s value refused to encode and will never be written."""
+
+    def _flush_failed(self, rows: list[tuple]) -> None:
+        """Hook: ``rows`` were attempted but the whole transaction was swallowed."""
+
+    # -- reads -----------------------------------------------------------------------
+
+    def get(self, key: str):
+        """The stored value for ``key``, or None (missing or unreadable)."""
+        if self._connection is None:
+            return None
+        pending = self._pending.get(key, _MISSING)
+        if pending is not _MISSING:
+            return pending  # buffered puts are newer than any row
+        try:
+            _fault_read()
+            row = self._connection.execute(
+                f"SELECT value FROM {self.TABLE} WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            self.degradations += 1
+            return None
+        if row is None:
+            return None
+        try:
+            return self._decode(row[0])
+        except Exception:
+            self.degradations += 1
+            return None  # unreadable row: a miss, the recompute repairs it
+
+    # -- writes ----------------------------------------------------------------------
+
+    def put(self, key: str, value) -> None:
+        """Record one entry; buffered — written out every ``AUTOFLUSH`` puts."""
+        if self._connection is None:
+            return  # closed store: a cache accepts and drops the write
+        self._pending[key] = value
+        if len(self._pending) >= self.AUTOFLUSH:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered puts to sqlite in one transaction."""
+        if self._connection is None:
+            self._pending.clear()  # nothing can ever drain a closed buffer
+            return
+        if not self._pending:
+            return
+        rows = []
+        for key, value in self._pending.items():
+            try:
+                raw = self._encode(value)
+            except Exception:
+                self._drop_unencodable(key)  # unencodable: simply not persisted
+            else:
+                rows.append((key, raw))
+        if rows:
+            try:
+                _fault_write()
+                self._connection.executemany(
+                    f"INSERT OR REPLACE INTO {self.TABLE} (key, value) VALUES (?, ?)",
+                    rows,
+                )
+                self._connection.commit()
+            except sqlite3.DatabaseError:
+                # A cache write failure must never break counting.
+                self.degradations += 1
+                self._flush_failed(rows)
+        # Dropped even on failure: a cache entry is always recomputable, and
+        # keeping a poisoned buffer would re-fail every later flush.
+        self._pending.clear()
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._connection is None:
+            return 0
+        self.flush()
+        try:
+            (total,) = self._connection.execute(
+                f"SELECT COUNT(*) FROM {self.TABLE}"
+            ).fetchone()
+            return int(total)
+        except sqlite3.DatabaseError:
+            return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(path={str(self.path)!r}, entries={len(self)})"
+
+
+class CountStore(_SqliteStore):
+    """Persistent ``signature key -> model count`` map under ``cache_dir``.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the database (created if missing).  Distinct
+        engines and sessions pointing at the same directory share counts.
+    """
+
+    FILENAME = STORE_FILENAME
+    TABLE = "counts"
+    VALUE_TYPE = "TEXT"
+
+    def _encode(self, value) -> str:
+        return str(value)
+
+    def _decode(self, raw) -> int:
+        return int(raw)
 
     # -- reads -----------------------------------------------------------------------
 
@@ -252,40 +421,12 @@ class CountStore:
 
     # -- writes ----------------------------------------------------------------------
 
-    def put(self, key: str, value: int) -> None:
-        """Record one count; buffered — written out every AUTOFLUSH_PUTS."""
-        if self._connection is None:
-            return  # closed store: a cache accepts and drops the write
-        self._pending[key] = value
-        if len(self._pending) >= AUTOFLUSH_PUTS:
-            self.flush()
-
     def put_many(self, items: Iterable[tuple[str, int]]) -> None:
         """Insert or overwrite counts in one transaction (with the buffer)."""
         if self._connection is None:
             return
         self._pending.update(items)
         self.flush()
-
-    def flush(self) -> None:
-        """Write the buffered puts to sqlite in one transaction."""
-        if self._connection is None:
-            self._pending.clear()  # nothing can ever drain a closed buffer
-            return
-        if not self._pending:
-            return
-        rows = [(key, str(value)) for key, value in self._pending.items()]
-        try:
-            _fault_write()
-            self._connection.executemany(
-                "INSERT OR REPLACE INTO counts (key, value) VALUES (?, ?)", rows
-            )
-            self._connection.commit()
-        except sqlite3.DatabaseError:
-            self.degradations += 1  # a cache write failure must never break counting
-        # Dropped even on failure: a cache entry is always recountable, and
-        # keeping a poisoned buffer would re-fail every later flush.
-        self._pending.clear()
 
     # -- maintenance -----------------------------------------------------------------
 
@@ -300,35 +441,8 @@ class CountStore:
         except sqlite3.DatabaseError:
             pass
 
-    def __len__(self) -> int:
-        if self._connection is None:
-            return 0
-        self.flush()
-        try:
-            (total,) = self._connection.execute(
-                "SELECT COUNT(*) FROM counts"
-            ).fetchone()
-            return int(total)
-        except sqlite3.DatabaseError:
-            return 0
 
-    def __repr__(self) -> str:
-        return f"CountStore(path={str(self.path)!r}, entries={len(self)})"
-
-
-def text_key(*parts: object) -> str:
-    """Stable hex key for a tuple of repr-able components.
-
-    Compilation memos (translations, tree regions) are keyed on the
-    deterministic ``repr`` of frozen-dataclass structures — property ASTs,
-    tree paths — so two structurally equal inputs share a key across
-    processes while same-named-but-different ones never collide.
-    """
-    payload = "\x1f".join(repr(part) for part in parts)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-class BlobStore:
+class BlobStore(_SqliteStore):
     """Persistent ``key -> pickled object`` map under ``cache_dir``.
 
     The compilation sibling of :class:`CountStore`: same degrade-don't-fail
@@ -337,112 +451,23 @@ class BlobStore:
     write path, but values are pickles of arbitrary Python objects —
     :class:`~repro.spec.translate.RelationalProblem` compilations and
     region :class:`~repro.logic.cnf.CNF`\\ s, all of which pickle cleanly.
+    Compilations are few and large, so the store writes through: one
+    transaction per put, nothing to lose on a crash.
     """
 
-    def __init__(self, cache_dir: str | Path) -> None:
-        self.cache_dir = Path(cache_dir)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self.path = self.cache_dir / BLOB_STORE_FILENAME
-        self.degradations = 0
-        self._connection = self._connect()
+    FILENAME = BLOB_STORE_FILENAME
+    TABLE = "blobs"
+    VALUE_TYPE = "BLOB"
+    AUTOFLUSH = 1  # write-through: one transaction per put
 
-    def _connect(self) -> sqlite3.Connection:
-        connection, rotated = _connect_or_rotate(
-            self.path,
-            "CREATE TABLE IF NOT EXISTS blobs "
-            "(key TEXT PRIMARY KEY, value BLOB NOT NULL)",
-        )
-        if rotated:
-            self.degradations += 1
-        return connection
+    def _encode(self, value) -> sqlite3.Binary:
+        return sqlite3.Binary(pickle.dumps(value))
 
-    def close(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
-
-    def __enter__(self) -> "BlobStore":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def get(self, key: str):
-        """The stored object for ``key``, or None (missing or unreadable)."""
-        if self._connection is None:
-            return None
-        try:
-            _fault_read()
-            row = self._connection.execute(
-                "SELECT value FROM blobs WHERE key = ?", (key,)
-            ).fetchone()
-        except sqlite3.DatabaseError:
-            self.degradations += 1
-            return None
-        if row is None:
-            return None
-        try:
-            return pickle.loads(row[0])
-        except Exception:
-            self.degradations += 1
-            return None  # unpicklable row: a miss, the recompute repairs it
-
-    def put(self, key: str, value: object) -> None:
-        """Store one object; silently dropped if it does not pickle."""
-        if self._connection is None:
-            return
-        try:
-            blob = pickle.dumps(value)
-        except Exception:
-            return  # an unpicklable compilation simply is not persisted
-        try:
-            _fault_write()
-            self._connection.execute(
-                "INSERT OR REPLACE INTO blobs (key, value) VALUES (?, ?)",
-                (key, sqlite3.Binary(blob)),
-            )
-            self._connection.commit()
-        except sqlite3.DatabaseError:
-            self.degradations += 1  # a cache write failure must never break compilation
-
-    def __len__(self) -> int:
-        if self._connection is None:
-            return 0
-        try:
-            (total,) = self._connection.execute(
-                "SELECT COUNT(*) FROM blobs"
-            ).fetchone()
-            return int(total)
-        except sqlite3.DatabaseError:
-            return 0
-
-    def __repr__(self) -> str:
-        return f"BlobStore(path={str(self.path)!r}, entries={len(self)})"
+    def _decode(self, raw):
+        return pickle.loads(raw)
 
 
-def component_key_digest(key) -> str:
-    """Stable hex digest of a component-cache key.
-
-    Component keys are ``(frozenset of (pos, neg) mask clauses, proj)``
-    pairs, optionally tagged ``("elim", clauses, proj)``.  A frozenset's
-    iteration order is an implementation detail, so the clauses are sorted
-    before hashing; the masks are arbitrary-precision ints whose ``repr``
-    is already canonical.  Plain and tagged keys over the same clauses get
-    distinct digests via the tag prefix.
-    """
-    if len(key) == 2:
-        tag, clauses, proj = "", key[0], key[1]
-    else:
-        tag, clauses, proj = key[0], key[1], key[2]
-    payload = f"{tag}\x1f{proj}\x1f{sorted(clauses)!r}"
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-#: Absent-value sentinel for :meth:`ComponentStore.get`'s buffer probe.
-_MISSING = object()
-
-
-class ComponentStore:
+class ComponentStore(_SqliteStore):
     """Persistent ``component key -> cached value`` map under ``cache_dir``.
 
     The disk-spill tier of :class:`~repro.counting.component_cache.ComponentCache`:
@@ -458,26 +483,13 @@ class ComponentStore:
     hottest loop, so an absent key must never cost a query.
     """
 
+    FILENAME = COMPONENT_STORE_FILENAME
+    TABLE = "components"
+    VALUE_TYPE = "BLOB"
+
     def __init__(self, cache_dir: str | Path) -> None:
-        self.cache_dir = Path(cache_dir)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self.path = self.cache_dir / COMPONENT_STORE_FILENAME
-        self._pending: dict[str, object] = {}
-        self.degradations = 0
-        self._connection = self._connect()
+        super().__init__(cache_dir)
         self._keys: set[str] = self._load_keys()
-
-    # -- connection handling ---------------------------------------------------------
-
-    def _connect(self) -> sqlite3.Connection:
-        connection, rotated = _connect_or_rotate(
-            self.path,
-            "CREATE TABLE IF NOT EXISTS components "
-            "(key TEXT PRIMARY KEY, value BLOB NOT NULL)",
-        )
-        if rotated:
-            self.degradations += 1
-        return connection
 
     def _load_keys(self) -> set[str]:
         try:
@@ -486,17 +498,20 @@ class ComponentStore:
         except sqlite3.DatabaseError:
             return set()
 
-    def close(self) -> None:
-        if self._connection is not None:
-            self.flush()
-            self._connection.close()
-            self._connection = None
+    def _encode(self, value) -> sqlite3.Binary:
+        return sqlite3.Binary(pickle.dumps(value))
 
-    def __enter__(self) -> "ComponentStore":
-        return self
+    def _decode(self, raw):
+        return pickle.loads(raw)
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def _drop_unencodable(self, digest: str) -> None:
+        self._keys.discard(digest)  # unpicklable: simply not spilled
+
+    def _flush_failed(self, rows: list[tuple]) -> None:
+        # The digests of rows that never landed must not stay "known", or
+        # put()'s dedup would block every later re-spill attempt.
+        for digest, _ in rows:
+            self._keys.discard(digest)
 
     # -- reads -----------------------------------------------------------------------
 
@@ -551,40 +566,10 @@ class ComponentStore:
             return
         self._keys.add(digest)
         self._pending[digest] = value
-        if len(self._pending) >= AUTOFLUSH_PUTS:
+        if len(self._pending) >= self.AUTOFLUSH:
             self.flush()
 
-    def flush(self) -> None:
-        """Write the buffered spills to sqlite in one transaction."""
-        if self._connection is None:
-            self._pending.clear()
-            return
-        if not self._pending:
-            return
-        rows = []
-        for digest, value in self._pending.items():
-            try:
-                rows.append((digest, sqlite3.Binary(pickle.dumps(value))))
-            except Exception:
-                self._keys.discard(digest)  # unpicklable: simply not spilled
-        try:
-            _fault_write()
-            self._connection.executemany(
-                "INSERT OR REPLACE INTO components (key, value) VALUES (?, ?)",
-                rows,
-            )
-            self._connection.commit()
-        except sqlite3.DatabaseError:
-            # A spill write failure must never break counting — but the
-            # digests of rows that never landed must not stay "known",
-            # or put()'s dedup would block every later re-spill attempt.
-            self.degradations += 1
-            for digest, _ in rows:
-                self._keys.discard(digest)
-        self._pending.clear()
+    # -- maintenance -----------------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._keys)
-
-    def __repr__(self) -> str:
-        return f"ComponentStore(path={str(self.path)!r}, entries={len(self)})"

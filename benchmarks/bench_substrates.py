@@ -8,15 +8,17 @@ translation against the naive distribution alternative it replaces.
 import numpy as np
 import pytest
 
-from repro.core.tree2cnf import label_region_cnf, tree_paths_formula
+from repro.core.tree2cnf import label_cubes, label_region_cnf, tree_paths_formula
 from repro.counting import (
     ApproxMCCounter,
     BDDCounter,
+    CompiledCounter,
     CountingEngine,
     ExactCounter,
     FormulaBruteCounter,
     LegacyExactCounter,
 )
+from repro.logic.cnf import CNF
 from repro.logic.tseitin import direct_cnf, tseitin_cnf
 from repro.ml.decision_tree import DecisionTreeClassifier
 from repro.spec import SymmetryBreaking, get_property, translate
@@ -90,6 +92,23 @@ class TestCounterAblation:
         region = label_region_cnf(fitted_tree, 1, 16)
         exact = ExactCounter().count(region)
         count = benchmark(lambda: BDDCounter().count(region))
+        assert count == exact
+
+    def test_compiled_conditioning_on_tree_region(self, benchmark, fitted_tree):
+        # The compile-once-query-forever query cost: the circuit is built
+        # outside the timed region, so the measurement is one conditioning
+        # pass — the marginal cost of each extra region on a warm circuit.
+        region = label_region_cnf(fitted_tree, 1, 16)
+        circuit = CompiledCounter().compile(region)
+        cube = label_cubes(fitted_tree, 0, 16)[0]
+        exact = ExactCounter().count(
+            CNF(
+                num_vars=region.num_vars,
+                clauses=list(region.clauses) + [(lit,) for lit in cube],
+                projection=region.projection,
+            )
+        )
+        count = benchmark(lambda: circuit.condition(cube))
         assert count == exact
 
     def test_formula_brute_counter(self, benchmark):

@@ -7,7 +7,9 @@ counting-service ablations (1-vs-N worker fan-out on the AccMC
 product-mode batch, warm-vs-cold disk cache on a Table 1 slice, shared
 component cache on the same-φ/many-regions AccMC ratio sweep, cold-run
 vs warm-restart component *spill* on the per-path variant of that sweep,
-a ``CountStore`` round-trip micro-bench), and writes (or updates)
+cold-compile vs warm-conditioned circuit counting on a DiffMC-shaped
+ratio sweep, a ``CountStore`` round-trip micro-bench), and writes (or
+updates)
 ``BENCH_counting.json`` next to this script's repository root.  The JSON
 keeps a ``history`` list so successive PRs append their numbers instead of
 overwriting the trajectory::
@@ -53,6 +55,7 @@ BACKENDS = {
     "test_counting_engine_warm": "engine-warm",
     "test_approxmc_counter": "approxmc",
     "test_bdd_counter_on_tree_region": "bdd",
+    "test_compiled_conditioning_on_tree_region": "compiled-conditioning",
     "test_formula_brute_counter": "formula-brute",
 }
 
@@ -338,6 +341,168 @@ def component_spill_ablation(scope: int, fractions: tuple[float, ...]) -> dict:
     }
 
 
+def compiled_conditioning_ablation(
+    scope: int, fractions: tuple[float, ...], reps: int = 5
+) -> dict:
+    """Compile-once-query-forever vs cold per-region counting on a sweep.
+
+    The workload is a *same-base/many-regions* ratio sweep in DiffMC's
+    shape: a reference decision tree's true/false label regions
+    (auxiliary-free CNFs) queried against the label cubes of a tree
+    retrained at each training fraction.  A dense fraction grid makes
+    adjacent sweep trees share path cubes — exactly the redundancy the
+    circuit tier exploits and per-region counting cannot.  Timed legs:
+
+    * ``region_recount_s`` — **cold per-region counting** on the
+      ``compiled`` backend: every (base, sweep tree, label) region
+      conjunction compiled-and-counted from scratch, no caches — the
+      criterion denominator;
+    * ``regions_exact_s`` — the same conjunctions through a shared
+      ``exact``-backend engine (the conjunction route's realistic cost,
+      reported as context);
+    * ``cold_compile_s`` — the ``compiled`` backend on a fresh
+      ``cache_dir``: compiles the two base circuits once, answers every
+      region by unit-cube conditioning and persists the circuits to
+      ``circuits.sqlite``;
+    * ``warm_conditioned_s`` — a *fresh engine on the same cache_dir*
+      re-answering the sweep after ``counts.sqlite``/``memos.sqlite``
+      are deleted: the restart performs **zero compilations** (circuits
+      warm from the store tier) and **zero backend counts**
+      (conditioning passes only).
+
+    The recount and warm legs repeat ``reps`` times *interleaved* (one
+    recount then one warm restart per rep) and report medians:
+    single-shot timings on a noisy shared-CPU runner would swing the
+    ratio either way, and interleaving keeps slow machine phases from
+    landing on only one leg.  Bit-identity of every leg and the
+    compile-nothing/count-nothing shape of each warm restart are
+    enforced hard; the speedup is reported as measured with
+    ``cpu_count`` recorded for context.
+    """
+    from statistics import median
+
+    from repro.core.pipeline import MCMLPipeline
+    from repro.core.tree2cnf import label_cubes, label_region_cnf
+    from repro.counting import CountingEngine, CountRequest, EngineConfig, make_backend
+    from repro.spec import SymmetryBreaking, get_property
+
+    prop = get_property("PartialOrder")
+    symmetry = SymmetryBreaking()
+    m = scope * scope
+    pipeline = MCMLPipeline(seed=0)
+    dataset = pipeline.make_dataset(prop, scope, symmetry=symmetry)
+    reference_train, _ = dataset.split(0.8, rng=1)
+    reference_paths = pipeline.train("DT", reference_train).decision_paths()
+    bases = [label_region_cnf(reference_paths, label, m) for label in (1, 0)]
+
+    conjunction: list = []
+    per_path: list = []
+    for fraction in fractions:
+        train, _ = dataset.split(fraction, rng=0)
+        paths = pipeline.train("DT", train).decision_paths()
+        for base in bases:
+            for label in (1, 0):
+                conjunction.append(base.conjoin(label_region_cnf(paths, label, m)))
+                per_path.append(
+                    CountRequest.from_cnf(
+                        base, strategy="per-path", cubes=label_cubes(paths, label)
+                    )
+                )
+
+    exact_engine = CountingEngine(make_backend("exact"), EngineConfig())
+    started = perf_counter()
+    region_counts = [r.value for r in exact_engine.solve_many(conjunction)]
+    regions_exact_s = perf_counter() - started
+
+    recount_backend = make_backend("compiled")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = CountingEngine(
+            make_backend("compiled"), EngineConfig(cache_dir=cache_dir)
+        )
+        started = perf_counter()
+        cold_counts = [r.value for r in cold.solve_many(per_path)]
+        cold_compile_s = perf_counter() - started
+        compilations_cold = cold.stats.circuit_compilations
+        cold.close()
+        if cold_counts != region_counts:
+            raise SystemExit(
+                f"conditioned counts diverge from per-region counting: "
+                f"{cold_counts} != {region_counts}"
+            )
+        # Drop the whole-count and memo stores once: every warm restart
+        # must re-answer every region, so the timing isolates the
+        # circuit tier.
+        for name in ("counts.sqlite", "memos.sqlite"):
+            for suffix in ("", "-wal", "-shm"):
+                (Path(cache_dir) / (name + suffix)).unlink(missing_ok=True)
+        recount_times: list[float] = []
+        warm_times: list[float] = []
+        store_hits_warm = compilations_warm = backend_calls_warm = 0
+        conditioned_warm = 0
+        for _ in range(reps):
+            started = perf_counter()
+            recount = [recount_backend.count(c) for c in conjunction]
+            recount_times.append(perf_counter() - started)
+            if recount != region_counts:
+                raise SystemExit("per-region recount diverges from exact counts")
+            warm = CountingEngine(
+                make_backend("compiled"), EngineConfig(cache_dir=cache_dir)
+            )
+            started = perf_counter()
+            warm_counts = [r.value for r in warm.solve_many(per_path)]
+            warm_times.append(perf_counter() - started)
+            store_hits_warm = warm.stats.circuit_store_hits
+            compilations_warm = warm.stats.circuit_compilations
+            backend_calls_warm = warm.stats.backend_calls
+            conditioned_warm = warm.stats.circuit_hits
+            warm.close()
+            if warm_counts != region_counts:
+                raise SystemExit(
+                    "warm-restart conditioned counts diverge from cold run"
+                )
+            if compilations_warm != 0:
+                raise SystemExit(
+                    f"warm restart compiled {compilations_warm} circuits "
+                    "(expected 0)"
+                )
+            if backend_calls_warm != 0:
+                raise SystemExit(
+                    f"warm restart performed {backend_calls_warm} backend "
+                    "counts (expected 0: conditioning only)"
+                )
+            if store_hits_warm == 0:
+                raise SystemExit(
+                    "warm restart warmed no circuits from circuits.sqlite"
+                )
+    region_recount_s = median(recount_times)
+    warm_conditioned_s = median(warm_times)
+
+    return {
+        "instance": (
+            f"compile-once ratio sweep: PartialOrder scope {scope}, adjacent "
+            f"symmetry breaking, reference DT true/false regions as bases, "
+            f"sweep DT retrained at {len(fractions)} training fractions "
+            f"({len(per_path)} region counts; medians over {reps} interleaved "
+            "recount/warm-restart reps, warm restarts re-answer with "
+            "counts.sqlite removed so only circuits.sqlite is warm)"
+        ),
+        "problems": len(per_path),
+        "reps": reps,
+        "cpu_count": os.cpu_count(),
+        "region_recount_s": round(region_recount_s, 4),
+        "regions_exact_s": round(regions_exact_s, 4),
+        "cold_compile_s": round(cold_compile_s, 4),
+        "warm_conditioned_s": round(warm_conditioned_s, 4),
+        "speedup_x": round(region_recount_s / warm_conditioned_s, 2),
+        "warm_vs_exact_x": round(regions_exact_s / warm_conditioned_s, 2),
+        "compilations_cold": compilations_cold,
+        "circuit_store_hits_warm": store_hits_warm,
+        "warm_backend_counts": backend_calls_warm,
+        "conditioned_subcounts_warm": conditioned_warm,
+        "bit_identical": True,
+    }
+
+
 def store_roundtrip_bench(entries: int = 2000) -> dict:
     """CountStore micro-bench: buffered single puts, then a batch read-back.
 
@@ -431,6 +596,7 @@ def _print_ablations(
     component_result: dict | None = None,
     store_result: dict | None = None,
     spill_result: dict | None = None,
+    conditioning_result: dict | None = None,
 ) -> None:
     print(
         f"  workers fan-out: serial {workers_result['serial_s']:.3f} s, "
@@ -460,6 +626,18 @@ def _print_ablations(
             f"{spill_result['warm_s']:.3f} s ({spill_result['speedup_x']}x "
             f"cold->warm, {spill_result['spill_hits']} promotions from "
             f"{spill_result['spilled_entries']} spilled entries), bit-identical"
+        )
+    if conditioning_result is not None:
+        print(
+            f"  compiled conditioning (compile-once sweep): per-region recount "
+            f"{conditioning_result['region_recount_s']:.3f} s, per-region exact "
+            f"{conditioning_result['regions_exact_s']:.3f} s, cold compile "
+            f"{conditioning_result['cold_compile_s']:.3f} s, warm conditioned "
+            f"{conditioning_result['warm_conditioned_s']:.3f} s "
+            f"({conditioning_result['speedup_x']}x vs per-region recount, "
+            f"{conditioning_result['compilations_cold']} compilations cold / "
+            f"{conditioning_result['warm_backend_counts']} backend counts warm, "
+            f"medians over {conditioning_result['reps']} reps), bit-identical"
         )
     if store_result is not None:
         print(
@@ -632,9 +810,10 @@ def main() -> None:
         "gate vs the last history entry, no JSON update",
     )
     parser.add_argument(
-        "--backend", default=None, metavar="NAME",
-        help="additionally smoke one registered backend by name against "
-        "ground truth (CI uses this so non-default backends cannot rot)",
+        "--backend", action="append", default=None, metavar="NAME",
+        help="additionally smoke a registered backend by name against "
+        "ground truth; repeatable (CI smokes bdd and compiled so "
+        "non-default backends cannot rot)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -662,12 +841,16 @@ def main() -> None:
             scope=3, fractions=(0.75, 0.5, 0.25)
         )
         spill_result = component_spill_ablation(scope=3, fractions=(0.75, 0.5, 0.25))
+        conditioning_result = compiled_conditioning_ablation(
+            scope=3, fractions=(0.75, 0.5, 0.25), reps=3
+        )
         store_result = store_roundtrip_bench(entries=500)
         _print_ablations(
-            workers_result, cache_result, component_result, store_result, spill_result
+            workers_result, cache_result, component_result, store_result,
+            spill_result, conditioning_result,
         )
-        if args.backend:
-            backend_smoke(args.backend)
+        for name in args.backend or ():
+            backend_smoke(name)
         exact_median, gate_failure = perf_regression_smoke(args.output)
         if args.smoke_output is not None:
             # The machine-readable smoke record CI uploads as an artifact
@@ -684,6 +867,7 @@ def main() -> None:
                     "disk_cache": cache_result,
                     "component_cache": component_result,
                     "component_spill": spill_result,
+                    "compiled_conditioning": conditioning_result,
                     "store_roundtrip": store_result,
                 },
             }
@@ -710,6 +894,13 @@ def main() -> None:
         scope=4,
         fractions=(0.75, 0.65, 0.55, 0.45, 0.35, 0.25, 0.15),
     )
+    conditioning_result = compiled_conditioning_ablation(
+        scope=4,
+        # A dense 28-step ratio grid: adjacent fractions retrain nearly
+        # identical trees, so sweep regions share path cubes — the
+        # conditioning memo's favourable (and DiffMC-realistic) regime.
+        fractions=tuple(round(0.80 - 0.025 * i, 3) for i in range(28)),
+    )
     store_result = store_roundtrip_bench()
 
     document = {"instance": INSTANCE, "unit": "seconds", "history": []}
@@ -723,10 +914,11 @@ def main() -> None:
         "disk_cache": cache_result,
         "component_cache": component_result,
         "component_spill": spill_result,
+        "compiled_conditioning": conditioning_result,
         "store_roundtrip": store_result,
     }
-    if args.backend:
-        backend_smoke(args.backend)
+    for name in args.backend or ():
+        backend_smoke(name)
 
     # Backend + capability provenance: trajectory comparisons are only
     # apples-to-apples when successive entries counted with the same
@@ -748,6 +940,7 @@ def main() -> None:
             "warm_cache_speedup_x": cache_result["speedup_x"],
             "component_cache_speedup_x": component_result["speedup_x"],
             "component_spill_speedup_x": spill_result["speedup_x"],
+            "compiled_conditioning_speedup_x": conditioning_result["speedup_x"],
             "store_roundtrip_puts_per_s": store_result["puts_per_s"],
         }
     )
@@ -761,7 +954,8 @@ def main() -> None:
     for label, stats in sorted(backends.items()):
         print(f"  {label:>14}: median {stats['median_s'] * 1000:8.2f} ms")
     _print_ablations(
-        workers_result, cache_result, component_result, store_result, spill_result
+        workers_result, cache_result, component_result, store_result,
+        spill_result, conditioning_result,
     )
 
 

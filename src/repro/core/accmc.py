@@ -226,7 +226,9 @@ class AccMC:
         if not caps.counts_formulas and not caps.supports_projection:
             # Fail at the routing layer, not deep inside the backend: the
             # CNF route conjoins Tseitin formulas with auxiliaries, which
-            # projection-incapable backends (bdd) cannot serve.
+            # projection-incapable backends (bdd, compiled) cannot serve.
+            # ``compiled``'s cube conditioning is consumed by DiffMC and
+            # per-path region counting, whose bases are auxiliary-free.
             raise ValueError(
                 f"backend {self.engine.backend_name!r} can serve neither AccMC "
                 "route: it counts no formulas and rejects CNFs with auxiliary "

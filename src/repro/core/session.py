@@ -50,15 +50,18 @@ class MCMLSession:
     ----------
     backend:
         Registered backend name (``exact``, ``legacy``, ``brute``,
-        ``bdd``, ``approxmc`` or an alias); ``backend_opts`` are passed to
-        the factory.  Ignored when ``engine`` is supplied.
+        ``bdd``, ``compiled``, ``approxmc`` or an alias); ``backend_opts``
+        are passed to the factory.  Ignored when ``engine`` is supplied.
     engine:
         An existing :class:`CountingEngine` to adopt instead of building
         one — the session then shares (and on ``close()`` releases) it.
-    workers / cache_dir / component_cache_mb / component_spill:
+    workers / cache_dir / component_cache_mb / component_spill / circuit_store:
         The :class:`EngineConfig` scaling knobs (``component_spill``
         persists the component cache under ``cache_dir`` so component
-        work survives session restarts; on by default, ``0`` opts out).
+        work survives session restarts; ``circuit_store`` persists the
+        compiled circuits of a ``conditions_cubes`` backend the same way,
+        so a warm restart conditions without a single recompilation.
+        Both on by default; ``0``/``False`` opts out).
     fallback / fallback_opts:
         The degradation ladder: a registered backend name failed problems
         (budget, deadline, lost worker) are re-counted on, with explicit
@@ -74,11 +77,14 @@ class MCMLSession:
         Default AccMC construction (``"derived"`` or the paper's
         ``"product"``); overridable per :meth:`accmc` call.
     region_strategy:
-        How AccMC counts tree regions: ``"conjunction"`` (default, the
-        paper's one-problem-per-region construction) or ``"per-path"``
-        (``mc(φ∧τ) = Σ_paths mc(φ∧path)`` — sub-problems dedup across
-        trees and, with ``cache_dir``, across sessions).  Non-exact
-        backends fall back to the conjunction route; both routes are
+        How AccMC and DiffMC count tree regions: ``"conjunction"``
+        (default, the paper's one-problem-per-region construction) or
+        ``"per-path"`` (``mc(φ∧τ) = Σ_paths mc(φ∧path)`` — sub-problems
+        dedup across trees and, with ``cache_dir``, across sessions).
+        On a ``conditions_cubes`` backend (``compiled``) the per-path
+        sub-problems are answered by conditioning one cached circuit per
+        base formula instead of independent counts.  Non-exact backends
+        fall back to the conjunction route; both routes are
         bit-identical.
     seed:
         Master seed for dataset generation, splitting and training.
@@ -94,6 +100,7 @@ class MCMLSession:
         cache_dir=None,
         component_cache_mb: float = 512.0,
         component_spill: bool = True,
+        circuit_store: bool = True,
         fallback: str | None = None,
         fallback_opts: dict | None = None,
         deadline_grace: float = 5.0,
@@ -113,6 +120,7 @@ class MCMLSession:
                     cache_dir=cache_dir,
                     component_cache_mb=component_cache_mb,
                     component_spill=component_spill,
+                    circuit_store=circuit_store,
                     fallback=fallback,
                     fallback_opts=fallback_opts,
                     deadline_grace=deadline_grace,
@@ -155,6 +163,11 @@ class MCMLSession:
     def component_store(self):
         """The component-cache disk spill, or None when not configured."""
         return self.engine.component_store
+
+    @property
+    def circuit_store(self):
+        """The compiled-circuit disk tier, or None when not configured."""
+        return self.engine.circuit_store
 
     def solve(
         self, problem: CountRequest | CNF, *, on_failure: str = "raise"
@@ -241,7 +254,9 @@ class MCMLSession:
     ) -> DiffMCResult:
         """Whole-space semantic difference between two decision trees."""
         if self._diffmc is None:
-            self._diffmc = DiffMC(engine=self.engine)
+            self._diffmc = DiffMC(
+                engine=self.engine, region_strategy=self.region_strategy
+            )
         return self._diffmc.evaluate(
             first,
             second,

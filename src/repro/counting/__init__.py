@@ -11,8 +11,16 @@ back-ends used for validation and ablation:
   counting with random XOR hash constraints and bounded cell enumeration.
 * :mod:`repro.counting.brute` — numpy-vectorised exhaustive counting for
   small variable counts; the ground truth for differential tests.
+* :mod:`repro.counting.circuit` — the compile-once-query-forever kernel:
+  :class:`CircuitBuilder` constructs a reduced d-DNNF-style DAG,
+  :class:`Circuit` answers ``model_count()`` and per-cube
+  ``condition()`` queries in one linear pass each, and
+  :class:`CompiledCounter` is the ``compiled`` backend that declares
+  ``conditions_cubes`` so the engine can answer every ``mc(φ ∧ path)``
+  sub-problem of a per-path request from one cached circuit.
 * :mod:`repro.counting.bdd` — reduced OBDD compilation counter, mirroring
-  the "compilation" alternative discussed in the paper's related work.
+  the "compilation" alternative discussed in the paper's related work
+  (a thin compile-and-discard wrapper over :mod:`repro.counting.circuit`).
 * :mod:`repro.counting.oracles` — closed-form combinatorial counts for the
   16 relational properties (Bell numbers, labeled posets, …), used to check
   Table 1 at paper scopes without running a counter.
@@ -36,10 +44,12 @@ back-ends used for validation and ablation:
 * :mod:`repro.counting.parallel` — multiprocess fan-out for batches of
   independent counting problems: the engine-owned persistent
   :class:`WorkerPool` and the one-shot :func:`count_parallel`.
-* :mod:`repro.counting.store` — the disk tiers: :class:`CountStore`
-  (whole counts keyed on canonical CNF signatures), :class:`BlobStore`
-  (compilation memos) and :class:`ComponentStore` (the component-cache
-  spill).
+* :mod:`repro.counting.store` — the disk tiers, all subclasses of one
+  ``_SqliteStore`` base: :class:`CountStore` (whole counts keyed on
+  canonical CNF signatures), :class:`BlobStore` (compilation memos),
+  :class:`ComponentStore` (the component-cache spill) and
+  :class:`CircuitStore` (pickled compiled circuits, so a warm restart
+  conditions without recompiling).
 * :mod:`repro.counting.faults` — the fault-injection harness the chaos
   suite drives the robustness layer with (corrupt stores, full disks,
   SIGKILLed workers, unpicklable backends).
@@ -67,6 +77,13 @@ from repro.counting.api import (
 from repro.counting.approxmc import ApproxMCCounter, approx_count
 from repro.counting.bdd import BDDCounter, bdd_count
 from repro.counting.brute import brute_force_count, brute_force_models
+from repro.counting.circuit import (
+    Circuit,
+    CircuitBuilder,
+    CompiledCounter,
+    compile_cnf,
+    compiled_count,
+)
 from repro.counting.component_cache import ComponentCache
 from repro.counting.engine import CountingEngine, EngineConfig, shared_engine
 from repro.counting.exact import (
@@ -81,6 +98,7 @@ from repro.counting.oracles import closed_form_count
 from repro.counting.parallel import WorkerPool, count_parallel
 from repro.counting.store import (
     BlobStore,
+    CircuitStore,
     ComponentStore,
     CountStore,
     signature_key,
@@ -93,6 +111,10 @@ __all__ = [
     "BDDCounter",
     "BlobStore",
     "Capabilities",
+    "Circuit",
+    "CircuitBuilder",
+    "CircuitStore",
+    "CompiledCounter",
     "ComponentCache",
     "ComponentStore",
     "CountFailure",
@@ -118,6 +140,8 @@ __all__ = [
     "brute_force_models",
     "capabilities_of",
     "closed_form_count",
+    "compile_cnf",
+    "compiled_count",
     "count_formula",
     "count_parallel",
     "exact_count",

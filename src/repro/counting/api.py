@@ -91,6 +91,15 @@ class Capabilities:
     owns_component_cache:
         The backend exposes a ``component_cache`` attribute the engine may
         replace with a shared :class:`~repro.counting.component_cache.ComponentCache`.
+    conditions_cubes:
+        The backend exposes ``compile(cnf) ->``
+        :class:`~repro.counting.circuit.Circuit`: the engine compiles a
+        per-path base formula once (persisting it in the circuit disk
+        tier) and answers every ``mc(φ∧path)`` sub-problem by unit-cube
+        conditioning on the cached circuit instead of independent counts.
+        Implies ``exact`` — conditioning results carry
+        ``source="circuit"`` provenance and are persisted like any exact
+        count.
     """
 
     exact: bool
@@ -98,6 +107,7 @@ class Capabilities:
     supports_projection: bool = False
     parallel_safe: bool = False
     owns_component_cache: bool = False
+    conditions_cubes: bool = False
 
     def as_dict(self) -> dict[str, bool]:
         """Flag mapping, e.g. for benchmark/CLI provenance records."""
@@ -255,14 +265,29 @@ class CountRequest:
 
         For per-path requests this is the *base* CNF (φ without any cube);
         :meth:`expand` materialises the sub-problems.
+
+        Memoized on the request: repeated calls return the *same* CNF
+        object, so its signature memo survives across the engine's uses
+        (per-path conditioning consults it per cube) — treat the returned
+        CNF as frozen.  The memo never travels in pickles (worker
+        payloads rebuild it on first use).
         """
+        memo = self.__dict__.get("_cnf_memo")
+        if memo is not None:
+            return memo
         cnf = CNF(
             num_vars=self.num_vars,
             projection=self.projection,
             aux_unique=self.aux_unique,
         )
         cnf.clauses = [tuple(clause) for clause in self.clauses]
+        object.__setattr__(self, "_cnf_memo", cnf)
         return cnf
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_cnf_memo", None)
+        return state
 
     def expand(self) -> list[CNF]:
         """The per-path sub-problems: base CNF plus one unit clause per literal.
@@ -303,7 +328,10 @@ class CountResult:
     ``value`` is the projected model count; ``exact`` whether the backend
     guarantees it bit-exactly; ``backend`` the producing backend's
     registered name; ``source`` where the answer came from (``"memo"``,
-    ``"store"``, ``"backend"`` or ``"fallback"``); ``elapsed_seconds`` the
+    ``"store"``, ``"circuit"``, ``"backend"`` or ``"fallback"``);
+    ``source == "circuit"`` marks a count answered by conditioning a
+    compiled circuit on a cube (a ``conditions_cubes`` backend) rather
+    than by a fresh backend invocation; ``elapsed_seconds`` the
     wall time this problem cost (≈0 for cache hits); ``stats_delta`` the
     :class:`EngineStats` movement the solving call caused (per batch for
     ``solve_many``).  ``int(result)`` returns the bare count.
@@ -335,8 +363,12 @@ class CountResult:
 
     @property
     def cached(self) -> bool:
-        """True when no backend work was performed for this problem."""
-        return self.source not in ("backend", "fallback")
+        """True when no backend work was performed for this problem.
+
+        Conditioning a compiled circuit (``source == "circuit"``) counts
+        as work: the pass is linear in the circuit, not a table lookup.
+        """
+        return self.source not in ("backend", "fallback", "circuit")
 
     @property
     def exactness(self) -> str:
@@ -428,8 +460,18 @@ class EngineStats:
     """Cache telemetry: calls vs hits per memo table.
 
     ``count_calls`` splits exactly into ``count_hits`` (in-memory memo),
-    ``store_hits`` (disk store) and ``backend_calls`` (actual counting
-    work, serial or parallel) — a warm re-run shows ``backend_calls == 0``.
+    ``store_hits`` (disk store), ``circuit_hits`` (answered by
+    conditioning a compiled circuit on a cube) and ``backend_calls``
+    (actual counting work, serial or parallel) — a warm re-run shows
+    ``backend_calls == 0``.
+
+    The circuit tier has its own counters: ``circuit_compilations``
+    counts base formulas compiled to a circuit this session (compiling is
+    *not* a ``backend_call`` — it produces a reusable artifact, not a
+    count), and ``circuit_store_hits`` counts circuits warmed from the
+    disk-persistent :class:`~repro.counting.store.CircuitStore` instead
+    of recompiled — a warm restart sweeping known bases shows
+    ``circuit_store_hits > 0`` and ``circuit_compilations == 0``.
     ``translate_store_hits``/``region_store_hits`` count compilations
     warmed from the disk-persistent memo store rather than recompiled.
     ``component_spill_hits`` counts *sub-problem* components promoted from
@@ -448,13 +490,16 @@ class EngineStats:
     serially because the backend did not pickle;
     ``store_degradations`` disk-tier degradation events (corrupt database
     rotated aside, unreadable row read as a miss, swallowed write
-    failure) across all three stores.
+    failure) across all four disk tiers.
     """
 
     count_calls: int = 0
     count_hits: int = 0
     store_hits: int = 0
+    circuit_hits: int = 0
     backend_calls: int = 0
+    circuit_compilations: int = 0
+    circuit_store_hits: int = 0
     component_spill_hits: int = 0
     translate_calls: int = 0
     translate_hits: int = 0
@@ -603,6 +648,12 @@ def _approxmc_factory(**opts):
     return ApproxMCCounter(**opts)
 
 
+def _compiled_factory(**opts):
+    from repro.counting.circuit import CompiledCounter
+
+    return CompiledCounter(**opts)
+
+
 register_backend("exact", _exact_factory)
 register_backend("legacy", _legacy_factory, aliases=("exact-legacy",))
 # "brute" is the numpy whole-space sweep over formulas and aux-free CNFs
@@ -610,6 +661,9 @@ register_backend("legacy", _legacy_factory, aliases=("exact-legacy",))
 register_backend("brute", _brute_factory, aliases=("vector",))
 register_backend("bdd", _bdd_factory)
 register_backend("approxmc", _approxmc_factory, aliases=("approx",))
+# "compiled" keeps the circuit: compile once, answer per-path queries by
+# unit-cube conditioning (conditions_cubes=True); "circuit" is its alias.
+register_backend("compiled", _compiled_factory, aliases=("circuit",))
 
 
 # -- timing helper --------------------------------------------------------------------

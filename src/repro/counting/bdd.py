@@ -6,113 +6,25 @@ alternative so the trade-off can be measured: clauses are compiled bottom-up
 into a reduced ordered BDD (with an apply cache), and models are counted by a
 single DP pass over the DAG.
 
-Compilation cost can blow up on formulas where the fixed variable order is
-bad — exactly the caveat the paper raises — so the counter takes a node
-budget and raises :class:`repro.counting.exact.CounterBudgetExceeded` when
-it is exceeded.
+The construction kernel lives in :mod:`repro.counting.circuit`
+(:class:`~repro.counting.circuit.CircuitBuilder`), shared with the
+``compiled`` backend; this module keeps the historical one-shot
+compile-and-count surface.  Compilation cost can blow up on formulas where
+the fixed variable order is bad — exactly the caveat the paper raises — so
+the counter takes a node budget and raises
+:class:`repro.counting.exact.CounterBudgetExceeded` when it is exceeded.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 from repro.counting.api import Capabilities
-from repro.counting.exact import CounterBudgetExceeded
+from repro.counting.circuit import ONE, ZERO, CircuitBuilder, compile_cnf
 from repro.logic.cnf import CNF
 
-# Terminal node ids.
-_ZERO = 0
-_ONE = 1
-
-
-class _BDD:
-    """A reduced ordered BDD forest over variables 0..k-1 (order = index)."""
-
-    def __init__(self, num_levels: int, max_nodes: int) -> None:
-        self.num_levels = num_levels
-        self.max_nodes = max_nodes
-        # node id -> (level, low, high); terminals are implicit.
-        self.level: list[int] = [num_levels, num_levels]
-        self.low: list[int] = [-1, -1]
-        self.high: list[int] = [-1, -1]
-        self._unique: dict[tuple[int, int, int], int] = {}
-        self._apply_cache: dict[tuple[int, int], int] = {}
-
-    def node(self, level: int, low: int, high: int) -> int:
-        if low == high:
-            return low
-        key = (level, low, high)
-        found = self._unique.get(key)
-        if found is not None:
-            return found
-        node_id = len(self.level)
-        if node_id > self.max_nodes:
-            raise CounterBudgetExceeded(f"BDD exceeded {self.max_nodes} nodes")
-        self.level.append(level)
-        self.low.append(low)
-        self.high.append(high)
-        self._unique[key] = node_id
-        return node_id
-
-    def literal(self, level: int, positive: bool) -> int:
-        if positive:
-            return self.node(level, _ZERO, _ONE)
-        return self.node(level, _ONE, _ZERO)
-
-    def conjoin(self, a: int, b: int) -> int:
-        """apply(AND, a, b) with memoisation."""
-        if a == _ZERO or b == _ZERO:
-            return _ZERO
-        if a == _ONE:
-            return b
-        if b == _ONE:
-            return a
-        if a == b:
-            return a
-        if a > b:
-            a, b = b, a
-        key = (a, b)
-        cached = self._apply_cache.get(key)
-        if cached is not None:
-            return cached
-        la, lb = self.level[a], self.level[b]
-        top = min(la, lb)
-        a_low, a_high = (self.low[a], self.high[a]) if la == top else (a, a)
-        b_low, b_high = (self.low[b], self.high[b]) if lb == top else (b, b)
-        result = self.node(top, self.conjoin(a_low, b_low), self.conjoin(a_high, b_high))
-        self._apply_cache[key] = result
-        return result
-
-    def disjoin_literals(self, literals: Sequence[tuple[int, bool]]) -> int:
-        """BDD for a clause: literals as (level, positive), any order."""
-        # Build bottom-up in descending level order for linear size.
-        root = _ZERO
-        for level, positive in sorted(literals, reverse=True):
-            if positive:
-                root = self.node(level, root, _ONE)
-            else:
-                root = self.node(level, _ONE, root)
-        return root
-
-    def count(self, root: int) -> int:
-        """Number of models over all ``num_levels`` variables."""
-        if root == _ZERO:
-            return 0
-        memo: dict[int, int] = {_ZERO: 0, _ONE: 1}
-
-        def models_below(node: int) -> int:
-            """Models over variables at levels ≥ level(node)."""
-            cached = memo.get(node)
-            if cached is None:
-                lvl = self.level[node]
-                lo, hi = self.low[node], self.high[node]
-                lo_models = models_below(lo) << (self.level[lo] - lvl - 1)
-                hi_models = models_below(hi) << (self.level[hi] - lvl - 1)
-                cached = lo_models + hi_models
-                memo[node] = cached
-            return cached
-
-        return models_below(root) << self.level[root]
+# Historical spellings, kept for callers of the pre-extraction module.
+_ZERO = ZERO
+_ONE = ONE
+_BDD = CircuitBuilder
 
 
 class BDDCounter:
@@ -121,7 +33,10 @@ class BDDCounter:
     Restricted to CNFs without auxiliary variables (the MCML decision-tree
     formulas): compiling Tseitin auxiliaries into a BDD and then projecting
     would require existential quantification, which defeats the purpose of
-    this simple ablation backend.
+    this simple ablation backend.  Unlike ``compiled``, the circuit is
+    discarded after the count — this backend exists to measure the
+    compile-per-query trade-off, so it deliberately does not declare
+    ``conditions_cubes``.
     """
 
     name = "bdd"
@@ -140,20 +55,7 @@ class BDDCounter:
         self.max_nodes = max_nodes
 
     def count(self, cnf: CNF) -> int:
-        projection = sorted(cnf.projected_vars())
-        if not cnf.variables() <= set(projection):
-            raise ValueError("BDD backend requires clause variables ⊆ projection")
-        index = {v: i for i, v in enumerate(projection)}
-        bdd = _BDD(num_levels=len(projection), max_nodes=self.max_nodes)
-        root = _ONE
-        # Conjoin widest clauses first: keeps intermediate BDDs smaller on
-        # the path-condition formulas MCML generates.
-        for clause in sorted(cnf.clauses, key=len, reverse=True):
-            literals = [(index[abs(l)], l > 0) for l in clause]
-            root = bdd.conjoin(root, bdd.disjoin_literals(literals))
-            if root == _ZERO:
-                return 0
-        return bdd.count(root)
+        return compile_cnf(cnf, max_nodes=self.max_nodes).model_count()
 
 
 def bdd_count(cnf: CNF, max_nodes: int = 2_000_000) -> int:

@@ -44,6 +44,16 @@ scales the cold remainder across processes and sessions:
   — the cubes are unit clauses that propagate hard, and the sub-problems
   flow through the same memo/store/fan-out machinery, deduping shared
   paths across trees and sessions;
+* when the backend declares ``conditions_cubes`` (the ``compiled``
+  backend), cold per-path sub-problems skip independent counting
+  entirely: the base formula is compiled *once* into a
+  :class:`~repro.counting.circuit.Circuit` and every ``mc(φ∧path)`` is
+  answered by unit-cube conditioning — a linear DAG pass — with
+  ``source="circuit"`` provenance.  Compiled circuits are memoized
+  in-process and persisted in a fourth disk tier
+  (:class:`repro.counting.store.CircuitStore`, ``EngineConfig(circuit_store=…)``),
+  so a warm restart performs zero compilations
+  (``EngineStats.circuit_store_hits``);
 * failures are *typed and contained*: budget exhaustions, wall-clock
   deadline overruns (``CountRequest(deadline=...)``) and workers lost to
   SIGKILL/OOM become per-problem
@@ -81,7 +91,7 @@ from __future__ import annotations
 import pickle
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import NamedTuple
 
@@ -99,6 +109,7 @@ from repro.counting.component_cache import ComponentCache
 from repro.counting.parallel import WorkerPool, default_workers
 from repro.counting.store import (
     BlobStore,
+    CircuitStore,
     ComponentStore,
     CountStore,
     signature_key,
@@ -150,6 +161,15 @@ class EngineConfig:
         configured and the component cache itself is; ``0``/``False``
         opts out.  Worker deltas reach the shared cache and hence the
         spill too.
+    circuit_store:
+        Persist compiled circuits
+        (:class:`~repro.counting.store.CircuitStore` under ``cache_dir``):
+        per-path base formulas compiled by a ``conditions_cubes`` backend
+        are pickled keyed on their CNF signature, so a warm engine restart
+        answers conditioning queries with *zero* recompilations
+        (``EngineStats.circuit_store_hits``).  On by default but only
+        active when ``cache_dir`` is configured and the backend declares
+        ``conditions_cubes``; ``0``/``False`` opts out.
 
     fallback:
         Registered backend name (see
@@ -185,6 +205,7 @@ class EngineConfig:
     cache_dir: str | Path | None = None
     component_cache_mb: float = 512.0
     component_spill: bool = True
+    circuit_store: bool = True
     fallback: str | None = None
     fallback_opts: dict | None = None
     deadline_grace: float = 5.0
@@ -215,11 +236,39 @@ def _prop_key(prop) -> object:
 class _Flat(NamedTuple):
     """One already-expanded problem of a ``solve_many`` batch."""
 
-    cnf: CNF
+    #: The sub-problem CNF — ``None`` for conditioned sub-problems, which
+    #: are identified by ``(base, cube)`` and never materialized unless
+    #: the degradation ladder needs a formula to recount
+    #: (:meth:`materialize`).
+    cnf: CNF | None
     budget: int | None
     deadline: float | None
     exact_only: bool  #: request demanded exact precision
     per_path: bool  #: sub-problem of a per-path decomposition
+    #: With a ``conditions_cubes`` backend: the per-path base CNF and this
+    #: sub-problem's unit cube, so a cold miss conditions the base's
+    #: compiled circuit instead of counting ``cnf`` independently.
+    base: CNF | None = None
+    cube: tuple[int, ...] | None = None
+    #: Memo key override for conditioned sub-problems:
+    #: ``("cube", base.signature(), cube)``.  Composing the (memoized)
+    #: base signature with the cube skips packing and hashing a fresh
+    #: sub-CNF per cube — the difference between microsecond and
+    #: millisecond query cost on a warm circuit.
+    key: tuple | None = None
+
+    def materialize(self) -> CNF:
+        """The sub-problem CNF, built on demand for conditioned subs.
+
+        Bit-identical to :meth:`repro.counting.api.CountRequest.expand`'s
+        construction: the base plus one unit clause per cube literal.
+        """
+        if self.cnf is not None:
+            return self.cnf
+        sub = self.base.copy()
+        for literal in self.cube:
+            sub.add_clause((literal,))
+        return sub
 
 
 class CountingEngine:
@@ -293,6 +342,18 @@ class CountingEngine:
         ):
             self.component_store = ComponentStore(self.config.cache_dir)
             self.component_cache.attach_spill(self.component_store)
+        # The circuit tier rides on the backend's conditions_cubes
+        # declaration: only a compiling backend produces circuits worth
+        # keeping, and only per-path conditioning consumes them.
+        self.circuit_store: CircuitStore | None = None
+        if (
+            caps.conditions_cubes
+            and self.config.cache_dir is not None
+            and self.config.circuit_store
+        ):
+            self.circuit_store = CircuitStore(self.config.cache_dir)
+        #: In-process circuit memo: base signature -> compiled Circuit.
+        self._circuits: dict[tuple, object] = {}
         self._component_spill_hits_base = 0
         self._store_degradations_base = 0
         self._pool: WorkerPool | None = None
@@ -365,7 +426,12 @@ class CountingEngine:
         clauses, which propagate hard) and the result is the sum of the
         sub-counts.  The sub-problems flow through the same memo → store →
         fan-out machinery as everything else, which is what makes shared
-        paths dedup across trees, batches and sessions.  Summing estimates
+        paths dedup across trees, batches and sessions.  On a
+        ``conditions_cubes`` backend the sub-problems are keyed on
+        ``(base, cube)`` instead — never materialized, never store-backed
+        (the persistent artifact is the base's compiled circuit, and
+        re-conditioning it is cheaper than a disk read) — and the cold
+        remainder is answered by conditioning passes.  Summing estimates
         would compound their error, so per-path requests require an exact
         backend (consumers negotiate via ``capabilities.exact`` and fall
         back to the conjunction route — see :class:`repro.core.accmc.AccMC`).
@@ -395,8 +461,9 @@ class CountingEngine:
         before = self.stats.copy()
         caps = self.capabilities
         flat: list[_Flat] = []
-        #: per input problem: ("one", flat index) or ("sum", flat range)
-        shape: list[tuple[str, int | range]] = []
+        #: per input problem: ("one", flat index), ("sum", flat range),
+        #: or ("ready", already-solved result) for the conditioning lane
+        shape: list[tuple] = []
         for problem in problems:
             if isinstance(problem, CountRequest):
                 if problem.precision == "exact" and not caps.exact:
@@ -412,6 +479,15 @@ class CountingEngine:
                             f"backend {self.backend_name!r} is approximate; "
                             "use strategy='conjunction'"
                         )
+                    if caps.conditions_cubes:
+                        # Dedicated lane: the request is answered by
+                        # conditioning its base's compiled circuit, one
+                        # linear pass per cold cube — no sub-CNFs, no
+                        # per-cube result objects, no disk round-trips.
+                        shape.append(
+                            ("ready", self._condition_request(problem, exact_only))
+                        )
+                        continue
                     start = len(flat)
                     flat.extend(
                         _Flat(sub, problem.budget, problem.deadline, exact_only, True)
@@ -436,6 +512,15 @@ class CountingEngine:
         results: list[CountResult | CountFailure] = []
         primary: CountFailure | None = None
         for kind, ref in shape:
+            if kind == "ready":
+                # A conditioned per-path request, already summed.
+                if isinstance(ref, CountFailure):
+                    if primary is None:
+                        primary = ref
+                    results.append(ref)
+                    continue
+                results.append(replace(ref, stats_delta=stats_delta))
+                continue
             if kind == "one":
                 r = partial[ref]
                 if isinstance(r, CountFailure):
@@ -520,6 +605,8 @@ class CountingEngine:
                 for i in positions[key]:
                     results[i] = hit
 
+        failed: dict[tuple, CountFailure] = {}
+
         if missing:
             # Budgeted and deadlined requests stay in-process (the knob
             # overrides must not leak into worker clones); the rest may
@@ -532,7 +619,6 @@ class CountingEngine:
             limited = set(pooled)
             serial = [key for key in missing if key not in limited]
             completed: dict[tuple, tuple[int, float]] = {}
-            failed: dict[tuple, CountFailure] = {}
             deltas: list = []
             try:
                 pool = None
@@ -604,23 +690,23 @@ class CountingEngine:
                 if fresh and self.store is not None:
                     self.store.put_many(fresh)
 
-            # The degradation ladder: each failed problem gets one shot on
-            # the configured fallback backend; failures the ladder cannot
-            # absorb stand as the problem's typed outcome.
-            for key, failure in failed.items():
-                if failure.kind == "timeout":
-                    self.stats.timeouts += 1
-                outcome = self._try_fallback(failure, cold[key])
-                if isinstance(outcome, CountResult):
-                    if self._fallback_caps is not None and self._fallback_caps.exact:
-                        # Exact fallback counts are interchangeable with
-                        # the primary backend's; estimates are neither
-                        # memoized nor persisted.
-                        self._counts[key] = outcome.value
-                        if self.store is not None:
-                            self.store.put(hashed[key], outcome.value)
-                for i in positions[key]:
-                    results[i] = outcome
+        # The degradation ladder: each failed problem gets one shot on
+        # the configured fallback backend; failures the ladder cannot
+        # absorb stand as the problem's typed outcome.
+        for key, failure in failed.items():
+            if failure.kind == "timeout":
+                self.stats.timeouts += 1
+            outcome = self._try_fallback(failure, cold[key])
+            if isinstance(outcome, CountResult):
+                if self._fallback_caps is not None and self._fallback_caps.exact:
+                    # Exact fallback counts are interchangeable with
+                    # the primary backend's; estimates are neither
+                    # memoized nor persisted.
+                    self._counts[key] = outcome.value
+                    if self.store is not None:
+                        self.store.put(hashed[key], outcome.value)
+            for i in positions[key]:
+                results[i] = outcome
 
         return results
 
@@ -649,7 +735,7 @@ class CountingEngine:
             return failure
         started = time.perf_counter()
         try:
-            value = fallback.count(item.cnf)
+            value = fallback.count(item.materialize())
         except (CounterAbort, RuntimeError):
             return failure
         self.stats.fallbacks += 1
@@ -664,18 +750,158 @@ class CountingEngine:
             delta=None if fb_caps.exact else getattr(fallback, "delta", None),
         )
 
+    def _condition_request(
+        self, problem: CountRequest, exact_only: bool
+    ) -> CountResult | CountFailure:
+        """Answer one per-path request by conditioning its compiled circuit.
+
+        The fast lane for ``conditions_cubes`` backends.  The request's
+        base CNF is identified by a cheap canonical key, its compiled
+        :class:`~repro.counting.circuit.Circuit` obtained once
+        (in-process memo → :class:`~repro.counting.store.CircuitStore` →
+        one compilation under the request's budget/deadline), and every
+        cold cube answered by one linear conditioning pass.  Sub-counts
+        merge into the in-process count memo — duplicate cubes inside
+        the request and across batches report as memo hits — but
+        deliberately stay out of the whole-count disk store:
+        re-conditioning a warm circuit is cheaper than a disk read, so
+        the compact persistent artifact is the circuit, not one row per
+        cube.  A compile abort sends each cold cube through the
+        degradation ladder; a failure the ladder cannot absorb fails the
+        whole request (its sum is meaningless with a term missing).
+        """
+        from repro.counting.exact import CounterAbort
+
+        stats = self.stats
+        started = time.perf_counter()
+        # Order-insensitive, content-canonical, and far cheaper than a
+        # packed signature — the circuit answers the whole request, so
+        # per-cube identity is just this prefix plus the cube.
+        identity = (
+            "cube",
+            problem.num_vars,
+            problem.projection,
+            frozenset(problem.clauses),
+        )
+        counts = self._counts
+        keys: list[tuple] = []
+        values: dict[tuple, int] = {}
+        sources: set[str] = set()
+        cold: list[tuple[tuple, tuple[int, ...]]] = []
+        seen_cold: set[tuple] = set()
+        hits = 0
+        for cube in problem.cubes:
+            key = identity + (cube,)
+            keys.append(key)
+            if key in values or key in seen_cold:
+                # Duplicate inside the request: one pass serves both,
+                # exactly like a serial memo hit.
+                hits += 1
+                continue
+            cached = counts.get(key)
+            if cached is not None:
+                hits += 1
+                values[key] = cached
+                sources.add("memo")
+                continue
+            seen_cold.add(key)
+            cold.append((key, cube))
+        stats.count_calls += len(keys)
+        stats.count_hits += hits
+
+        if cold:
+            try:
+                circuit = self._circuit_for(
+                    identity, problem.cnf(), problem.budget, problem.deadline
+                )
+            except CounterAbort as exc:
+                # One compilation serves every cold cube, so its abort
+                # is each one's failure; the degradation ladder still
+                # gets a per-cube shot.
+                failure = CountFailure.from_exception(
+                    exc,
+                    backend=self.backend_name,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+                for key, cube in cold:
+                    if failure.kind == "timeout":
+                        stats.timeouts += 1
+                    outcome = self._try_fallback(
+                        failure,
+                        _Flat(
+                            None, problem.budget, problem.deadline,
+                            exact_only, True, problem.cnf(), cube, key,
+                        ),
+                    )
+                    if isinstance(outcome, CountFailure):
+                        return outcome
+                    values[key] = outcome.value
+                    self._counts[key] = outcome.value
+                    sources.add("fallback")
+            else:
+                for key, cube in cold:
+                    values[key] = value = circuit.condition(cube)
+                    self._counts[key] = value
+                stats.circuit_hits += len(cold)
+                sources.add("circuit")
+
+        if "fallback" in sources:
+            source = "fallback"
+        elif "circuit" in sources:
+            source = "circuit"
+        else:
+            source = "memo"
+        return CountResult(
+            value=sum(values[key] for key in keys),
+            exact=True,
+            backend=self.backend_name,
+            source=source,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _circuit_for(self, base_identity: tuple, base: CNF, budget, deadline):
+        """The compiled circuit for a per-path base (memo → store → compile).
+
+        ``base_identity`` is the composed-key prefix built in
+        ``solve_many`` — ``("cube", num_vars, projection,
+        frozenset(clauses))`` — canonical across processes and sessions,
+        so its :func:`~repro.counting.store.signature_key` is a stable
+        :class:`~repro.counting.store.CircuitStore` address.
+        """
+        circuit = self._circuits.get(base_identity)
+        if circuit is not None:
+            return circuit
+        disk_key = None
+        if self.circuit_store is not None:
+            disk_key = signature_key(base_identity)
+            circuit = self.circuit_store.get(disk_key)
+            if circuit is not None:
+                self.stats.circuit_store_hits += 1
+                self._circuits[base_identity] = circuit
+                return circuit
+        with self._limits(budget, deadline):
+            circuit = self.counter.compile(base)
+        self.stats.circuit_compilations += 1
+        self._circuits[base_identity] = circuit
+        if disk_key is not None:
+            self.circuit_store.put(disk_key, circuit)
+        return circuit
+
     def _sum_result(self, subs: list[CountResult], delta) -> CountResult:
         """Fold per-path sub-results into one summed result.
 
         Provenance reports the *coldest* tier any sub-problem touched
-        (fallback over backend over store over memo); an empty cube set (a
-        region with no paths of that label) sums to 0 without any work.
+        (fallback over backend over circuit over store over memo); an
+        empty cube set (a region with no paths of that label) sums to 0
+        without any work.
         """
         sources = {r.source for r in subs}
         if "fallback" in sources:
             source = "fallback"
         elif "backend" in sources:
             source = "backend"
+        elif "circuit" in sources:
+            source = "circuit"
         elif "store" in sources:
             source = "store"
         else:
@@ -699,7 +925,12 @@ class CountingEngine:
 
     def _store_degradations_total(self) -> int:
         total = 0
-        for store in (self.store, self.memo_store, self.component_store):
+        for store in (
+            self.store,
+            self.memo_store,
+            self.component_store,
+            self.circuit_store,
+        ):
             if store is not None:
                 total += store.degradations
         return total
@@ -947,6 +1178,7 @@ class CountingEngine:
         self._translations.clear()
         self._ground_truths.clear()
         self._regions.clear()
+        self._circuits.clear()
         if self.component_cache is not None:
             self.component_cache.clear()
             # The cache's own counters are cumulative; re-baseline so the
@@ -978,6 +1210,8 @@ class CountingEngine:
             if self.component_cache is not None:
                 self.component_cache.spill_all()
             self.component_store.close()
+        if self.circuit_store is not None:
+            self.circuit_store.close()
 
     def __enter__(self) -> "CountingEngine":
         return self
@@ -998,6 +1232,9 @@ class CountingEngine:
             extras += f", components={len(self.component_cache)}{spill}"
         if self.store is not None:
             extras += f", store={str(self.store.path)!r}"
+        if self.capabilities.conditions_cubes:
+            spelled = "+store" if self.circuit_store is not None else ""
+            extras += f", circuits={len(self._circuits)}{spelled}"
         if self.config.fallback is not None:
             extras += f", fallback={self.config.fallback!r}"
         return (

@@ -119,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1; 0 disables)",
     )
     parser.add_argument(
+        "--circuit-store", type=int, default=1, metavar="0|1",
+        help="persist compiled circuits to cache-dir/circuits.sqlite so a "
+        "warm restart of a conditions_cubes backend (compiled) answers "
+        "per-path region counts without recompiling; needs --cache-dir "
+        "(default 1; 0 disables)",
+    )
+    parser.add_argument(
         "--fallback", default=None, metavar="NAME",
         help="degradation ladder: registered backend failed counts "
         "(budget/deadline/lost worker) are re-counted on, with explicit "
@@ -137,10 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--region-strategy", choices=("conjunction", "per-path"),
         default="conjunction",
-        help="AccMC region route: per-path decomposes each tree-region "
-        "count into its disjoint path cubes (mc(phi&tau) = sum over paths "
-        "of mc(phi&path)), deduping shared paths across trees and cached "
-        "sessions; conjunction is the paper's construction (default)",
+        help="AccMC/DiffMC region route: per-path decomposes each "
+        "tree-region count into its disjoint path cubes (mc(phi&tau) = "
+        "sum over paths of mc(phi&path)), deduping shared paths across "
+        "trees and cached sessions — on a conditions_cubes backend "
+        "(compiled) the sub-counts come from conditioning one cached "
+        "circuit; conjunction is the paper's construction (default)",
     )
     return parser
 
@@ -157,6 +166,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         cache_dir=args.cache_dir,
         component_cache_mb=args.component_cache_mb,
         component_spill=bool(args.component_spill),
+        circuit_store=bool(args.circuit_store),
         fallback=args.fallback,
         deadline=args.deadline,
         budget=args.budget,
@@ -167,15 +177,45 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(**kwargs)
 
 
+#: ``Capabilities`` field → column header of the ``--list-backends`` table.
+_CAPABILITY_COLUMNS = {
+    "exact": "exact",
+    "counts_formulas": "formulas",
+    "supports_projection": "projection",
+    "parallel_safe": "parallel",
+    "owns_component_cache": "components",
+    "conditions_cubes": "cubes",
+}
+
+
 def list_backends() -> str:
-    """The registry listing ``mcml --list-backends`` prints."""
-    lines = ["registered counting backends:"]
-    for name in available_backends():
-        caps = backend_capabilities(name)
+    """The capability table ``mcml --list-backends`` prints.
+
+    One row per registered backend, one yes/no column per declared
+    :class:`~repro.counting.api.Capabilities` flag — the same negotiation
+    surface the engine routes on, so what this table says a backend can
+    do is exactly what the engine will let it do.
+    """
+    names = available_backends()
+    rows = []
+    for name in names:
+        caps = backend_capabilities(name).as_dict()
         aliases = backend_aliases(name)
-        alias_note = f" (aliases: {', '.join(aliases)})" if aliases else ""
-        lines.append(f"  {name:<10}{alias_note}")
-        lines.append(f"    {caps.summary()}")
+        rows.append(
+            [name]
+            + [("yes" if caps.get(field, False) else "no")
+               for field in _CAPABILITY_COLUMNS]
+            + [", ".join(aliases) if aliases else "-"]
+        )
+    header = ["backend", *_CAPABILITY_COLUMNS.values(), "aliases"]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    def render(cells):
+        return "  " + "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = ["registered counting backends:", render(header)]
+    lines.extend(render(row) for row in rows)
     return "\n".join(lines)
 
 

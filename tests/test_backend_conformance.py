@@ -56,7 +56,9 @@ def _count_via_capabilities(backend, problem, num_primary):
 
 class TestRegistry:
     def test_lists_the_expected_backends(self):
-        assert BACKENDS == sorted(["exact", "legacy", "brute", "bdd", "approxmc"])
+        assert BACKENDS == sorted(
+            ["exact", "legacy", "brute", "bdd", "compiled", "approxmc"]
+        )
 
     @pytest.mark.parametrize("name", BACKENDS)
     def test_constructs_and_declares(self, name):
@@ -170,6 +172,21 @@ class TestCapabilityFlagsMatchBehaviour:
         clone = pickle.loads(pickle.dumps(backend))
         for region in tree_regions:
             assert clone.count(region) == backend.count(region)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_conditions_cubes_flag(self, name, tree_regions):
+        """Flag on: ``compile`` yields a circuit whose conditioning is
+        bit-identical to conjunction counting.  Off: no ``compile``."""
+        backend = make_backend(name)
+        caps = backend.capabilities
+        compile_attr = getattr(backend, "compile", _MISSING)
+        assert caps.conditions_cubes == (compile_attr is not _MISSING)
+        if not caps.conditions_cubes:
+            return
+        assert caps.exact  # conditioned sub-counts are summed and persisted
+        for region in tree_regions:
+            circuit = backend.compile(region)
+            assert circuit.condition(()) == ExactCounter().count(region)
 
     @pytest.mark.parametrize("name", BACKENDS)
     def test_owns_component_cache_flag(self, name):

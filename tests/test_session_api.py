@@ -267,9 +267,13 @@ class TestCLISurface:
     def test_list_backends_flag(self, capsys):
         assert main(["--list-backends"]) == 0
         out = capsys.readouterr().out
-        for name in ("exact", "legacy", "brute", "bdd", "approxmc"):
+        for name in ("exact", "legacy", "brute", "bdd", "compiled", "approxmc"):
             assert name in out
-        assert "supports_projection" in out
+        # One column per declared capability flag.
+        for column in (
+            "exact", "formulas", "projection", "parallel", "components", "cubes",
+        ):
+            assert column in out
 
     def test_backend_flag_flows_into_config(self):
         args = build_parser().parse_args(["table9", "--backend", "legacy"])
@@ -280,7 +284,12 @@ class TestCLISurface:
 
     def test_listing_renders_every_backend(self):
         text = list_backends()
-        assert "aliases: vector" in text and "aliases: approx" in text
+        assert "vector" in text and "approx" in text and "circuit" in text
+        # The compiled row declares cube conditioning; bdd's does not.
+        compiled_row = next(l for l in text.splitlines() if "compiled" in l)
+        bdd_row = next(l for l in text.splitlines() if " bdd " in f" {l} ")
+        assert compiled_row.split()[1:-1].count("yes") >= 2
+        assert bdd_row.rstrip().endswith("-")
 
     def test_backend_runs_end_to_end(self, capsys):
         # Fast end-to-end runs for non-default backends: the legacy exact

@@ -30,6 +30,16 @@ Quickstart::
 Closing the session (or leaving the ``with`` block) releases the worker
 pool and flushes the disk stores; every consumer built through the session
 shares its caches, which is the point.
+
+Thread-safety: the session is as thread-safe as its engine — ``solve``,
+``solve_many``, ``count`` and the metric entry points may be called from
+multiple threads concurrently (the counting service daemon does exactly
+this), because :class:`~repro.counting.engine.CountingEngine` serializes
+every solve under one re-entrant lock.  Concurrent callers get
+bit-identical counts and a consistent
+:class:`~repro.counting.api.EngineStats`; they do not get parallelism —
+fan-out lives *inside* the engine (``workers``), not across calling
+threads.
 """
 
 from __future__ import annotations

@@ -320,6 +320,51 @@ class CountRequest:
             return ("per-path", self.cnf().signature(), tuple(sorted(self.cubes)))
         return self.cnf().signature()
 
+    def to_dict(self) -> dict:
+        """JSON-safe encoding of this request (tuples become lists).
+
+        The counting service's wire format: everything the worker-pool
+        pickle protocol carries, but as plain JSON values so requests
+        cross machine (and language) boundaries.  :meth:`from_dict`
+        inverts it exactly — limits, strategy and cubes included.
+        """
+        out: dict = {
+            "clauses": [list(clause) for clause in self.clauses],
+            "num_vars": self.num_vars,
+        }
+        if self.projection is not None:
+            out["projection"] = list(self.projection)
+        if self.aux_unique:
+            out["aux_unique"] = True
+        if self.precision != "any":
+            out["precision"] = self.precision
+        if self.budget is not None:
+            out["budget"] = self.budget
+        if self.deadline is not None:
+            out["deadline"] = self.deadline
+        if self.strategy != "conjunction":
+            out["strategy"] = self.strategy
+        if self.cubes is not None:
+            out["cubes"] = [list(cube) for cube in self.cubes]
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CountRequest":
+        """Rebuild a request from :meth:`to_dict` output (validates afresh)."""
+        cubes = payload.get("cubes")
+        projection = payload.get("projection")
+        return cls(
+            clauses=tuple(tuple(clause) for clause in payload["clauses"]),
+            num_vars=int(payload["num_vars"]),
+            projection=tuple(projection) if projection is not None else None,
+            aux_unique=bool(payload.get("aux_unique", False)),
+            precision=payload.get("precision", "any"),
+            budget=payload.get("budget"),
+            deadline=payload.get("deadline"),
+            strategy=payload.get("strategy", "conjunction"),
+            cubes=tuple(tuple(cube) for cube in cubes) if cubes is not None else None,
+        )
+
 
 @dataclass(frozen=True)
 class CountResult:
@@ -378,6 +423,48 @@ class CountResult:
         if self.epsilon is not None and self.delta is not None:
             return f"approximate(ε={self.epsilon:g}, δ={self.delta:g})"
         return "approximate"
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding with full provenance.
+
+        ``value`` is rendered as a decimal string — projected counts
+        overflow IEEE doubles long before they overflow Python ints, and
+        a JSON number would silently round through a double on the far
+        side of the wire.  ``stats_delta`` flattens via
+        :meth:`EngineStats.as_dict`.
+        """
+        out: dict = {
+            "value": str(self.value),
+            "exact": self.exact,
+            "backend": self.backend,
+            "source": self.source,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.fallback_from is not None:
+            out["fallback_from"] = self.fallback_from
+        if self.epsilon is not None:
+            out["epsilon"] = self.epsilon
+        if self.delta is not None:
+            out["delta"] = self.delta
+        if self.stats_delta is not None:
+            out["stats_delta"] = self.stats_delta.as_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CountResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        delta = payload.get("stats_delta")
+        return cls(
+            value=int(payload["value"]),
+            exact=bool(payload["exact"]),
+            backend=payload["backend"],
+            source=payload["source"],
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            fallback_from=payload.get("fallback_from"),
+            epsilon=payload.get("epsilon"),
+            delta=payload.get("delta"),
+            stats_delta=EngineStats(**delta) if delta is not None else None,
+        )
 
 
 class CountFailure(Exception):
@@ -446,6 +533,64 @@ class CountFailure(Exception):
             cause=exc,
             elapsed_seconds=elapsed_seconds,
             retries=retries,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding of this failure (``cause`` flattened to a string).
+
+        The worker pool's pickle wire format cannot cross machines (or a
+        JSON socket), so the service serializes failures through this:
+        kind, backend, elapsed and retries survive verbatim, and the
+        original exception is flattened to ``"TypeName: message"`` —
+        enough for triage without shipping arbitrary picklable state.
+        :meth:`from_dict` rehydrates the cause as the matching typed abort
+        (:class:`~repro.counting.exact.CounterTimeout` /
+        :class:`~repro.counting.exact.CounterBudgetExceeded`) so client
+        code catching the taxonomy behaves identically on either side of
+        the wire.
+        """
+        return {
+            "kind": self.kind,
+            "message": str(self.args[0]) if self.args else "",
+            "backend": self.backend,
+            "cause": (
+                f"{type(self.cause).__name__}: {self.cause}"
+                if self.cause is not None
+                else None
+            ),
+            "elapsed_seconds": self.elapsed_seconds,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CountFailure":
+        """Rebuild a failure from :meth:`to_dict` output.
+
+        The flattened ``cause`` string is rehydrated as the typed abort
+        matching ``kind`` (timeout → ``CounterTimeout``, budget →
+        ``CounterBudgetExceeded``, error → ``RuntimeError``); kinds that
+        never had an in-process exception (watchdog kills, lost workers)
+        stay ``cause=None``.
+        """
+        from repro.counting.exact import CounterBudgetExceeded, CounterTimeout
+
+        kind = payload["kind"]
+        cause_text = payload.get("cause")
+        cause: BaseException | None = None
+        if cause_text is not None:
+            if kind == "timeout":
+                cause = CounterTimeout(cause_text)
+            elif kind == "budget":
+                cause = CounterBudgetExceeded(cause_text)
+            else:
+                cause = RuntimeError(cause_text)
+        return cls(
+            kind,
+            payload.get("message", ""),
+            backend=payload.get("backend", "?"),
+            cause=cause,
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            retries=int(payload.get("retries", 0)),
         )
 
     def __repr__(self) -> str:

@@ -89,6 +89,7 @@ survive — that is their point).
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
@@ -374,6 +375,16 @@ class CountingEngine:
         self._translations: dict[tuple, object] = {}
         self._ground_truths: dict[tuple, object] = {}
         self._regions: dict[tuple, CNF] = {}
+        #: The concurrency guard.  The engine (and the backend it wraps)
+        #: is single-threaded by design — memo dicts, EngineStats and the
+        #: backend's knob overrides (``_limits``) all assume one caller at
+        #: a time.  ``solve*`` and the compilation memos serialize on this
+        #: reentrant lock so a multi-threaded *caller* (the counting
+        #: service's solver executor is the only sanctioned one) gets
+        #: bit-identical counts and consistent stats; true parallelism
+        #: comes from the engine's worker pool, never from racing threads
+        #: into one backend.
+        self._lock = threading.RLock()
         self._sync_store_degradations()
 
     def __getattr__(self, name: str):
@@ -453,7 +464,19 @@ class CountingEngine:
         completes; ``"return"`` returns the ``CountFailure`` objects in
         their batch positions alongside the successes (a failed per-path
         request is represented by its first failed sub-problem).
+
+        Thread safety.  ``solve``/``solve_many``/``solve_formula`` (and
+        the compilation memos) serialize on the engine's internal
+        reentrant lock: concurrent callers — the counting service's
+        solver threads are the only sanctioned ones — get bit-identical
+        counts and consistent :class:`EngineStats`, never interleaved
+        memo/knob state.  Parallelism belongs to the worker pool, not to
+        caller threads.
         """
+        with self._lock:
+            return self._solve_many_locked(problems, on_failure)
+
+    def _solve_many_locked(self, problems, on_failure: str):
         if on_failure not in ("raise", "return"):
             raise ValueError(
                 f"on_failure must be 'raise' or 'return', got {on_failure!r}"
@@ -968,6 +991,10 @@ class CountingEngine:
                 f"backend {self.backend_name!r} does not count formulas "
                 "(capabilities.counts_formulas is False)"
             )
+        with self._lock:
+            return self._solve_formula_locked(formula, num_vars)
+
+    def _solve_formula_locked(self, formula, num_vars: int) -> CountResult:
         before = self.stats.copy()
         self.stats.count_calls += 1
         key = ("formula", formula, num_vars)
@@ -1066,24 +1093,25 @@ class CountingEngine:
 
         kind = symmetry.kind if symmetry is not None else None
         key = (_prop_key(prop), scope, kind, negate)
-        self.stats.translate_calls += 1
-        cached = self._translations.get(key)
-        if cached is not None:
-            self.stats.translate_hits += 1
-            return cached
-        problem = None
-        disk_key = None
-        if self.memo_store is not None:
-            disk_key = text_key("translate", prop, scope, kind, negate)
-            problem = self.memo_store.get(disk_key)
-            if problem is not None:
-                self.stats.translate_store_hits += 1
-        if problem is None:
-            problem = translate(prop, scope, symmetry=symmetry, negate=negate)
-            if disk_key is not None:
-                self.memo_store.put(disk_key, problem)
-        self._translations[key] = problem
-        return problem
+        with self._lock:
+            self.stats.translate_calls += 1
+            cached = self._translations.get(key)
+            if cached is not None:
+                self.stats.translate_hits += 1
+                return cached
+            problem = None
+            disk_key = None
+            if self.memo_store is not None:
+                disk_key = text_key("translate", prop, scope, kind, negate)
+                problem = self.memo_store.get(disk_key)
+                if problem is not None:
+                    self.stats.translate_store_hits += 1
+            if problem is None:
+                problem = translate(prop, scope, symmetry=symmetry, negate=negate)
+                if disk_key is not None:
+                    self.memo_store.put(disk_key, problem)
+            self._translations[key] = problem
+            return problem
 
     def ground_truth(self, prop, scope: int, symmetry=None):
         """Memoized compiled ground truth for AccMC evaluation."""
@@ -1094,11 +1122,14 @@ class CountingEngine:
             scope,
             symmetry.kind if symmetry is not None else None,
         )
-        cached = self._ground_truths.get(key)
-        if cached is None:
-            cached = GroundTruth(prop, scope, symmetry=symmetry, translator=self.translate)
-            self._ground_truths[key] = cached
-        return cached
+        with self._lock:
+            cached = self._ground_truths.get(key)
+            if cached is None:
+                cached = GroundTruth(
+                    prop, scope, symmetry=symmetry, translator=self.translate
+                )
+                self._ground_truths[key] = cached
+            return cached
 
     def region(self, paths, label: int, num_features: int) -> CNF:
         """Memoized decision-tree label-region CNF (see ``label_region_cnf``).
@@ -1109,24 +1140,25 @@ class CountingEngine:
         from repro.core.tree2cnf import label_region_cnf
 
         key = (tuple(paths), label, num_features)
-        self.stats.region_calls += 1
-        cached = self._regions.get(key)
-        if cached is not None:
-            self.stats.region_hits += 1
-            return cached
-        cnf = None
-        disk_key = None
-        if self.memo_store is not None:
-            disk_key = text_key("region", tuple(paths), label, num_features)
-            cnf = self.memo_store.get(disk_key)
-            if cnf is not None:
-                self.stats.region_store_hits += 1
-        if cnf is None:
-            cnf = label_region_cnf(paths, label, num_features)
-            if disk_key is not None:
-                self.memo_store.put(disk_key, cnf)
-        self._regions[key] = cnf
-        return cnf
+        with self._lock:
+            self.stats.region_calls += 1
+            cached = self._regions.get(key)
+            if cached is not None:
+                self.stats.region_hits += 1
+                return cached
+            cnf = None
+            disk_key = None
+            if self.memo_store is not None:
+                disk_key = text_key("region", tuple(paths), label, num_features)
+                cnf = self.memo_store.get(disk_key)
+                if cnf is not None:
+                    self.stats.region_store_hits += 1
+            if cnf is None:
+                cnf = label_region_cnf(paths, label, num_features)
+                if disk_key is not None:
+                    self.memo_store.put(disk_key, cnf)
+            self._regions[key] = cnf
+            return cnf
 
     # -- parallel plumbing -----------------------------------------------------------
 
@@ -1174,6 +1206,10 @@ class CountingEngine:
         keep their own warmed cache clones regardless: they are process
         state, re-cloned only when a pool is re-forked.)
         """
+        with self._lock:
+            self._clear_locked()
+
+    def _clear_locked(self) -> None:
         self._counts.clear()
         self._translations.clear()
         self._ground_truths.clear()

@@ -39,6 +39,27 @@ Injection points currently wired in:
     pickle probe fails as if the backend did not pickle, forcing the
     serial-fallback degradation.
 
+Network points, consulted by the counting service
+(:mod:`repro.counting.service`) and its client:
+
+``service-accept-drop`` (value: N)
+    The server closes the first N accepted connections before reading a
+    byte — the transient listen-queue/SYN-flood stand-in.  Clients see a
+    reset and must retry with backoff.
+``service-reset-mid-response``
+    The server writes roughly half of each response line and then aborts
+    the connection with an RST (``SO_LINGER`` 0), exercising the client's
+    partial-read detection and idempotent retry.
+``service-slow-loris``
+    :class:`~repro.counting.service.client.ServiceClient` dribbles its
+    request bytes one at a time with delays, wedging the connection the
+    way a slow-loris client would — the server's read deadline must drop
+    it without affecting other clients.
+``service-oversize-payload``
+    The client pads its request envelope past the server's
+    ``max_line_bytes``, exercising the typed ``oversized`` rejection
+    (never an unbounded buffer).
+
 The registry check is one dict lookup; with nothing armed (the default,
 always, outside chaos tests) the hooks cost nothing measurable.
 """

@@ -108,8 +108,14 @@ def _open_cache_db(path: Path, schema: str) -> sqlite3.Connection:
     database — some filesystems refuse WAL and the rollback journal is
     fine — but "file is not a database" must escape so the caller can
     rotate the wreck aside.
+
+    ``check_same_thread=False``: the counting service daemon constructs
+    its engine on the main thread and solves on solver threads, and the
+    engine serializes every store access under its solve lock — sqlite's
+    per-thread affinity check would turn each cross-thread read into a
+    spurious degradation.
     """
-    connection = sqlite3.connect(path)
+    connection = sqlite3.connect(path, check_same_thread=False)
     try:
         try:
             connection.execute("PRAGMA journal_mode=WAL")

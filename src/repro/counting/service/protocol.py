@@ -43,6 +43,7 @@ story applied to a single connection.
 from __future__ import annotations
 
 import json
+import select
 import socket
 import time
 
@@ -120,9 +121,13 @@ class LineReader:
     ``line_timeout`` bounds one *whole line*, not one ``recv``: without
     it, a slow-loris peer dribbling a byte per poll interval resets the
     per-``recv`` timeout forever and wedges the reader.  With it, the
-    deadline starts when ``readline()`` does and each ``recv`` gets only
-    the remainder (the server passes its ``read_timeout`` here; the
-    client keeps the plain socket timeout it set itself).
+    deadline starts when ``readline()`` does and each wait gets only the
+    remainder (the server passes its ``read_timeout`` here; the client
+    keeps the plain socket timeout it set itself).  The wait uses
+    ``select`` rather than ``settimeout`` — the socket's timeout is
+    shared with concurrent ``sendall`` on other threads, and shrinking it
+    per read would let a send inherit a near-expired remainder and drop a
+    healthy connection on a spurious send timeout.
     """
 
     def __init__(
@@ -152,7 +157,14 @@ class LineReader:
                     raise TimeoutError(
                         f"line incomplete after {self._line_timeout}s"
                     )
-                self._sock.settimeout(remaining)
+                try:
+                    ready, _, _ = select.select([self._sock], [], [], remaining)
+                except ValueError as exc:  # fd turned -1: closed under us
+                    raise ConnectionClosed("socket closed during read wait") from exc
+                if not ready:
+                    raise TimeoutError(
+                        f"line incomplete after {self._line_timeout}s"
+                    )
             chunk = self._sock.recv(65536)
             if not chunk:
                 raise ConnectionClosed("peer closed the connection")

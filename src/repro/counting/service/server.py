@@ -241,7 +241,9 @@ class CountingServer:
                 clean = False
 
         # Whatever is still queued — or owned by a wedged solver — gets a
-        # typed goodbye instead of a hang.
+        # typed goodbye instead of a hang.  No late enqueue can race this
+        # sweep: _dispatch re-checks _draining under _admission, so once
+        # the flag is set (first thing above) the queue only shrinks.
         leftovers: list[_Job] = []
         while True:
             try:
@@ -407,10 +409,26 @@ class CountingServer:
             )
             return
 
+        # Decide under the lock, send after releasing it: sendall() can
+        # block until a slow peer drains its receive window, and holding
+        # _admission through that would stall every other connection's
+        # admission, coalescing, and the solvers' fan-out bookkeeping.
+        response = None
+        rejection = None
+        coalesced = False
         with self._admission:
-            if conn.inflight >= self.max_inflight_per_client:
-                self._bump("rejected_overloaded")
-                conn.stats["rejected"] += 1
+            if self._draining.is_set():
+                # Authoritative re-check: initiate_drain() may have fired
+                # since the lock-free check above.  Enqueueing here would
+                # race drain()'s leftover sweep and leave the waiter
+                # unanswered; once this branch is reachable no new job can
+                # enter the queue, so the sweep sees everything.
+                rejection = "rejected_shutdown"
+                response = protocol.error_response(
+                    msg_id, "shutting-down", "server is draining", retryable=True
+                )
+            elif conn.inflight >= self.max_inflight_per_client:
+                rejection = "rejected_overloaded"
                 response = protocol.error_response(
                     msg_id,
                     "overloaded",
@@ -418,33 +436,36 @@ class CountingServer:
                     retryable=True,
                     inflight=conn.inflight,
                 )
-                self._send(conn, response)
-                return
-            job = self._inflight.get(key)
-            if job is not None:
-                job.waiters.append((conn, msg_id))
-                conn.inflight += 1
-                conn.stats["coalesced"] += 1
-                self._bump("coalesced")
-                return
-            job = _Job(key, verb, payload, deadline)
-            job.waiters.append((conn, msg_id))
-            try:
-                self._queue.put_nowait(job)
-            except queue.Full:
-                self._bump("rejected_overloaded")
-                conn.stats["rejected"] += 1
-                response = protocol.error_response(
-                    msg_id,
-                    "overloaded",
-                    f"request queue ({self.max_queue}) is full",
-                    retryable=True,
-                    queue_depth=self.max_queue,
-                )
-                self._send(conn, response)
-                return
-            self._inflight[key] = job
-            conn.inflight += 1
+            else:
+                job = self._inflight.get(key)
+                if job is not None:
+                    job.waiters.append((conn, msg_id))
+                    conn.inflight += 1
+                    coalesced = True
+                else:
+                    job = _Job(key, verb, payload, deadline)
+                    job.waiters.append((conn, msg_id))
+                    try:
+                        self._queue.put_nowait(job)
+                    except queue.Full:
+                        rejection = "rejected_overloaded"
+                        response = protocol.error_response(
+                            msg_id,
+                            "overloaded",
+                            f"request queue ({self.max_queue}) is full",
+                            retryable=True,
+                            queue_depth=self.max_queue,
+                        )
+                    else:
+                        self._inflight[key] = job
+                        conn.inflight += 1
+        if coalesced:
+            conn.stats["coalesced"] += 1
+            self._bump("coalesced")
+        elif response is not None:
+            conn.stats["rejected"] += 1
+            self._bump(rejection)
+            self._send(conn, response)
 
     def _job_key(self, verb: str, envelope: dict) -> tuple[str, dict, float | None]:
         """Coalescing key + parsed payload + effective deadline for a verb.

@@ -357,7 +357,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.artifact == "serve":
         return serve(args, config)
     artifacts = (
-        [a for a in ARTIFACTS if a != "all"] if args.artifact == "all" else [args.artifact]
+        [a for a in ARTIFACTS if a not in ("all", "serve")]
+        if args.artifact == "all"
+        else [args.artifact]
     )
     # One session for the whole invocation: an ``mcml all`` run shares
     # translations, counts and the worker pool across artifacts instead of

@@ -255,3 +255,21 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["table42"])
+
+    def test_cli_all_expands_to_artifacts_only(self, monkeypatch, capsys):
+        # "all" must never reach run_artifact with the pseudo-artifacts
+        # ("all" itself, "serve") — a daemon is not a table to render.
+        from repro.experiments import cli
+
+        seen = []
+        monkeypatch.setattr(
+            cli,
+            "run_artifact",
+            lambda artifact, config, paper_scopes=False, session=None: (
+                seen.append(artifact) or f"<{artifact}>"
+            ),
+        )
+        assert cli.main(["all"]) == 0
+        assert seen == [a for a in cli.ARTIFACTS if a not in ("all", "serve")]
+        out = capsys.readouterr().out
+        assert "<table1>" in out and "<figure2>" in out

@@ -13,6 +13,7 @@ from repro.counting import (
     ApproxMCCounter,
     BDDCounter,
     CompiledCounter,
+    CompositeCounter,
     CountingEngine,
     ExactCounter,
     FormulaBruteCounter,
@@ -110,6 +111,16 @@ class TestCounterAblation:
         )
         count = benchmark(lambda: circuit.condition(cube))
         assert count == exact
+
+    def test_composite_router(self, benchmark, partial_order_cnf):
+        # The routing backend on the ablation instance: the Tseitin
+        # auxiliaries send it down the exact route, so the delta vs
+        # test_exact_counter is the price of dispatch itself.
+        backend = CompositeCounter()
+        route = backend.route(partial_order_cnf)
+        assert route.rule.target == "exact"
+        count = benchmark(lambda: CompositeCounter().count(partial_order_cnf))
+        assert count == ExactCounter().count(partial_order_cnf)
 
     def test_formula_brute_counter(self, benchmark):
         problem = translate(get_property("PartialOrder"), 4, symmetry=SymmetryBreaking())

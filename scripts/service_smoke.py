@@ -13,7 +13,13 @@ afternoon would:
 * a SIGTERM drain: the daemon must exit 0 within the timeout and emit a
   clean ``drained`` event.
 
-Afterwards the daemon's stderr is scanned: any ``Traceback`` means an
+Then the cluster leg: two more ``mcml serve`` daemons behind a
+:class:`ShardedClient` — the batch must come back bit-identical to the
+in-process session, one shard is SIGKILLed and the rerun batch must
+complete on the survivor via rehash-failover, and the survivor must
+still SIGTERM-drain clean.
+
+Afterwards each daemon's stderr is scanned: any ``Traceback`` means an
 exception escaped the typed error taxonomy (the in-process equivalent of
 the ``bare-except-allowlist`` gate), and the smoke fails.
 
@@ -41,7 +47,11 @@ SRC_DIR = str(REPO_ROOT / "src")
 sys.path.insert(0, SRC_DIR)
 
 from repro.core.session import MCMLSession  # noqa: E402
-from repro.counting.service import ServiceClient, ServiceOverloaded  # noqa: E402
+from repro.counting.service import (  # noqa: E402
+    ServiceClient,
+    ServiceOverloaded,
+    ShardedClient,
+)
 from repro.counting.service import protocol  # noqa: E402
 from repro.spec import SymmetryBreaking, get_property, translate  # noqa: E402
 from repro.spec.properties import property_names  # noqa: E402
@@ -54,25 +64,26 @@ def fail(message: str) -> None:
     raise SystemExit(1)
 
 
-def spawn_daemon(cache_dir: str) -> tuple[subprocess.Popen, str, int]:
+def spawn_daemon(
+    cache_dir: str, *, tiny_limits: bool = True
+) -> tuple[subprocess.Popen, str, int]:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.experiments.cli",
+        "serve",
+        "--backend",
+        "exact",
+        "--cache-dir",
+        cache_dir,
+    ]
+    if tiny_limits:
+        # Tiny admission limits so the storm below reliably trips them.
+        argv += ["--max-queue", "2", "--max-inflight", "2"]
     proc = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.experiments.cli",
-            "serve",
-            "--backend",
-            "exact",
-            "--cache-dir",
-            cache_dir,
-            # Tiny admission limits so the storm below reliably trips them.
-            "--max-queue",
-            "2",
-            "--max-inflight",
-            "2",
-        ],
+        argv,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -195,6 +206,64 @@ def check_stderr(stderr: str) -> None:
     print("  daemon stderr: no tracebacks (typed errors only)")
 
 
+def cluster_leg(batch, expected) -> None:
+    """Two daemons, one SIGKILLed: failover must finish the batch.
+
+    The cluster daemons run with default admission limits — the sharded
+    client treats an exhausted retry budget as shard death, so only real
+    deaths (the SIGKILL below) may look like one.
+    """
+    print("cluster leg: 2 shards behind a ShardedClient")
+    with tempfile.TemporaryDirectory() as cache_root:
+        procs: list[subprocess.Popen] = []
+        shards: list[tuple[str, int]] = []
+        try:
+            for i in range(2):
+                proc, host, port = spawn_daemon(
+                    str(Path(cache_root) / f"shard-{i}"), tiny_limits=False
+                )
+                procs.append(proc)
+                shards.append((host, port))
+            with ShardedClient(shards, retries=2, backoff_base=0.02) as cluster:
+                values = cluster.count_many(batch)
+                if values != expected:
+                    fail(f"cluster counts diverge: {values} != {expected}")
+                owners = {cluster.shard_for(problem) for problem in batch}
+                print(
+                    f"  2-shard count_many bit-identical "
+                    f"({len(batch)} problems over {len(owners)} shard(s))"
+                )
+                # SIGKILL whichever shard owns the first problem, then
+                # rerun the batch: its positions must rehash onto the
+                # survivor mid-batch and the values must not move.
+                victim = cluster.shard_for(batch[0])
+                victim_index = shards.index(victim)
+                procs[victim_index].kill()
+                procs[victim_index].communicate()
+                again = cluster.count_many(batch)
+                if again != expected:
+                    fail(f"post-kill counts diverge: {again} != {expected}")
+                if cluster.failovers != 1 or cluster.failed_shards != [victim]:
+                    fail(
+                        f"expected exactly one failover of {victim}, got "
+                        f"failovers={cluster.failovers} "
+                        f"dead={cluster.failed_shards}"
+                    )
+                print(
+                    f"  SIGKILLed shard {victim_index}: batch completed on "
+                    f"the survivor via rehash-failover"
+                )
+            survivor = procs[1 - victim_index]
+            stderr = drain(survivor)
+            check_stderr(stderr)
+        except BaseException:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+            raise
+
+
 def main() -> None:
     print("counting-service smoke")
     symmetry = SymmetryBreaking()
@@ -234,6 +303,7 @@ def main() -> None:
             raise
         stderr = drain(proc)
         check_stderr(stderr)
+    cluster_leg(batch, expected)
     print("ok")
 
 

@@ -96,6 +96,7 @@ from repro.counting.exact import (
 from repro.counting.legacy import LegacyExactCounter
 from repro.counting.oracles import closed_form_count
 from repro.counting.parallel import WorkerPool, count_parallel
+from repro.counting.router import CompositeCounter, Route, RoutingRule
 from repro.counting.store import (
     BlobStore,
     CircuitStore,
@@ -115,6 +116,7 @@ __all__ = [
     "CircuitBuilder",
     "CircuitStore",
     "CompiledCounter",
+    "CompositeCounter",
     "ComponentCache",
     "ComponentStore",
     "CountFailure",
@@ -131,6 +133,8 @@ __all__ = [
     "ExactCounter",
     "FormulaBruteCounter",
     "LegacyExactCounter",
+    "Route",
+    "RoutingRule",
     "WorkerPool",
     "approx_count",
     "available_backends",

@@ -100,6 +100,16 @@ class Capabilities:
         Implies ``exact`` — conditioning results carry
         ``source="circuit"`` provenance and are persisted like any exact
         count.
+    routes:
+        The backend exposes ``route(cnf, prefer_exact=…) ->``
+        :class:`~repro.counting.router.Route`: it is a dispatcher over
+        other registered backends rather than a counter of its own, and
+        the engine asks it *where* each problem should go before counting
+        so the decision can be surfaced as provenance
+        (:attr:`CountResult.routed_to`, per-route :class:`EngineStats`
+        counters) and so approximate routes are never memoized or
+        persisted even though the routing backend declares ``exact``
+        (its exact routes are).
     """
 
     exact: bool
@@ -108,6 +118,7 @@ class Capabilities:
     parallel_safe: bool = False
     owns_component_cache: bool = False
     conditions_cubes: bool = False
+    routes: bool = False
 
     def as_dict(self) -> dict[str, bool]:
         """Flag mapping, e.g. for benchmark/CLI provenance records."""
@@ -388,6 +399,13 @@ class CountResult:
     ``fallback_from`` names the backend that failed, ``exact`` reflects
     the *fallback* backend's guarantee, and ``epsilon``/``delta`` carry
     its (ε, δ) tolerance when it is approximate.
+
+    A result produced through a routing backend (``capabilities.routes``,
+    e.g. ``composite``) additionally carries ``routed_to``: the name of
+    the concrete backend the router dispatched the problem to.
+    ``backend`` stays the routing backend's own name (the session-level
+    provenance), ``exact``/``epsilon``/``delta`` reflect the *target*
+    backend's guarantee.
     """
 
     value: int
@@ -396,6 +414,7 @@ class CountResult:
     source: str
     elapsed_seconds: float = 0.0
     fallback_from: str | None = None
+    routed_to: str | None = None
     epsilon: float | None = None
     delta: float | None = None
     stats_delta: "EngineStats | None" = field(default=None, compare=False)
@@ -442,6 +461,8 @@ class CountResult:
         }
         if self.fallback_from is not None:
             out["fallback_from"] = self.fallback_from
+        if self.routed_to is not None:
+            out["routed_to"] = self.routed_to
         if self.epsilon is not None:
             out["epsilon"] = self.epsilon
         if self.delta is not None:
@@ -461,6 +482,7 @@ class CountResult:
             source=payload["source"],
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             fallback_from=payload.get("fallback_from"),
+            routed_to=payload.get("routed_to"),
             epsilon=payload.get("epsilon"),
             delta=payload.get("delta"),
             stats_delta=EngineStats(**delta) if delta is not None else None,
@@ -636,6 +658,14 @@ class EngineStats:
     ``store_degradations`` disk-tier degradation events (corrupt database
     rotated aside, unreadable row read as a miss, swallowed write
     failure) across all four disk tiers.
+
+    The routing counters observe a ``routes`` backend (``composite``):
+    ``route_exact``/``route_compiled``/``route_approx`` count cold
+    problems dispatched to each target backend, so a session's routing
+    mix is auditable after the fact (cache hits never route — only
+    ``backend_calls`` show up here, and
+    ``route_exact + route_compiled + route_approx == backend_calls``
+    for a pure-routing session).
     """
 
     count_calls: int = 0
@@ -658,6 +688,9 @@ class EngineStats:
     fallbacks: int = 0
     serial_fallbacks: int = 0
     store_degradations: int = 0
+    route_exact: int = 0
+    route_compiled: int = 0
+    route_approx: int = 0
 
     @property
     def count_misses(self) -> int:
@@ -799,6 +832,12 @@ def _compiled_factory(**opts):
     return CompiledCounter(**opts)
 
 
+def _composite_factory(**opts):
+    from repro.counting.router import CompositeCounter
+
+    return CompositeCounter(**opts)
+
+
 register_backend("exact", _exact_factory)
 register_backend("legacy", _legacy_factory, aliases=("exact-legacy",))
 # "brute" is the numpy whole-space sweep over formulas and aux-free CNFs
@@ -809,6 +848,9 @@ register_backend("approxmc", _approxmc_factory, aliases=("approx",))
 # "compiled" keeps the circuit: compile once, answer per-path queries by
 # unit-cube conditioning (conditions_cubes=True); "circuit" is its alias.
 register_backend("compiled", _compiled_factory, aliases=("circuit",))
+# "composite" routes each problem to the best-suited backend above by
+# inspectable rules (routes=True); "router" is its alias.
+register_backend("composite", _composite_factory, aliases=("router",))
 
 
 # -- timing helper --------------------------------------------------------------------

@@ -54,6 +54,15 @@ scales the cold remainder across processes and sessions:
   (:class:`repro.counting.store.CircuitStore`, ``EngineConfig(circuit_store=…)``),
   so a warm restart performs zero compilations
   (``EngineStats.circuit_store_hits``);
+* when the backend declares ``routes`` (the ``composite`` backend), cold
+  problems are *dispatched*: the engine asks the backend where each
+  problem should go (``route(cnf)``), bumps the per-route
+  :class:`~repro.counting.api.EngineStats` counter, counts on the routed
+  target under the request's limits, and stamps the decision on the
+  result (``CountResult.routed_to``).  Approx-routed results carry the
+  target's (ε, δ) and are never memoized or persisted — the same
+  discipline inexact fallback results follow — and the approx route is
+  refused outright for exact-precision and per-path problems;
 * failures are *typed and contained*: budget exhaustions, wall-clock
   deadline overruns (``CountRequest(deadline=...)``) and workers lost to
   SIGKILL/OOM become per-problem
@@ -559,6 +568,7 @@ class CountingEngine:
                         source=r.source,
                         elapsed_seconds=r.elapsed_seconds,
                         fallback_from=r.fallback_from,
+                        routed_to=r.routed_to,
                         epsilon=r.epsilon,
                         delta=r.delta,
                         stats_delta=stats_delta,
@@ -642,6 +652,10 @@ class CountingEngine:
             limited = set(pooled)
             serial = [key for key in missing if key not in limited]
             completed: dict[tuple, tuple[int, float]] = {}
+            #: routing backend only: key -> the Route its problem took,
+            #: consulted when results merge (exactness, routed_to, ε/δ,
+            #: and whether the value may be memoized/persisted).
+            routed: dict[tuple, object] = {}
             deltas: list = []
             try:
                 pool = None
@@ -671,16 +685,37 @@ class CountingEngine:
                 for key in serial:
                     item = cold[key]
                     started = time.perf_counter()
+                    # A routing backend is asked *where* first, so the
+                    # decision lands in stats and provenance even when
+                    # the count itself later aborts.  The approx-route
+                    # refusal (exact precision / per-path demands on an
+                    # oversized problem) raises ValueError out of the
+                    # batch, like the engine's other contract checks.
+                    route = None
+                    route_counter = self.counter
+                    route_backend = self.backend_name
+                    if caps.routes:
+                        route = self.counter.route(
+                            item.cnf,
+                            prefer_exact=item.exact_only or item.per_path,
+                        )
+                        routed[key] = route
+                        field = route.rule.stats_field
+                        setattr(self.stats, field, getattr(self.stats, field) + 1)
+                        route_counter = route.counter
+                        route_backend = route.rule.target
                     try:
-                        with self._limits(item.budget, item.deadline):
-                            value = self.counter.count(item.cnf)
+                        with self._limits(
+                            item.budget, item.deadline, counter=route_counter
+                        ):
+                            value = route_counter.count(item.cnf)
                     except CounterAbort as exc:
                         # Budget/deadline aborts are per-problem outcomes,
                         # not batch aborts: record and keep counting — the
                         # rest of the batch is still worth paying for.
                         failed[key] = CountFailure.from_exception(
                             exc,
-                            backend=self.backend_name,
+                            backend=route_backend,
                             elapsed_seconds=time.perf_counter() - started,
                         )
                         continue
@@ -698,17 +733,38 @@ class CountingEngine:
                 self.stats.backend_calls += len(completed)
                 fresh: list[tuple[str, int]] = []
                 for key, (value, seconds) in completed.items():
-                    self._counts[key] = value
+                    route = routed.get(key)
+                    if route is None:
+                        exact = caps.exact
+                        routed_to = epsilon = delta = None
+                    else:
+                        # Exactness (and ε/δ) are the *routed target's*;
+                        # approx-routed values are neither memoized nor
+                        # persisted — like inexact fallback counts, an
+                        # estimate must never warm an exact cache.
+                        exact = route.capabilities.exact
+                        routed_to = route.rule.target
+                        epsilon = (
+                            None if exact else getattr(route.counter, "epsilon", None)
+                        )
+                        delta = (
+                            None if exact else getattr(route.counter, "delta", None)
+                        )
+                    if exact:
+                        self._counts[key] = value
                     result = CountResult(
                         value=value,
-                        exact=caps.exact,
+                        exact=exact,
                         backend=self.backend_name,
                         source="backend",
                         elapsed_seconds=seconds,
+                        routed_to=routed_to,
+                        epsilon=epsilon,
+                        delta=delta,
                     )
                     for i in positions[key]:
                         results[i] = result
-                    if self.store is not None:
+                    if self.store is not None and exact:
                         fresh.append((hashed[key], value))
                 if fresh and self.store is not None:
                     self.store.put_many(fresh)

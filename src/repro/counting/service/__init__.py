@@ -23,8 +23,15 @@ The three modules:
     :class:`~repro.counting.api.CountFailure` /
     :class:`~repro.counting.exact.CounterAbort` so remote failures look
     exactly like local ones.
+:mod:`~repro.counting.service.cluster`
+    :class:`ShardedClient` — the same client surface over N daemons:
+    consistent-hash partitioning of batches keyed on request
+    signatures (each signature's warm store rows live on exactly one
+    shard), rehash-failover when a shard dies mid-batch, and
+    cluster-aggregated stats.
 
-``mcml serve`` (:mod:`repro.experiments.cli`) is the daemon entry point;
+``mcml serve`` (:mod:`repro.experiments.cli`) is the daemon entry point
+and ``mcml cluster --shards N`` the in-process cluster launcher;
 ``docs/api.md`` documents the wire protocol and failure semantics.
 """
 
@@ -36,6 +43,7 @@ from repro.counting.service.client import (
     ServiceOverloaded,
     ServiceUnavailable,
 )
+from repro.counting.service.cluster import ShardedClient
 from repro.counting.service.protocol import (
     DEFAULT_PORT,
     MAX_LINE_BYTES,
@@ -50,6 +58,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "CountingServer",
     "ServiceClient",
+    "ShardedClient",
     "ServiceError",
     "ServiceOverloaded",
     "ServiceUnavailable",

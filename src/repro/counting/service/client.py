@@ -20,10 +20,18 @@ that decision belongs to the caller.  Retrying a counting verb is safe by
 construction — the server coalesces identical in-flight requests and the
 engine memoizes answered ones, so a retry after a dropped response line
 costs a lookup, not a recount.
+
+Batch framing: ``solve_many`` chunks the batch client-side under the
+daemon's per-line ceiling (``max_line_bytes``) — a large batch becomes
+several sequential ``solve_many`` lines instead of one oversized one the
+server would reject wholesale (and close the connection over).  Only a
+*single request* too big for a line still earns the typed ``oversized``
+error, scoped to its own chunk.
 """
 
 from __future__ import annotations
 
+import json
 import random
 import socket
 import time
@@ -39,6 +47,10 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceUnavailable",
 ]
+
+#: Headroom reserved for the envelope around a chunk's request list
+#: (``{"id": …, "verb": "solve_many", "requests": [...]}\n``).
+_ENVELOPE_MARGIN = 256
 
 
 class ServiceError(RuntimeError):
@@ -249,12 +261,44 @@ class ServiceClient:
             raise
         return CountResult.from_dict(result)
 
+    def _chunk_requests(self, payloads: list[dict]) -> list[list[dict]]:
+        """Split encoded requests into per-line-budget chunks (order kept).
+
+        Greedy first-fit in batch order: a chunk closes when the next
+        request would push its JSON line past ``max_line_bytes`` minus
+        the envelope margin.  A single request bigger than the whole
+        budget still ships alone — the server's typed ``oversized``
+        answer then names exactly that request's chunk, not the batch.
+        """
+        budget = max(1, self.max_line_bytes - _ENVELOPE_MARGIN)
+        chunks: list[list[dict]] = []
+        current: list[dict] = []
+        size = 0
+        for payload in payloads:
+            encoded = len(json.dumps(payload, separators=(",", ":"))) + 1
+            if current and size + encoded > budget:
+                chunks.append(current)
+                current, size = [], 0
+            current.append(payload)
+            size += encoded
+        if current:
+            chunks.append(current)
+        return chunks
+
     def solve_many(self, problems, *, on_failure: str = "raise"):
-        """Count a batch remotely; one result or failure per problem."""
+        """Count a batch remotely; one result or failure per problem.
+
+        The batch is chunked under the daemon's line ceiling (see
+        :meth:`_chunk_requests`) and shipped as sequential ``solve_many``
+        lines; results concatenate back into batch order, so callers see
+        one logical batch regardless of how many lines carried it.
+        """
         if on_failure not in ("raise", "return"):
             raise ValueError(f"on_failure must be 'raise' or 'return', got {on_failure!r}")
         requests = [self._as_request(problem) for problem in problems]
-        entries = self._call("solve_many", {"requests": [r.to_dict() for r in requests]})
+        entries: list[dict] = []
+        for chunk in self._chunk_requests([r.to_dict() for r in requests]):
+            entries.extend(self._call("solve_many", {"requests": chunk}))
         outcomes: list[CountResult | CountFailure] = []
         primary: CountFailure | None = None
         for entry in entries:
@@ -274,6 +318,10 @@ class ServiceClient:
     def count(self, problem) -> int:
         """Bare-int convenience over :meth:`solve`."""
         return self.solve(problem).value
+
+    def count_many(self, problems) -> list[int]:
+        """Bare-int convenience over :meth:`solve_many`."""
+        return [result.value for result in self.solve_many(problems)]
 
     def accmc(
         self,

@@ -1,0 +1,348 @@
+""":class:`ShardedClient` — one counting cluster behind the client surface.
+
+A single daemon owns one warm store hierarchy (count memo, sqlite tiers,
+component cache, compiled circuits).  The cluster layer scales that
+horizontally *without duplicating warmth*: N daemons, each owning its own
+``cache_dir``, with every :class:`~repro.counting.api.CountRequest`
+assigned to exactly one of them by **consistent hashing on the request's
+canonical signature**.  Because the partition key is
+:meth:`CountRequest.signature` — the same identity the engine's memo and
+the :class:`~repro.counting.store.CountStore` are keyed on — a given
+problem always lands on the same shard, so its count/memo/component/
+circuit rows accumulate on exactly one daemon and the warm tiers of the
+cluster are disjoint by construction (asserted by the sharding suite and
+the ``cluster_sharding`` bench ablation).
+
+The ring is the classic virtual-node construction: each shard projects
+``replicas`` points onto a 256-bit circle (SHA-256 of
+``"host:port/replica"``), a request hashes to the circle via
+:func:`~repro.counting.store.signature_key`, and its owner is the first
+live shard point clockwise.  Virtual nodes keep the partition balanced;
+consistent hashing keeps it *stable* — when a shard dies, only its keys
+move (to their next-clockwise survivor), everyone else's warm rows stay
+owned.
+
+Failover reuses the PR 8 retry contract, one level up: each per-shard
+:class:`~repro.counting.service.client.ServiceClient` already retries
+transport faults and retryable admission codes with capped exponential
+backoff, so by the time one raises
+:class:`~repro.counting.service.client.ServiceUnavailable` /
+:class:`~repro.counting.service.client.ServiceOverloaded` the shard is
+genuinely gone — the cluster marks it dead, rehashes the shard's pending
+positions onto the survivors, and finishes the batch there.  Typed
+counting failures (:class:`~repro.counting.api.CountFailure`,
+:class:`~repro.counting.exact.CounterAbort`) are *not* failover events:
+a deterministic timeout would time out on any shard; they surface with
+the engine's usual semantics.  Dead shards stay dead for the client's
+lifetime (construct a fresh client after reviving a daemon).
+
+``mcml cluster --shards N`` (:mod:`repro.experiments.cli`) launches an
+N-daemon cluster in one process; the sharding suite and
+``scripts/service_smoke.py`` drive real multi-process clusters.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import random
+
+from repro.counting.api import CountFailure, CountRequest, CountResult
+from repro.counting.service import protocol
+from repro.counting.service.client import (
+    ServiceClient,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.counting.store import signature_key
+
+__all__ = ["ShardedClient"]
+
+
+def _ring_point(token: str) -> int:
+    """A ring position: SHA-256 of the token as a 256-bit integer."""
+    return int(hashlib.sha256(token.encode("utf-8")).hexdigest(), 16)
+
+
+class ShardedClient:
+    """Consistent-hash partitioned client over N counting daemons.
+
+    Mirrors the :class:`~repro.counting.service.client.ServiceClient`
+    surface — ``solve`` / ``solve_many`` / ``count`` / ``count_many`` /
+    ``accmc`` / ``diffmc`` / ``ping`` / ``stats`` / ``close`` — so code
+    written against one daemon works against a cluster.
+
+    Parameters
+    ----------
+    shards:
+        ``(host, port)`` pairs, one per daemon.  Order is irrelevant to
+        the partition (the ring is position-hashed), but stats and pings
+        report shards in the order given.
+    replicas:
+        Virtual nodes per shard on the hash ring.  More replicas
+        smooth the partition; 64 keeps the ring tiny while bounding
+        imbalance well under 2× for small clusters.
+    client_opts:
+        Keyword options forwarded to every per-shard
+        :class:`~repro.counting.service.client.ServiceClient`
+        (``request_timeout``, ``retries``, ``backoff_base``, …).
+    """
+
+    def __init__(
+        self,
+        shards,
+        *,
+        replicas: int = 64,
+        rng: random.Random | None = None,
+        **client_opts,
+    ) -> None:
+        self.shards: list[tuple[str, int]] = [
+            (host, int(port)) for host, port in shards
+        ]
+        if not self.shards:
+            raise ValueError("a cluster needs at least one shard")
+        if len(set(self.shards)) != len(self.shards):
+            raise ValueError(f"duplicate shards in {self.shards}")
+        self.replicas = replicas
+        self._clients: dict[tuple[str, int], ServiceClient] = {
+            shard: ServiceClient(shard[0], shard[1], rng=rng, **client_opts)
+            for shard in self.shards
+        }
+        self._live: set[tuple[str, int]] = set(self.shards)
+        #: Ring as parallel sorted arrays: position -> owning shard.
+        points: list[tuple[int, tuple[str, int]]] = []
+        for host, port in self.shards:
+            for replica in range(self.replicas):
+                points.append(
+                    (_ring_point(f"{host}:{port}/{replica}"), (host, port))
+                )
+        points.sort()
+        self._ring_positions = [position for position, _ in points]
+        self._ring_shards = [shard for _, shard in points]
+        #: Shards failed over away from, in death order.
+        self.failed_shards: list[tuple[str, int]] = []
+        #: Rehash-failover events (one per shard death observed).
+        self.failovers = 0
+
+    # -- the ring --------------------------------------------------------------------
+
+    def _owner(self, key: int) -> tuple[str, int]:
+        """First live shard clockwise of ``key`` on the ring."""
+        if not self._live:
+            raise ServiceUnavailable(
+                f"all {len(self.shards)} shards failed (dead: {self.failed_shards})"
+            )
+        start = bisect.bisect_left(self._ring_positions, key)
+        n = len(self._ring_positions)
+        for step in range(n):
+            shard = self._ring_shards[(start + step) % n]
+            if shard in self._live:
+                return shard
+        raise AssertionError("unreachable: live set is non-empty")
+
+    def shard_for(self, problem) -> tuple[str, int]:
+        """The shard owning this problem's signature (diagnostics/tests)."""
+        request = self._as_request(problem)
+        return self._owner(int(signature_key(request.signature()), 16))
+
+    def _mark_dead(self, shard: tuple[str, int]) -> None:
+        if shard not in self._live:
+            return
+        self._live.discard(shard)
+        self.failed_shards.append(shard)
+        self.failovers += 1
+        self._clients[shard].close()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+
+    def __enter__(self) -> "ShardedClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- counting verbs --------------------------------------------------------------
+
+    def solve_many(self, problems, *, on_failure: str = "raise"):
+        """Count a batch across the cluster; one result/failure per problem.
+
+        Positions are grouped by owning shard and each group shipped as
+        one per-shard ``solve_many`` (which chunks itself under the line
+        ceiling).  A shard that dies mid-batch — transport faults or
+        retryable admission codes past its client's backoff budget — is
+        marked dead and its *unanswered* positions rehash onto the
+        survivors; answered positions are never recounted.  Failure
+        semantics then match the engine:  ``on_failure="raise"`` raises
+        the first (batch-order) failure's cause, ``"return"`` hands
+        failures back in their positions.
+        """
+        if on_failure not in ("raise", "return"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'return', got {on_failure!r}"
+            )
+        requests = [self._as_request(problem) for problem in problems]
+        keys = [int(signature_key(r.signature()), 16) for r in requests]
+        outcomes: list[CountResult | CountFailure | None] = [None] * len(requests)
+        pending = list(range(len(requests)))
+        while pending:
+            by_shard: dict[tuple[str, int], list[int]] = {}
+            for i in pending:
+                by_shard.setdefault(self._owner(keys[i]), []).append(i)
+            pending = []
+            for shard, positions in by_shard.items():
+                client = self._clients[shard]
+                try:
+                    answers = client.solve_many(
+                        [requests[i] for i in positions], on_failure="return"
+                    )
+                except (ServiceUnavailable, ServiceOverloaded):
+                    # The shard's own retry/backoff budget is spent: the
+                    # daemon is gone.  Rehash this shard's share onto the
+                    # survivors on the next loop pass.
+                    self._mark_dead(shard)
+                    pending.extend(positions)
+                    continue
+                for i, answer in zip(positions, answers):
+                    outcomes[i] = answer
+        primary = next(
+            (o for o in outcomes if isinstance(o, CountFailure)), None
+        )
+        if primary is not None and on_failure == "raise":
+            if primary.cause is not None:
+                raise primary.cause from primary
+            raise primary
+        return outcomes
+
+    def solve(self, problem, *, on_failure: str = "raise"):
+        """Count one problem on its owning shard (with failover)."""
+        if on_failure not in ("raise", "return"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'return', got {on_failure!r}"
+            )
+        return self.solve_many([problem], on_failure=on_failure)[0]
+
+    def count(self, problem) -> int:
+        """Bare-int convenience over :meth:`solve`."""
+        return self.solve(problem).value
+
+    def count_many(self, problems) -> list[int]:
+        """Bare-int convenience over :meth:`solve_many`."""
+        return [result.value for result in self.solve_many(problems)]
+
+    # -- metric verbs ----------------------------------------------------------------
+
+    def _metric_shard(self, payload: dict) -> int:
+        """Deterministic ring key for a metric verb's wire payload.
+
+        Metric verbs (``accmc``/``diffmc``) have no CNF signature — the
+        daemon compiles the problems itself — so affinity hashes the
+        canonical payload text instead: the same (tree, property, scope)
+        always lands on the same shard and reuses its warm translation
+        and region memos.
+        """
+        return _ring_point(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+
+    def _with_failover(self, key: int, call):
+        """Run ``call(client)`` on the key's owner, failing over on death."""
+        while True:
+            shard = self._owner(key)
+            try:
+                return call(self._clients[shard])
+            except (ServiceUnavailable, ServiceOverloaded):
+                self._mark_dead(shard)
+
+    def accmc(self, tree, prop: str, scope: int, **kwargs) -> dict:
+        """Whole-space confusion metrics on the payload's affine shard."""
+        payload = {
+            "tree": protocol.tree_to_wire(tree),
+            "property": prop,
+            "scope": scope,
+        }
+        return self._with_failover(
+            self._metric_shard(payload),
+            lambda client: client.accmc(tree, prop, scope, **kwargs),
+        )
+
+    def diffmc(self, first, second, **kwargs) -> dict:
+        """Semantic tree difference on the payload's affine shard."""
+        payload = {
+            "first": protocol.tree_to_wire(first),
+            "second": protocol.tree_to_wire(second),
+        }
+        return self._with_failover(
+            self._metric_shard(payload),
+            lambda client: client.diffmc(first, second, **kwargs),
+        )
+
+    # -- health / telemetry ----------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Ping every live shard; dead shards report their status inline."""
+        shards = {}
+        for shard in self.shards:
+            label = f"{shard[0]}:{shard[1]}"
+            if shard not in self._live:
+                shards[label] = {"status": "dead"}
+                continue
+            try:
+                shards[label] = self._clients[shard].ping()
+            except (ServiceUnavailable, ServiceOverloaded):
+                self._mark_dead(shard)
+                shards[label] = {"status": "dead"}
+        return {"shards": shards, "live": len(self._live)}
+
+    def stats(self) -> dict:
+        """Per-shard stats plus cluster aggregation.
+
+        ``shards`` maps ``"host:port"`` to the daemon's own
+        ``stats_payload`` (dead shards report ``{"status": "dead"}``);
+        ``aggregated`` sums the integer engine counters and service
+        request counters across live shards — the cluster-wide view of
+        ``backend_calls``, ``store_hits``, admission rejections, etc.
+        """
+        shards: dict[str, dict] = {}
+        engine_totals: dict[str, int] = {}
+        service_totals: dict[str, int] = {}
+        for shard in self.shards:
+            label = f"{shard[0]}:{shard[1]}"
+            if shard not in self._live:
+                shards[label] = {"status": "dead"}
+                continue
+            try:
+                payload = self._clients[shard].stats()
+            except (ServiceUnavailable, ServiceOverloaded):
+                self._mark_dead(shard)
+                shards[label] = {"status": "dead"}
+                continue
+            shards[label] = payload
+            for field, value in payload.get("engine", {}).items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    engine_totals[field] = engine_totals.get(field, 0) + value
+            counters = payload.get("service", {}).get("counters", {})
+            for field, value in counters.items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    service_totals[field] = service_totals.get(field, 0) + value
+        return {
+            "shards": shards,
+            "aggregated": {"engine": engine_totals, "service": service_totals},
+            "live": len(self._live),
+            "failovers": self.failovers,
+            "failed_shards": [f"{h}:{p}" for h, p in self.failed_shards],
+        }
+
+    @staticmethod
+    def _as_request(problem) -> CountRequest:
+        if isinstance(problem, CountRequest):
+            return problem
+        return CountRequest.from_cnf(problem)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedClient(shards={len(self.shards)}, live={len(self._live)}, "
+            f"replicas={self.replicas}, failovers={self.failovers})"
+        )

@@ -57,7 +57,7 @@ def _count_via_capabilities(backend, problem, num_primary):
 class TestRegistry:
     def test_lists_the_expected_backends(self):
         assert BACKENDS == sorted(
-            ["exact", "legacy", "brute", "bdd", "compiled", "approxmc"]
+            ["exact", "legacy", "brute", "bdd", "compiled", "approxmc", "composite"]
         )
 
     @pytest.mark.parametrize("name", BACKENDS)
@@ -199,6 +199,25 @@ class TestCapabilityFlagsMatchBehaviour:
         backend = make_backend(name)
         assert backend.capabilities.exact == bool(getattr(backend, "exact", False))
 
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_routes_flag(self, name):
+        """Flag on: ``route(cnf)`` returns an inspectable Route.  Off: no
+        ``route`` surface (the engine only asks declared routers)."""
+        from repro.counting.router import Route
+
+        backend = make_backend(name)
+        route_attr = getattr(backend, "route", _MISSING)
+        assert backend.capabilities.routes == callable(
+            None if route_attr is _MISSING else route_attr
+        )
+        if not backend.capabilities.routes:
+            return
+        problem = translate(get_property("Reflexive"), 3)
+        route = backend.route(problem.cnf)
+        assert isinstance(route, Route)
+        assert route.rule.target in BACKENDS
+        assert route.capabilities == backend_capabilities(route.rule.target)
+
 
 class TestEngineNegotiatesThroughCapabilities:
     @pytest.mark.parametrize("name", BACKENDS)
@@ -244,6 +263,104 @@ class TestEngineNegotiatesThroughCapabilities:
         else:
             with pytest.raises(ValueError, match="capabilities"):
                 accmc.evaluate(tree, ground_truth)
+
+
+class TestCompositeRouting:
+    """The ``composite`` column: routing decisions, provenance, refusal."""
+
+    def test_aux_free_routes_to_compiled_bit_identical(self, tree_regions):
+        from repro.counting.api import CountRequest
+
+        engine = CountingEngine(make_backend("composite"))
+        reference = ExactCounter()
+        for region in tree_regions:
+            result = engine.solve(CountRequest.from_cnf(region))
+            assert result.routed_to == "compiled"
+            assert result.exact
+            assert result.value == reference.count(region)
+        assert engine.stats.route_compiled == len(tree_regions)
+        assert engine.stats.route_exact == 0
+        assert engine.stats.route_approx == 0
+
+    def test_aux_bearing_routes_to_exact_bit_identical(self):
+        from repro.counting.api import CountRequest
+
+        engine = CountingEngine(make_backend("composite"))
+        problem = translate(get_property("PartialOrder"), 3)
+        assert problem.cnf.aux_vars()
+        result = engine.solve(CountRequest.from_cnf(problem.cnf))
+        assert result.routed_to == "exact"
+        assert result.exact
+        assert result.value == closed_form_count("partialorder", 3)
+        assert engine.stats.route_exact == 1
+
+    def test_oversized_routes_to_approx_with_epsilon_delta(self):
+        from repro.counting.api import CountRequest
+
+        engine = CountingEngine(make_backend("composite", oversize_vars=4))
+        problem = translate(get_property("Reflexive"), 3)
+        truth = closed_form_count("reflexive", 3)
+        result = engine.solve(CountRequest.from_cnf(problem.cnf))
+        assert result.routed_to == "approxmc"
+        assert not result.exact
+        assert result.epsilon == 0.8 and result.delta == 0.2
+        assert truth / 1.8 <= result.value <= truth * 1.8
+        assert engine.stats.route_approx == 1
+        # Estimates are never memoized: a second solve routes (and
+        # counts) again instead of serving a cache hit as "exact".
+        again = engine.solve(CountRequest.from_cnf(problem.cnf))
+        assert again.source == "backend"
+        assert engine.stats.route_approx == 2
+
+    def test_precision_exact_refused_on_the_approx_route(self):
+        from repro.counting.api import CountRequest
+
+        engine = CountingEngine(make_backend("composite", oversize_vars=4))
+        problem = translate(get_property("Reflexive"), 3)
+        with pytest.raises(ValueError, match="approx route"):
+            engine.solve(CountRequest.from_cnf(problem.cnf, precision="exact"))
+        # Direct backend refusal too — the contract is the router's, not
+        # only the engine's.
+        with pytest.raises(ValueError, match="approx route"):
+            make_backend("composite", oversize_vars=4).route(
+                problem.cnf, prefer_exact=True
+            )
+
+    def test_per_path_requests_refuse_the_approx_route(self, tree_regions):
+        from repro.counting.api import CountRequest
+
+        engine = CountingEngine(make_backend("composite", oversize_vars=4))
+        region = tree_regions[0]
+        request = CountRequest.from_cnf(
+            region, strategy="per-path", cubes=((1,), (-1,))
+        )
+        with pytest.raises(ValueError, match="approx route"):
+            engine.solve(request)
+
+    def test_exact_routes_persist_approx_routes_do_not(self, tmp_path):
+        from repro.counting.api import CountRequest
+        from repro.counting.store import CountStore, signature_key
+
+        problem = translate(get_property("Reflexive"), 3)
+        request = CountRequest.from_cnf(problem.cnf)
+        key = signature_key(request.signature())
+        with CountingEngine(
+            make_backend("composite", oversize_vars=4),
+            config=EngineConfig(cache_dir=tmp_path / "approx"),
+        ) as engine:
+            engine.solve(request)
+            assert engine.store.get(key) is None
+        with CountingEngine(
+            make_backend("composite"),
+            config=EngineConfig(cache_dir=tmp_path / "exact"),
+        ) as engine:
+            engine.solve(request)
+            assert engine.store.get(key) == closed_form_count("reflexive", 3)
+
+    def test_routing_table_renders_the_rule_order(self):
+        table = make_backend("composite").routing_table()
+        assert [row["rule"] for row in table] == ["oversized", "aux-free", "aux"]
+        assert [row["target"] for row in table] == ["approxmc", "compiled", "exact"]
 
 
 class TestGrepClean:

@@ -1,0 +1,295 @@
+"""Sharding suite: the consistent-hash counting cluster (PR 9).
+
+Covers, in-process (daemon-subprocess kills live in
+``scripts/service_smoke.py``):
+
+* partitioning — ``ShardedClient`` keys every request on its canonical
+  signature, so ownership is deterministic, stable across client
+  instances, and spread over the shards;
+* bit-identity — a 2-shard ``count_many`` equals a single daemon and a
+  local counter, problem for problem;
+* store exclusivity — each request signature's ``counts.sqlite`` row
+  lands on exactly the owning shard's cache dir, never duplicated across
+  live shards (the warm tiers stay disjoint), including after failover;
+* rehash-failover — a shard killed mid-batch loses only its unanswered
+  positions, which rehash onto the survivor and complete the batch;
+  typed counting failures are *not* failover events;
+* aggregation — ``stats()`` sums engine/service counters across shards;
+* client-side chunking — ``ServiceClient.solve_many`` splits batches
+  under the daemon's line ceiling instead of earning a blanket
+  ``oversized`` rejection.
+"""
+
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.counting.api import CountFailure, CountRequest
+from repro.counting.exact import ExactCounter
+from repro.counting.service import CountingServer, ServiceClient, ShardedClient
+from repro.counting.service.client import ServiceUnavailable
+from repro.counting.store import CountStore, signature_key
+from repro.experiments.config import ExperimentConfig
+from repro.logic import CNF
+from repro.spec import SymmetryBreaking, get_property, translate
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+PROPERTY_NAMES = (
+    "Reflexive",
+    "Irreflexive",
+    "Transitive",
+    "Antisymmetric",
+    "Connex",
+    "PartialOrder",
+)
+
+
+def property_requests(scope: int = 3) -> list[CountRequest]:
+    return [
+        CountRequest.from_cnf(
+            translate(get_property(name), scope, symmetry=SymmetryBreaking()).cnf
+        )
+        for name in PROPERTY_NAMES
+    ]
+
+
+@contextmanager
+def running_shards(tmp_path, n: int, **server_kwargs):
+    """N started daemons, each over its own ``shard-i`` cache dir."""
+    servers: list[CountingServer] = []
+    runners: list[threading.Thread] = []
+    shards: list[tuple[str, int]] = []
+    try:
+        for i in range(n):
+            config = ExperimentConfig(cache_dir=str(tmp_path / f"shard-{i}"))
+            server = CountingServer(config.session(), port=0, **server_kwargs)
+            host, port = server.start()
+            runner = threading.Thread(target=server.serve_until_drained, daemon=True)
+            runner.start()
+            servers.append(server)
+            runners.append(runner)
+            shards.append((host, port))
+        yield servers, shards
+    finally:
+        for server in servers:
+            server.initiate_drain("test teardown")
+        for runner in runners:
+            runner.join(timeout=30)
+        for server in servers:
+            # A shard abruptly close()d mid-test never drains; make the
+            # teardown idempotent either way.
+            server.close()
+
+
+def store_value(tmp_path, shard_index: int, request: CountRequest):
+    """The shard's persisted count row for this request, or None."""
+    store = CountStore(tmp_path / f"shard-{shard_index}")
+    try:
+        return store.get(signature_key(request.signature()))
+    finally:
+        store.close()
+
+
+class TestPartitioning:
+    def test_ownership_is_deterministic_and_spread(self, tmp_path):
+        # 18 distinct signatures: the odds of a 64-replica ring putting
+        # them all on one of two shards are ~2^-17 — spread is effectively
+        # guaranteed without pinning ports.
+        requests = [
+            CountRequest.from_cnf(
+                translate(
+                    get_property(name), scope, symmetry=SymmetryBreaking()
+                ).cnf
+            )
+            for name in PROPERTY_NAMES
+            for scope in (2, 3, 4)
+        ]
+        with running_shards(tmp_path, 2) as (_, shards):
+            with ShardedClient(shards) as first, ShardedClient(shards) as second:
+                owners = [first.shard_for(r) for r in requests]
+                assert owners == [second.shard_for(r) for r in requests]
+                assert set(owners) == set(shards)
+
+    def test_rejects_empty_and_duplicate_shards(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardedClient([])
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardedClient([("h", 1), ("h", 1)])
+
+    def test_empty_batch(self, tmp_path):
+        with running_shards(tmp_path, 2) as (_, shards):
+            with ShardedClient(shards) as cluster:
+                assert cluster.solve_many([]) == []
+
+
+class TestBitIdentity:
+    def test_two_shard_count_many_matches_single_daemon(self, tmp_path):
+        requests = property_requests()
+        local = ExactCounter()
+        truths = [local.count(r.cnf()) for r in requests]
+        with running_shards(tmp_path, 1) as (_, single_shards):
+            with ServiceClient(*single_shards[0]) as single:
+                single_values = [
+                    r.value for r in single.solve_many(requests)
+                ]
+        with running_shards(tmp_path, 2) as (_, shards):
+            with ShardedClient(shards) as cluster:
+                cluster_values = cluster.count_many(requests)
+        assert cluster_values == single_values == truths
+
+    def test_store_rows_land_on_exactly_one_shard(self, tmp_path):
+        requests = property_requests()
+        with running_shards(tmp_path, 2) as (_, shards):
+            with ShardedClient(shards) as cluster:
+                cluster.count_many(requests)
+                owners = [cluster.shard_for(r) for r in requests]
+        for request, owner in zip(requests, owners):
+            rows = {
+                i: store_value(tmp_path, i, request)
+                for i in range(2)
+            }
+            owner_index = shards.index(owner)
+            assert rows[owner_index] == ExactCounter().count(request.cnf())
+            assert rows[1 - owner_index] is None
+
+
+class TestFailover:
+    def test_kill_one_shard_mid_batch_completes_on_survivor(self, tmp_path):
+        requests = property_requests()
+        truths = [ExactCounter().count(r.cnf()) for r in requests]
+        with running_shards(tmp_path, 2) as (servers, shards):
+            with ShardedClient(shards, retries=1, backoff_base=0.01) as cluster:
+                # Warm pass: both shards answer their own key ranges.
+                assert cluster.count_many(requests) == truths
+                # Kill whichever shard owns the first request, so at least
+                # one position is guaranteed to rehash (the ring's split
+                # depends on the ephemeral ports).
+                victim = cluster.shard_for(requests[0])
+                victim_index = shards.index(victim)
+                survivor_index = 1 - victim_index
+                servers[victim_index].close()  # abrupt: no drain
+                # The dead shard's positions rehash onto the survivor and
+                # the batch still completes bit-identically.
+                assert cluster.count_many(requests) == truths
+                assert cluster.failovers == 1
+                assert cluster.failed_shards == [victim]
+                assert cluster.ping()["live"] == 1
+                # Rehashed signatures now own rows on the survivor: every
+                # request's row sits on its *current* owner.
+                for request in requests:
+                    owner_index = shards.index(cluster.shard_for(request))
+                    assert owner_index == survivor_index
+                    assert (
+                        store_value(tmp_path, survivor_index, request)
+                        is not None
+                    )
+
+    def test_all_shards_dead_raises_unavailable(self, tmp_path):
+        requests = property_requests()[:2]
+        with running_shards(tmp_path, 2) as (servers, shards):
+            with ShardedClient(shards, retries=0, backoff_base=0.01) as cluster:
+                for server in servers:
+                    server.close()
+                with pytest.raises(ServiceUnavailable, match="shards failed"):
+                    cluster.count_many(requests)
+
+    def test_typed_failures_do_not_fail_over(self, tmp_path):
+        """A deterministic budget failure surfaces; the shard stays live."""
+        hard = CountRequest.from_cnf(
+            translate(get_property("PartialOrder"), 4).cnf, budget=10
+        )
+        with running_shards(tmp_path, 2) as (_, shards):
+            with ShardedClient(shards) as cluster:
+                outcome = cluster.solve(hard, on_failure="return")
+                assert isinstance(outcome, CountFailure)
+                assert outcome.kind == "budget"
+                assert cluster.failovers == 0
+                assert cluster.ping()["live"] == 2
+
+
+class TestAggregation:
+    def test_stats_sum_engine_counters_across_shards(self, tmp_path):
+        requests = property_requests()
+        with running_shards(tmp_path, 2) as (_, shards):
+            with ShardedClient(shards) as cluster:
+                cluster.count_many(requests)
+                owner_count = len({cluster.shard_for(r) for r in requests})
+                # Counters bump after the response line; give them a beat.
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    payload = cluster.stats()
+                    totals = payload["aggregated"]
+                    if (
+                        totals["engine"]["backend_calls"] >= len(requests)
+                        and totals["service"]["served"] >= owner_count
+                    ):
+                        break
+                    time.sleep(0.01)
+                assert payload["live"] == 2
+                assert payload["failovers"] == 0
+                assert payload["aggregated"]["engine"]["backend_calls"] == len(
+                    requests
+                )
+                assert payload["aggregated"]["service"]["served"] == owner_count
+                assert set(payload["shards"]) == {
+                    f"{host}:{port}" for host, port in shards
+                }
+
+
+class TestClientChunking:
+    def test_chunks_preserve_order_and_budget(self):
+        client = ServiceClient("127.0.0.1", 1, max_line_bytes=600)
+        payloads = [{"clauses": [[i]] * 8, "num_vars": i} for i in range(40)]
+        chunks = client._chunk_requests(payloads)
+        assert [p for chunk in chunks for p in chunk] == payloads
+        assert len(chunks) > 1
+        import json
+
+        for chunk in chunks:
+            line = json.dumps(chunk, separators=(",", ":"))
+            assert len(line) <= client.max_line_bytes
+
+    def test_single_oversized_request_ships_alone(self):
+        client = ServiceClient("127.0.0.1", 1, max_line_bytes=600)
+        big = {"clauses": [[1, 2]] * 200, "num_vars": 2}
+        chunks = client._chunk_requests([{"num_vars": 1}, big, {"num_vars": 2}])
+        assert [len(c) for c in chunks] == [1, 1, 1]
+
+    def test_large_batch_crosses_a_small_line_ceiling(self, tmp_path):
+        """Unchunked, this batch is one oversized line the daemon rejects;
+        chunked, it just works."""
+        ceiling = 4096
+        cnfs = []
+        for i in range(120):
+            cnf = CNF(num_vars=8)
+            cnf.add_clause(tuple(range(1, 8)))
+            cnf.add_clause((-(i % 8 + 1),))
+            cnf.add_clause((i % 7 + 2,))
+            cnfs.append(cnf)
+        requests = [CountRequest.from_cnf(c) for c in cnfs]
+        import json
+
+        whole = json.dumps(
+            [r.to_dict() for r in requests], separators=(",", ":")
+        )
+        assert len(whole) > ceiling  # the satellite's premise
+        truths = [ExactCounter().count(c) for c in cnfs]
+        config = ExperimentConfig(cache_dir=str(tmp_path / "shard-0"))
+        server = CountingServer(
+            config.session(), port=0, max_line_bytes=ceiling
+        )
+        host, port = server.start()
+        runner = threading.Thread(target=server.serve_until_drained, daemon=True)
+        runner.start()
+        try:
+            with ServiceClient(host, port, max_line_bytes=ceiling) as client:
+                values = [r.value for r in client.solve_many(requests)]
+            assert values == truths
+        finally:
+            server.initiate_drain("test teardown")
+            runner.join(timeout=30)

@@ -258,7 +258,8 @@ class TestCli:
 
     def test_cli_all_expands_to_artifacts_only(self, monkeypatch, capsys):
         # "all" must never reach run_artifact with the pseudo-artifacts
-        # ("all" itself, "serve") — a daemon is not a table to render.
+        # ("all" itself, "serve", "cluster") — daemons are not tables to
+        # render.
         from repro.experiments import cli
 
         seen = []
@@ -270,6 +271,8 @@ class TestCli:
             ),
         )
         assert cli.main(["all"]) == 0
-        assert seen == [a for a in cli.ARTIFACTS if a not in ("all", "serve")]
+        assert seen == [
+            a for a in cli.ARTIFACTS if a not in ("all", "serve", "cluster")
+        ]
         out = capsys.readouterr().out
         assert "<table1>" in out and "<figure2>" in out

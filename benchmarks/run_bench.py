@@ -45,7 +45,8 @@ import subprocess
 import sys
 import tempfile
 from pathlib import Path
-from time import perf_counter
+from statistics import median
+from time import perf_counter, sleep
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_counting.json"
@@ -148,10 +149,16 @@ def workers_ablation(workers: int, scope: int) -> dict:
 
     batch = _accmc_product_batch(scope)
     started = perf_counter()
-    serial = CountingEngine(config=EngineConfig(workers=1)).count_many(batch)
+    serial = [
+        r.value
+        for r in CountingEngine(config=EngineConfig(workers=1)).solve_many(batch)
+    ]
     serial_s = perf_counter() - started
     started = perf_counter()
-    parallel = CountingEngine(config=EngineConfig(workers=workers)).count_many(batch)
+    parallel = [
+        r.value
+        for r in CountingEngine(config=EngineConfig(workers=workers)).solve_many(batch)
+    ]
     parallel_s = perf_counter() - started
     if serial != parallel:
         raise SystemExit(
@@ -206,11 +213,11 @@ def component_cache_ablation(scope: int, fractions: tuple[float, ...]) -> dict:
 
     per_call_engine = CountingEngine(config=EngineConfig(component_cache_mb=0))
     started = perf_counter()
-    per_call = per_call_engine.count_many(problems)
+    per_call = [r.value for r in per_call_engine.solve_many(problems)]
     per_call_s = perf_counter() - started
     shared_engine = CountingEngine(config=EngineConfig())
     started = perf_counter()
-    shared = shared_engine.count_many(problems)
+    shared = [r.value for r in shared_engine.solve_many(problems)]
     shared_s = perf_counter() - started
     if shared != per_call:
         raise SystemExit(
@@ -875,6 +882,161 @@ def cluster_sharding_ablation(scope: int, property_names: tuple[str, ...]) -> di
     }
 
 
+def solver_lanes_ablation(
+    scope: int,
+    property_names: tuple[str, ...],
+    delay: float = 0.3,
+    slow_problems: int = 4,
+    reps: int = 3,
+) -> dict:
+    """1 vs 2 solver lanes on one daemon: overlap proof + real medians.
+
+    Two legs against in-process :class:`CountingServer` instances (PR 10's
+    ``mcml serve --solver-threads``):
+
+    * **delay leg** — an exact backend behind a fixed ``delay`` sleep
+      (sleep releases the GIL, so lane overlap is measurable even on one
+      core).  ``slow_problems`` *distinct* slow requests are submitted by
+      that many concurrent clients to a 1-lane and then a 2-lane daemon;
+      the 2-lane wall time must land under 0.8x the 1-lane time — the
+      acceptance bar, enforced hard — and both legs must be bit-identical
+      to a bare :class:`ExactCounter`.
+    * **real leg** — the Table-1-shaped batch (each property's symbr +
+      plain CNF at ``scope``) through fresh 1-lane and 2-lane daemons,
+      median of ``reps`` cold runs each.  Pure-Python exact counting is
+      GIL-bound, so no speedup is *enforced* here; the medians and
+      ``cpu_count`` are recorded so the ratio stays interpretable (a
+      free-threaded or C-accelerated backend is where this leg moves).
+    """
+    import threading
+
+    from repro.core.session import MCMLSession
+    from repro.counting import CountingEngine, ExactCounter
+    from repro.counting.service import CountingServer, ServiceClient
+    from repro.logic import CNF
+    from repro.spec import SymmetryBreaking, get_property, translate
+
+    class _SleepyExact(ExactCounter):
+        def __init__(self, seconds: float) -> None:
+            super().__init__()
+            self._seconds = seconds
+
+        def count(self, cnf: CNF) -> int:
+            sleep(self._seconds)
+            return super().count(cnf)
+
+    def timed_run(session_factory, problems, clients) -> tuple[float, list]:
+        """Wall time of ``clients`` concurrent clients splitting ``problems``."""
+        server = CountingServer(
+            session_factory(),
+            session_factory=session_factory,
+            solver_threads=session_factory.lanes,
+            host="127.0.0.1",
+            port=0,
+            max_queue=len(problems) + 8,
+            max_inflight_per_client=len(problems) + 8,
+        )
+        host, port = server.start()
+        values: list = [None] * len(problems)
+        errors: list[str] = []
+
+        def worker(offset: int) -> None:
+            client = ServiceClient(host, port, retries=2, request_timeout=120)
+            try:
+                for index in range(offset, len(problems), clients):
+                    values[index] = client.solve(problems[index]).value
+            except Exception as exc:  # noqa: BLE001 - a hard bench failure
+                errors.append(f"client {offset}: {type(exc).__name__}: {exc}")
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(clients)
+        ]
+        started = perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = perf_counter() - started
+        server.drain()
+        if errors:
+            raise SystemExit(f"solver-lanes clients failed: {errors}")
+        return elapsed, values
+
+    def factory_for(lanes: int, make_session):
+        make_session.lanes = lanes
+        return make_session
+
+    # -- delay leg: distinct slow problems, overlap is the whole point.
+    slow_batch = [
+        CNF(num_vars=3, clauses=[(var,)]) for var in range(1, slow_problems + 1)
+    ]
+    slow_truths = [ExactCounter().count(problem) for problem in slow_batch]
+    lane_times: dict[int, float] = {}
+    for lanes in (1, 2):
+        factory = factory_for(
+            lanes,
+            lambda: MCMLSession(engine=CountingEngine(_SleepyExact(delay))),
+        )
+        elapsed, values = timed_run(factory, slow_batch, clients=slow_problems)
+        if values != slow_truths:
+            raise SystemExit(
+                f"{lanes}-lane delay leg diverged: {values} != {slow_truths}"
+            )
+        lane_times[lanes] = elapsed
+    overlap_ratio = lane_times[2] / lane_times[1]
+    if overlap_ratio >= 0.8:
+        raise SystemExit(
+            f"no lane overlap: 2 lanes took {lane_times[2]:.2f}s vs "
+            f"{lane_times[1]:.2f}s on 1 lane (ratio {overlap_ratio:.2f}, "
+            "acceptance bar < 0.8)"
+        )
+
+    # -- real leg: GIL-bound exact counting, medians recorded not gated.
+    symmetry = SymmetryBreaking()
+    batch = []
+    for name in property_names:
+        prop = get_property(name)
+        batch.append(translate(prop, scope, symmetry=symmetry).cnf)
+        batch.append(translate(prop, scope).cnf)
+    truths = [ExactCounter().count(problem) for problem in batch]
+    medians: dict[int, float] = {}
+    for lanes in (1, 2):
+        factory = factory_for(lanes, lambda: MCMLSession(backend="exact"))
+        times = []
+        for _ in range(reps):
+            elapsed, values = timed_run(factory, batch, clients=4)
+            if values != truths:
+                raise SystemExit(
+                    f"{lanes}-lane real leg diverged: {values} != {truths}"
+                )
+            times.append(elapsed)
+        medians[lanes] = median(times)
+
+    return {
+        "instance": (
+            f"solver lanes: {slow_problems} distinct {delay}s-delay requests "
+            f"from {slow_problems} concurrent clients through a 1- vs 2-lane "
+            f"daemon (overlap leg), then symbr + plain CNFs for "
+            f"{len(property_names)} properties at scope {scope} "
+            f"({len(batch)} problems, 4 clients, median of {reps} cold runs)"
+        ),
+        "delay_s": delay,
+        "slow_problems": slow_problems,
+        "one_lane_delay_s": round(lane_times[1], 4),
+        "two_lane_delay_s": round(lane_times[2], 4),
+        "overlap_ratio": round(overlap_ratio, 3),
+        "problems": len(batch),
+        "reps": reps,
+        "cpu_count": os.cpu_count(),
+        "one_lane_median_s": round(medians[1], 4),
+        "two_lane_median_s": round(medians[2], 4),
+        "real_ratio_x": round(medians[1] / medians[2], 2),
+        "bit_identical": True,
+    }
+
+
 def store_roundtrip_bench(entries: int = 2000) -> dict:
     """CountStore micro-bench: buffered single puts, then a batch read-back.
 
@@ -930,14 +1092,14 @@ def cache_ablation(scope: int, property_names: tuple[str, ...]) -> dict:
         config = EngineConfig(cache_dir=cache_dir)
         cold_engine = CountingEngine(config=config)
         started = perf_counter()
-        cold_counts = cold_engine.count_many(batch)
+        cold_counts = [r.value for r in cold_engine.solve_many(batch)]
         cold_s = perf_counter() - started
         cold_backend = cold_engine.stats.backend_calls
         cold_engine.close()
 
         warm_engine = CountingEngine(config=config)
         started = perf_counter()
-        warm_counts = warm_engine.count_many(batch)
+        warm_counts = [r.value for r in warm_engine.solve_many(batch)]
         warm_s = perf_counter() - started
         warm_backend = warm_engine.stats.backend_calls
         warm_engine.close()
@@ -971,6 +1133,7 @@ def _print_ablations(
     conditioning_result: dict | None = None,
     service_result: dict | None = None,
     cluster_result: dict | None = None,
+    lanes_result: dict | None = None,
 ) -> None:
     print(
         f"  workers fan-out: serial {workers_result['serial_s']:.3f} s, "
@@ -1034,6 +1197,18 @@ def _print_ablations(
             f"{cluster_result['shard_rows']} (disjoint), "
             f"{cluster_result['cluster_backend_calls']} backend calls for "
             f"{cluster_result['unique_signatures']} signatures, bit-identical"
+        )
+    if lanes_result is not None:
+        print(
+            f"  solver lanes: {lanes_result['slow_problems']} distinct "
+            f"{lanes_result['delay_s']}s requests — 1 lane "
+            f"{lanes_result['one_lane_delay_s']:.3f} s, 2 lanes "
+            f"{lanes_result['two_lane_delay_s']:.3f} s (overlap ratio "
+            f"{lanes_result['overlap_ratio']}); real batch medians 1 lane "
+            f"{lanes_result['one_lane_median_s']:.3f} s, 2 lanes "
+            f"{lanes_result['two_lane_median_s']:.3f} s "
+            f"({lanes_result['real_ratio_x']}x, GIL-bound, on "
+            f"{lanes_result['cpu_count']} cpu(s)), bit-identical"
         )
     if store_result is not None:
         print(
@@ -1250,10 +1425,15 @@ def main() -> None:
         cluster_result = cluster_sharding_ablation(
             scope=3, property_names=_ablation_properties()[:8]
         )
+        lanes_result = solver_lanes_ablation(
+            scope=3, property_names=_ablation_properties()[:4],
+            delay=0.2, slow_problems=2, reps=1,
+        )
         store_result = store_roundtrip_bench(entries=500)
         _print_ablations(
             workers_result, cache_result, component_result, store_result,
             spill_result, conditioning_result, service_result, cluster_result,
+            lanes_result,
         )
         for name in args.backend or ():
             backend_smoke(name)
@@ -1276,6 +1456,7 @@ def main() -> None:
                     "compiled_conditioning": conditioning_result,
                     "service_throughput": service_result,
                     "cluster_sharding": cluster_result,
+                    "solver_lanes": lanes_result,
                     "store_roundtrip": store_result,
                 },
             }
@@ -1316,6 +1497,9 @@ def main() -> None:
     cluster_result = cluster_sharding_ablation(
         scope=4, property_names=_ablation_properties()
     )
+    lanes_result = solver_lanes_ablation(
+        scope=4, property_names=_ablation_properties()[:8]
+    )
     store_result = store_roundtrip_bench()
 
     document = {"instance": INSTANCE, "unit": "seconds", "history": []}
@@ -1332,6 +1516,7 @@ def main() -> None:
         "compiled_conditioning": conditioning_result,
         "service_throughput": service_result,
         "cluster_sharding": cluster_result,
+        "solver_lanes": lanes_result,
         "store_roundtrip": store_result,
     }
     for name in args.backend or ():
@@ -1362,6 +1547,9 @@ def main() -> None:
             "service_coalesce_backend_calls": service_result["coalesce_backend_calls"],
             "cluster_sharding_speedup_x": cluster_result["speedup_x"],
             "cluster_shard_count": cluster_result["shard_count"],
+            "solver_lanes_overlap_ratio": lanes_result["overlap_ratio"],
+            "solver_lanes_real_ratio_x": lanes_result["real_ratio_x"],
+            "solver_lanes_cpu_count": lanes_result["cpu_count"],
             "store_roundtrip_puts_per_s": store_result["puts_per_s"],
         }
     )
@@ -1377,6 +1565,7 @@ def main() -> None:
     _print_ablations(
         workers_result, cache_result, component_result, store_result,
         spill_result, conditioning_result, service_result, cluster_result,
+        lanes_result,
     )
 
 

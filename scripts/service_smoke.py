@@ -17,7 +17,16 @@ Then the cluster leg: two more ``mcml serve`` daemons behind a
 :class:`ShardedClient` — the batch must come back bit-identical to the
 in-process session, one shard is SIGKILLed and the rerun batch must
 complete on the survivor via rehash-failover, and the survivor must
-still SIGTERM-drain clean.
+still SIGTERM-drain clean.  The cluster daemons run with
+``--solver-threads 2`` so the sharding story is exercised on multi-lane
+daemons.
+
+Then the lanes leg: a ``--solver-threads 2`` daemon over a sleeping
+exact backend (sleep releases the GIL, so lane overlap is measurable
+even on one core).  Two distinct slow requests submitted concurrently
+must finish in well under the serial sum of their delays, the ``stats``
+verb must report both lanes working, and the daemon must still
+SIGTERM-drain clean with a traceback-free stderr.
 
 Afterwards each daemon's stderr is scanned: any ``Traceback`` means an
 exception escaped the typed error taxonomy (the in-process equivalent of
@@ -40,6 +49,7 @@ import subprocess
 import sys
 import tempfile
 import threading
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -47,12 +57,14 @@ SRC_DIR = str(REPO_ROOT / "src")
 sys.path.insert(0, SRC_DIR)
 
 from repro.core.session import MCMLSession  # noqa: E402
+from repro.counting.exact import ExactCounter  # noqa: E402
 from repro.counting.service import (  # noqa: E402
     ServiceClient,
     ServiceOverloaded,
     ShardedClient,
 )
 from repro.counting.service import protocol  # noqa: E402
+from repro.logic import CNF  # noqa: E402
 from repro.spec import SymmetryBreaking, get_property, translate  # noqa: E402
 from repro.spec.properties import property_names  # noqa: E402
 
@@ -64,11 +76,23 @@ def fail(message: str) -> None:
     raise SystemExit(1)
 
 
-def spawn_daemon(
-    cache_dir: str, *, tiny_limits: bool = True
-) -> tuple[subprocess.Popen, str, int]:
+def _await_listening(proc: subprocess.Popen) -> tuple[str, int]:
+    ready = json.loads(proc.stdout.readline())
+    if ready.get("event") != "listening":
+        fail(f"daemon did not report listening: {ready}")
+    print(f"  daemon up on {ready['host']}:{ready['port']} (pid {proc.pid})")
+    return ready["host"], ready["port"]
+
+
+def _daemon_env() -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_daemon(
+    cache_dir: str, *, tiny_limits: bool = True, extra_args: list[str] | None = None
+) -> tuple[subprocess.Popen, str, int]:
     argv = [
         sys.executable,
         "-m",
@@ -82,18 +106,16 @@ def spawn_daemon(
     if tiny_limits:
         # Tiny admission limits so the storm below reliably trips them.
         argv += ["--max-queue", "2", "--max-inflight", "2"]
+    argv += extra_args or []
     proc = subprocess.Popen(
         argv,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
-        env=env,
+        env=_daemon_env(),
     )
-    ready = json.loads(proc.stdout.readline())
-    if ready.get("event") != "listening":
-        fail(f"daemon did not report listening: {ready}")
-    print(f"  daemon up on {ready['host']}:{ready['port']} (pid {proc.pid})")
-    return proc, ready["host"], ready["port"]
+    host, port = _await_listening(proc)
+    return proc, host, port
 
 
 def concurrent_clients(host: str, port: int, batch, expected) -> None:
@@ -206,6 +228,107 @@ def check_stderr(stderr: str) -> None:
     print("  daemon stderr: no tracebacks (typed errors only)")
 
 
+#: Daemon program of the lanes leg: an exact backend behind a fixed
+#: sleep (sleep releases the GIL, so two lanes overlap measurably even
+#: on a single-core runner), registered and served with two solver
+#: lanes.  argv: [delay_seconds].
+LANES_DAEMON = """
+import sys, time
+from repro.counting.api import register_backend
+from repro.counting.exact import ExactCounter
+
+DELAY = float(sys.argv[1])
+
+class SleepyCounter(ExactCounter):
+    def count(self, cnf):
+        time.sleep(DELAY)
+        return super().count(cnf)
+
+register_backend("sleepy", lambda **_: SleepyCounter())
+
+from repro.experiments.cli import main
+sys.exit(main(["serve", "--backend", "sleepy", "--solver-threads", "2"]))
+"""
+
+
+def lanes_leg() -> None:
+    """A 2-lane daemon: distinct slow requests must overlap in wall-clock."""
+    print("lanes leg: --solver-threads 2 over a sleeping backend")
+    delay = 0.6
+    problems = [
+        CNF(num_vars=3, clauses=[(1,), (2, 3)]),
+        CNF(num_vars=3, clauses=[(-1,), (2,)]),
+    ]
+    expected = [ExactCounter().count(problem) for problem in problems]
+    proc = subprocess.Popen(
+        [sys.executable, "-c", LANES_DAEMON, str(delay)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_daemon_env(),
+    )
+    try:
+        host, port = _await_listening(proc)
+        results: list[int | None] = [None] * len(problems)
+        errors: list[str] = []
+
+        def worker(index: int) -> None:
+            client = ServiceClient(host, port, request_timeout=60)
+            try:
+                results[index] = client.solve(problems[index]).value
+            except Exception as exc:  # noqa: BLE001 - reported as smoke failure
+                errors.append(f"lane client {index}: {type(exc).__name__}: {exc}")
+            finally:
+                client.close()
+
+        started = time.monotonic()
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(problems))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+        if errors:
+            fail(f"lane clients errored: {errors}")
+        if results != expected:
+            fail(f"2-lane counts diverge from in-process: {results} != {expected}")
+        serial = delay * len(problems)
+        if elapsed >= 0.8 * serial:
+            fail(
+                f"no lane overlap: {len(problems)} distinct {delay}s requests "
+                f"took {elapsed:.2f}s (serial sum {serial:.2f}s)"
+            )
+        print(
+            f"  {len(problems)} distinct {delay}s requests overlapped: "
+            f"{elapsed:.2f}s < 0.8 x {serial:.2f}s serial"
+        )
+        client = ServiceClient(host, port)
+        try:
+            payload = client.stats()
+        finally:
+            client.close()
+        lanes = payload["service"]["lanes"]
+        if payload["service"]["solver_threads"] != 2 or len(lanes) != 2:
+            fail(f"expected 2 lanes in the stats verb, got {payload['service']}")
+        if sum(lane["jobs"] for lane in lanes) < len(problems):
+            fail(f"lanes report too few jobs: {lanes}")
+        if payload["engine"]["backend_calls"] != len(problems):
+            fail(
+                "summed engine stats miss the lane split: backend_calls = "
+                f"{payload['engine']['backend_calls']} != {len(problems)}"
+            )
+        print(f"  stats verb: 2 lanes, jobs split {[lane['jobs'] for lane in lanes]}")
+    except BaseException:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+        raise
+    stderr = drain(proc)
+    check_stderr(stderr)
+
+
 def cluster_leg(batch, expected) -> None:
     """Two daemons, one SIGKILLed: failover must finish the batch.
 
@@ -220,7 +343,9 @@ def cluster_leg(batch, expected) -> None:
         try:
             for i in range(2):
                 proc, host, port = spawn_daemon(
-                    str(Path(cache_root) / f"shard-{i}"), tiny_limits=False
+                    str(Path(cache_root) / f"shard-{i}"),
+                    tiny_limits=False,
+                    extra_args=["--solver-threads", "2"],
                 )
                 procs.append(proc)
                 shards.append((host, port))
@@ -304,6 +429,7 @@ def main() -> None:
         stderr = drain(proc)
         check_stderr(stderr)
     cluster_leg(batch, expected)
+    lanes_leg()
     print("ok")
 
 

@@ -157,6 +157,13 @@ class AccMC:
     ProjMC stand-in, is the default).  The backend's declared capabilities
     pick the evaluation route: formula-counting backends take the
     vectorised sweep, the rest the paper's CNF construction.
+
+    ``surface`` routes the *counting* verbs (``solve``/``solve_many``)
+    through any :class:`~repro.counting.api.CountingSurface` — a remote
+    :class:`~repro.counting.service.client.ServiceClient` or
+    :class:`~repro.counting.service.cluster.ShardedClient` — while
+    compilation (translation, region CNFs, capability negotiation) stays
+    on the local engine.  Default: the engine itself.
     """
 
     def __init__(
@@ -166,6 +173,7 @@ class AccMC:
         engine: CountingEngine | None = None,
         config: EngineConfig | None = None,
         region_strategy: str = "conjunction",
+        surface=None,
     ) -> None:
         if mode not in ("product", "derived"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -178,6 +186,8 @@ class AccMC:
         # engine is built here; a passed-in engine keeps its own.
         self.engine = engine if engine is not None else shared_engine(counter, config)
         self.counter = self.engine
+        #: Where the counting verbs go (compilation stays on the engine).
+        self.surface = surface if surface is not None else self.engine
         self.mode = mode
         self.region_strategy = region_strategy
         # The symmetry-reduced space size is tree- and property-independent;
@@ -261,7 +271,7 @@ class AccMC:
 
     def count_region(self, cnf: CNF) -> int:
         """Expose the backend count (used by experiments for Table 1)."""
-        return self.engine.solve(cnf).value
+        return self.surface.solve(cnf).value
 
     def _space_count(self, ground_truth: GroundTruth, compute) -> int:
         if ground_truth.symmetry is None:
@@ -336,7 +346,7 @@ class AccMC:
             not_phi = ground_truth.negative().cnf
             tp, fp, fn, tn = (
                 r.value
-                for r in self.engine.solve_many(
+                for r in self.surface.solve_many(
                     [
                         region_problem(phi, true_arg),
                         region_problem(not_phi, true_arg),
@@ -354,7 +364,7 @@ class AccMC:
             )
             tp, phi_count, tau_count = (
                 r.value
-                for r in self.engine.solve_many(
+                for r in self.surface.solve_many(
                     [
                         region_problem(phi, true_arg),
                         phi_problem,
@@ -363,7 +373,7 @@ class AccMC:
                 )
             )
             space_count = self._space_count(
-                ground_truth, lambda: self.engine.solve(space).value
+                ground_truth, lambda: self.surface.solve(space).value
             )
             fn = phi_count - tp
             fp = tau_count - tp

@@ -85,11 +85,16 @@ class DiffMC:
         engine: CountingEngine | None = None,
         config: EngineConfig | None = None,
         region_strategy: str = "conjunction",
+        surface=None,
     ) -> None:
         if region_strategy not in ("conjunction", "per-path"):
             raise ValueError(f"unknown region strategy {region_strategy!r}")
         self.engine = engine if engine is not None else shared_engine(counter, config)
         self.counter = self.engine
+        # Where the counting verbs go (compilation and capability
+        # negotiation stay on the local engine).  Any CountingSurface —
+        # a session, a ServiceClient, a ShardedClient — slots in here.
+        self.surface = surface if surface is not None else self.engine
         self.region_strategy = region_strategy
 
     def evaluate(
@@ -159,7 +164,7 @@ class DiffMC:
                     CountRequest.from_cnf(cnf, deadline=deadline, budget=budget)
                     for cnf in problems
                 ]
-        tt, tf, ft, ff = (r.value for r in self.engine.solve_many(problems))
+        tt, tf, ft, ff = (r.value for r in self.surface.solve_many(problems))
         result = DiffMCResult(
             tt=tt,
             tf=tf,

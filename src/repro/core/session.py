@@ -46,15 +46,28 @@ from __future__ import annotations
 
 from repro.core.accmc import AccMC, AccMCResult, GroundTruth
 from repro.core.diffmc import DiffMC, DiffMCResult
-from repro.counting.api import Capabilities, CountRequest, CountResult, make_backend
+from repro.counting.api import (
+    Capabilities,
+    CountingSurface,
+    CountRequest,
+    CountResult,
+    make_backend,
+)
 from repro.counting.engine import CountingEngine, EngineConfig
 from repro.logic.cnf import CNF
 from repro.spec.properties import Property, get_property
 from repro.spec.symmetry import SymmetryBreaking
 
 
-class MCMLSession:
+class MCMLSession(CountingSurface):
     """Owns one engine + config + stores; fronts every MCML workflow.
+
+    The session is the *in-process* implementation of
+    :class:`~repro.counting.api.CountingSurface` — the counting surface
+    drivers program against.  The remote implementations
+    (:class:`~repro.counting.service.client.ServiceClient`,
+    :class:`~repro.counting.service.cluster.ShardedClient`) are drop-in
+    replacements for the counting verbs; pick by deployment, not by API.
 
     Parameters
     ----------
@@ -83,6 +96,12 @@ class MCMLSession:
         Fault-tolerance knobs of the engine's worker pool: watchdog slack
         past a request's deadline before a wedged worker is killed, and
         re-dispatches granted to problems whose worker died.
+    fanout_min_vars:
+        Intra-problem fan-out threshold (``mcml --fanout-min-vars``):
+        with ``workers > 1`` and a ``decomposes`` backend, one hard
+        problem's independent components are counted through the worker
+        pool and multiplied.  ``None`` (default) keeps single-problem
+        counts in-process; see :class:`EngineConfig`.
     accmc_mode:
         Default AccMC construction (``"derived"`` or the paper's
         ``"product"``); overridable per :meth:`accmc` call.
@@ -115,6 +134,7 @@ class MCMLSession:
         fallback_opts: dict | None = None,
         deadline_grace: float = 5.0,
         task_retries: int = 2,
+        fanout_min_vars: int | None = None,
         deadline: float | None = None,
         budget: int | None = None,
         accmc_mode: str = "derived",
@@ -135,6 +155,7 @@ class MCMLSession:
                     fallback_opts=fallback_opts,
                     deadline_grace=deadline_grace,
                     task_retries=task_retries,
+                    fanout_min_vars=fanout_min_vars,
                 ),
             )
         self.engine = engine
@@ -160,9 +181,20 @@ class MCMLSession:
     def capabilities(self) -> Capabilities:
         return self.engine.capabilities
 
-    @property
-    def stats(self):
-        return self.engine.stats
+    def stats(self) -> dict:
+        """JSON-safe telemetry payload (the :class:`CountingSurface` verb).
+
+        Nests the engine counters under ``"engine"`` — the same shape
+        ``mcml --stats`` and the service daemon's ``stats`` verb render,
+        and the shape the remote surfaces aggregate across lanes/shards.
+        For the live :class:`~repro.counting.api.EngineStats` object use
+        ``session.engine.stats``.
+        """
+        return {
+            "backend": self.backend_name,
+            "capabilities": self.capabilities.as_dict(),
+            "engine": self.engine.stats.as_dict(),
+        }
 
     @property
     def store(self):
@@ -188,9 +220,13 @@ class MCMLSession:
     def solve_many(self, problems, *, on_failure: str = "raise"):
         return self.engine.solve_many(problems, on_failure=on_failure)
 
-    def count(self, cnf: CNF) -> int:
+    def count(self, problem: CountRequest | CNF) -> int:
         """Bare-int convenience over :meth:`solve`."""
-        return self.engine.solve(cnf).value
+        return self.engine.solve(problem).value
+
+    def count_many(self, problems) -> list[int]:
+        """Bare-int convenience over :meth:`solve_many`."""
+        return [result.value for result in self.engine.solve_many(problems)]
 
     # -- consumers -------------------------------------------------------------------
 

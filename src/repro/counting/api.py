@@ -50,6 +50,7 @@ __all__ = [
     "CountRequest",
     "CountResult",
     "CounterBackend",
+    "CountingSurface",
     "EngineStats",
     "available_backends",
     "backend_capabilities",
@@ -110,6 +111,15 @@ class Capabilities:
         counters) and so approximate routes are never memoized or
         persisted even though the routing backend declares ``exact``
         (its exact routes are).
+    decomposes:
+        The backend exposes ``decompose(cnf, min_component_vars=…) ->
+        (multiplier, sub_cnfs) | None``: its top-level simplification can
+        split one hard problem into independent connected components whose
+        counts multiply (``count(cnf) == multiplier × Π count(sub)``), so
+        the engine may fan the sub-problems of a *single* count out over
+        its worker pool (``EngineConfig(fanout_min_vars=…)``) instead of
+        only parallelising across batch positions.  Implies ``exact`` —
+        multiplying estimates compounds their error.
     """
 
     exact: bool
@@ -119,6 +129,7 @@ class Capabilities:
     owns_component_cache: bool = False
     conditions_cubes: bool = False
     routes: bool = False
+    decomposes: bool = False
 
     def as_dict(self) -> dict[str, bool]:
         """Flag mapping, e.g. for benchmark/CLI provenance records."""
@@ -146,6 +157,64 @@ class CounterBackend(Protocol):
 
     def count(self, cnf: CNF) -> int:  # pragma: no cover - protocol stub
         ...
+
+
+@runtime_checkable
+class CountingSurface(Protocol):
+    """The one client surface every counting front end speaks.
+
+    :class:`~repro.core.session.MCMLSession` (in-process),
+    :class:`~repro.counting.service.client.ServiceClient` (one daemon
+    over TCP) and :class:`~repro.counting.service.cluster.ShardedClient`
+    (a consistent-hash daemon cluster) all declare this protocol, so
+    drivers (AccMC, DiffMC, the table runners, the CLI) accept any of the
+    three interchangeably — where the counts are produced is a deployment
+    decision, not an API one.
+
+    The contract:
+
+    * ``solve(problem, *, on_failure="raise")`` /
+      ``solve_many(problems, *, on_failure="raise")`` — the typed front
+      door.  ``problem`` is a :class:`CountRequest` or a raw CNF; returns
+      :class:`CountResult` objects.  ``on_failure="raise"`` re-raises a
+      failed problem's original exception (:class:`~repro.counting.exact.CounterAbort`
+      subclasses included, in-process and over the wire alike);
+      ``on_failure="return"`` yields the typed :class:`CountFailure` in
+      the problem's batch position instead.
+    * ``count(problem) -> int`` / ``count_many(problems) -> list[int]`` —
+      bare-int conveniences over the typed path (always ``raise``
+      semantics).
+    * ``stats() -> dict`` — a JSON-safe telemetry payload.  Every
+      implementation nests the engine counters under an ``"engine"`` key
+      (remote surfaces aggregate across lanes/shards); other keys are
+      implementation-specific.
+    * ``close()`` + context manager — releases pools, sockets and disk
+      store handles; closing twice is safe.
+    """
+
+    def solve(self, problem, *, on_failure: str = "raise") -> "CountResult":
+        ...  # pragma: no cover - protocol stub
+
+    def solve_many(self, problems, *, on_failure: str = "raise") -> list:
+        ...  # pragma: no cover - protocol stub
+
+    def count(self, problem) -> int:
+        ...  # pragma: no cover - protocol stub
+
+    def count_many(self, problems) -> list[int]:
+        ...  # pragma: no cover - protocol stub
+
+    def stats(self) -> dict:
+        ...  # pragma: no cover - protocol stub
+
+    def close(self) -> None:
+        ...  # pragma: no cover - protocol stub
+
+    def __enter__(self):
+        ...  # pragma: no cover - protocol stub
+
+    def __exit__(self, *exc_info) -> None:
+        ...  # pragma: no cover - protocol stub
 
 
 def capabilities_of(counter) -> Capabilities:
@@ -666,6 +735,14 @@ class EngineStats:
     ``backend_calls`` show up here, and
     ``route_exact + route_compiled + route_approx == backend_calls``
     for a pure-routing session).
+
+    The intra-problem fan-out counters observe a ``decomposes`` backend
+    under ``EngineConfig(fanout_min_vars=…)``: ``component_fanouts``
+    counts cold problems whose component split was shipped through the
+    worker pool (the parent still reports as one ``backend_call`` — the
+    fan-out is *how* the call was served, sub-counts multiply back into
+    one value), and ``fanout_subproblems`` the total sub-components those
+    fan-outs produced.
     """
 
     count_calls: int = 0
@@ -691,6 +768,8 @@ class EngineStats:
     route_exact: int = 0
     route_compiled: int = 0
     route_approx: int = 0
+    component_fanouts: int = 0
+    fanout_subproblems: int = 0
 
     @property
     def count_misses(self) -> int:

@@ -100,6 +100,7 @@ from __future__ import annotations
 import pickle
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -205,6 +206,20 @@ class EngineConfig:
     task_retries:
         Re-dispatches granted to a problem whose worker *died*
         (SIGKILL/OOM) before the problem is declared lost.
+    fanout_min_vars:
+        Intra-problem fan-out threshold: when set (and ``workers > 1``
+        and the backend declares ``decomposes``), a *single* cold problem
+        whose top-level component split yields at least two components of
+        at least this many variables is served by counting the components
+        as independent sub-problems — through the same memo → store →
+        worker-pool machinery batches use — and multiplying the
+        sub-counts (``EngineStats.component_fanouts`` /
+        ``fanout_subproblems``).  Bit-identical to the serial count by
+        construction (components are independent, and the split is the
+        one the serial search performs anyway); a per-problem
+        budget/deadline is enforced on *each* sub-component, so the
+        failure taxonomy is preserved.  ``None`` (the default) keeps
+        single-problem counting fully in-process.
 
     Fan-out additionally requires the backend to declare ``parallel_safe``
     (worker clones reproduce the serial count stream): engines over seeded
@@ -220,6 +235,7 @@ class EngineConfig:
     fallback_opts: dict | None = None
     deadline_grace: float = 5.0
     task_retries: int = 2
+    fanout_min_vars: int | None = None
 
 
 def _prop_key(prop) -> object:
@@ -591,11 +607,15 @@ class CountingEngine:
             raise primary
         return results
 
-    def _solve_flat(self, items: list[_Flat], caps: Capabilities):
+    def _solve_flat(
+        self, items: list[_Flat], caps: Capabilities, allow_fanout: bool = True
+    ):
         """Solve already-expanded :class:`_Flat` problems (no delta attach).
 
         Returns one :class:`~repro.counting.api.CountResult` or
         :class:`~repro.counting.api.CountFailure` per item.
+        ``allow_fanout=False`` marks the recursive call serving one
+        fanned-out problem's components — components never fan out again.
         """
         from repro.counting.exact import CounterAbort
 
@@ -684,6 +704,21 @@ class CountingEngine:
                     serial = pooled + serial
                 for key in serial:
                     item = cold[key]
+                    if allow_fanout:
+                        fanned = self._maybe_fanout(item, caps)
+                        if fanned is not None:
+                            status, payload, seconds = fanned
+                            if status == "ok":
+                                completed[key] = (payload, seconds)
+                            else:
+                                # The components already went through the
+                                # degradation ladder (and the timeout
+                                # stats) inside the recursive call; the
+                                # first surviving failure is the parent's
+                                # typed outcome.
+                                for i in positions[key]:
+                                    results[i] = payload
+                            continue
                     started = time.perf_counter()
                     # A routing backend is asked *where* first, so the
                     # decision lands in stats and provenance even when
@@ -828,6 +863,64 @@ class CountingEngine:
             epsilon=None if fb_caps.exact else getattr(fallback, "epsilon", None),
             delta=None if fb_caps.exact else getattr(fallback, "delta", None),
         )
+
+    def _maybe_fanout(self, item: _Flat, caps: Capabilities):
+        """Try serving one cold problem through its component split.
+
+        The intra-problem fan-out point (``EngineConfig(fanout_min_vars)``):
+        the backend's :meth:`decompose` splits the problem into independent
+        components whose counts multiply, and the components flow through
+        the same memo → store → worker-pool machinery a batch does — so a
+        single hard problem becomes parallel work at batch width 1, and
+        structurally identical components (canonically renumbered by the
+        backend) collapse onto one backend call.  Requires an exact,
+        ``parallel_safe``, ``decomposes`` backend; routing backends are
+        excluded (the split is the *routed target's* business, and the
+        router may not even own a ``decompose``).
+
+        Returns ``None`` when the problem does not fan out (the caller
+        counts it normally), ``("ok", value, seconds)`` on success —
+        merged, memoized and persisted exactly like a direct backend
+        count — or ``("fail", CountFailure, seconds)`` when a component
+        failed past the degradation ladder (a product with a missing
+        factor is meaningless, so the first failure stands for the
+        parent).  A per-problem budget/deadline is applied to *each*
+        component, preserving the typed failure taxonomy per sub-problem.
+        """
+        from repro.counting.exact import CounterAbort
+
+        min_vars = self.config.fanout_min_vars
+        if (
+            min_vars is None
+            or self._workers <= 1
+            or item.cnf is None
+            or caps.routes
+            or not (caps.exact and caps.parallel_safe and caps.decomposes)
+        ):
+            return None
+        started = time.perf_counter()
+        try:
+            split = self.counter.decompose(item.cnf, min_component_vars=min_vars)
+        except CounterAbort:
+            # Decomposition itself never spends search nodes; treat an
+            # abort defensively as "did not decompose".
+            return None
+        if split is None:
+            return None
+        multiplier, subs = split
+        self.stats.component_fanouts += 1
+        self.stats.fanout_subproblems += len(subs)
+        flats = [
+            _Flat(sub, item.budget, item.deadline, item.exact_only, item.per_path)
+            for sub in subs
+        ]
+        outcomes = self._solve_flat(flats, caps, allow_fanout=False)
+        value = multiplier
+        for outcome in outcomes:
+            if isinstance(outcome, CountFailure):
+                return ("fail", outcome, time.perf_counter() - started)
+            value *= outcome.value
+        return ("ok", value, time.perf_counter() - started)
 
     def _condition_request(
         self, problem: CountRequest, exact_only: bool
@@ -1123,17 +1216,40 @@ class CountingEngine:
                 counter.deadline = previous_deadline
 
     # -- bare-int shims (deprecated spelling of the typed API) -----------------------
+    #
+    # Kept for external callers only.  The in-tree consumer layers
+    # (core/, experiments/) speak the typed surface exclusively — a CI
+    # grep gate rejects any engine.count/count_many/count_formula call
+    # reappearing there.
 
     def count(self, cnf: CNF) -> int:
         """Deprecated shim: ``solve(cnf).value`` (kept for old call sites)."""
+        warnings.warn(
+            "engine.count(cnf) is deprecated; use engine.solve(cnf).value "
+            "(typed provenance, per-problem limits, failure taxonomy)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.solve(cnf).value
 
     def count_many(self, cnfs) -> list[int]:
         """Deprecated shim: ``[r.value for r in solve_many(cnfs)]``."""
+        warnings.warn(
+            "engine.count_many(cnfs) is deprecated; use "
+            "[r.value for r in engine.solve_many(cnfs)]",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return [result.value for result in self.solve_many(cnfs)]
 
     def _count_formula_shim(self, formula, num_vars: int) -> int:
         """Deprecated shim: ``solve_formula(...).value`` (via attribute)."""
+        warnings.warn(
+            "engine.count_formula(...) is deprecated; use "
+            "engine.solve_formula(formula, num_vars).value",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.solve_formula(formula, num_vars).value
 
     # -- compilation memos -----------------------------------------------------------

@@ -37,7 +37,7 @@ import socket
 import time
 
 from repro.counting import faults
-from repro.counting.api import CountFailure, CountRequest, CountResult
+from repro.counting.api import CountFailure, CountingSurface, CountRequest, CountResult
 from repro.counting.exact import CounterAbort
 from repro.counting.service import protocol
 
@@ -73,8 +73,14 @@ class ServiceUnavailable(ServiceError):
         super().__init__("unavailable", message, retryable=True)
 
 
-class ServiceClient:
+class ServiceClient(CountingSurface):
     """Line-delimited JSON client with timeouts, backoff and rehydration.
+
+    Declares :class:`~repro.counting.api.CountingSurface`: the remote
+    spelling of the one client surface, interchangeable with
+    :class:`~repro.core.session.MCMLSession` and
+    :class:`~repro.counting.service.cluster.ShardedClient` anywhere a
+    surface is accepted (drivers, CLI, the conformance suite).
 
     Parameters
     ----------

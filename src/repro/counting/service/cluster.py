@@ -33,8 +33,16 @@ positions onto the survivors, and finishes the batch there.  Typed
 counting failures (:class:`~repro.counting.api.CountFailure`,
 :class:`~repro.counting.exact.CounterAbort`) are *not* failover events:
 a deterministic timeout would time out on any shard; they surface with
-the engine's usual semantics.  Dead shards stay dead for the client's
-lifetime (construct a fresh client after reviving a daemon).
+the engine's usual semantics.
+
+Dead shards are re-admitted after a cooldown when ``readmit_after`` is
+set: once a shard has been dead that many seconds, the next verb probes
+it with a single no-retry ping, and a healthy answer puts it back on the
+ring — its keys flow home, re-warming the rows it already owns.  A
+failed probe restarts the cooldown.  Every recovery increments the typed
+``readmissions`` counter (surfaced by ``stats()`` / ``ping()``).  With
+``readmit_after=None`` (the default) dead shards stay dead for the
+client's lifetime, the pre-readmission behaviour.
 
 ``mcml cluster --shards N`` (:mod:`repro.experiments.cli`) launches an
 N-daemon cluster in one process; the sharding suite and
@@ -47,11 +55,13 @@ import bisect
 import hashlib
 import json
 import random
+import time
 
-from repro.counting.api import CountFailure, CountRequest, CountResult
+from repro.counting.api import CountFailure, CountingSurface, CountRequest, CountResult
 from repro.counting.service import protocol
 from repro.counting.service.client import (
     ServiceClient,
+    ServiceError,
     ServiceOverloaded,
     ServiceUnavailable,
 )
@@ -65,13 +75,14 @@ def _ring_point(token: str) -> int:
     return int(hashlib.sha256(token.encode("utf-8")).hexdigest(), 16)
 
 
-class ShardedClient:
+class ShardedClient(CountingSurface):
     """Consistent-hash partitioned client over N counting daemons.
 
-    Mirrors the :class:`~repro.counting.service.client.ServiceClient`
-    surface — ``solve`` / ``solve_many`` / ``count`` / ``count_many`` /
-    ``accmc`` / ``diffmc`` / ``ping`` / ``stats`` / ``close`` — so code
-    written against one daemon works against a cluster.
+    Declares :class:`~repro.counting.api.CountingSurface` — ``solve`` /
+    ``solve_many`` / ``count`` / ``count_many`` / ``stats`` / ``close``
+    plus the service extras (``accmc`` / ``diffmc`` / ``ping``) — so
+    code written against one daemon, or against a local session, works
+    against a cluster.
 
     Parameters
     ----------
@@ -83,6 +94,13 @@ class ShardedClient:
         Virtual nodes per shard on the hash ring.  More replicas
         smooth the partition; 64 keeps the ring tiny while bounding
         imbalance well under 2× for small clusters.
+    readmit_after:
+        Cooldown in seconds before a dead shard is probed for
+        re-admission; ``None`` (default) keeps dead shards dead for the
+        client's lifetime.
+    probe_timeout:
+        Connect/request timeout for the single no-retry re-admission
+        ping — a still-dead shard costs at most this long per cooldown.
     client_opts:
         Keyword options forwarded to every per-shard
         :class:`~repro.counting.service.client.ServiceClient`
@@ -94,6 +112,8 @@ class ShardedClient:
         shards,
         *,
         replicas: int = 64,
+        readmit_after: float | None = None,
+        probe_timeout: float = 1.0,
         rng: random.Random | None = None,
         **client_opts,
     ) -> None:
@@ -120,10 +140,16 @@ class ShardedClient:
         points.sort()
         self._ring_positions = [position for position, _ in points]
         self._ring_shards = [shard for _, shard in points]
-        #: Shards failed over away from, in death order.
+        #: Shards failed over away from, in death order (a history: a
+        #: later re-admission does not erase the entry).
         self.failed_shards: list[tuple[str, int]] = []
         #: Rehash-failover events (one per shard death observed).
         self.failovers = 0
+        #: Dead shards re-admitted after a successful cooldown probe.
+        self.readmissions = 0
+        self.readmit_after = readmit_after
+        self.probe_timeout = probe_timeout
+        self._dead_since: dict[tuple[str, int], float] = {}
 
     # -- the ring --------------------------------------------------------------------
 
@@ -152,7 +178,40 @@ class ShardedClient:
         self._live.discard(shard)
         self.failed_shards.append(shard)
         self.failovers += 1
+        self._dead_since[shard] = time.monotonic()
         self._clients[shard].close()
+
+    def _maybe_readmit(self) -> None:
+        """Probe dead shards past their cooldown; rejoin the healthy ones.
+
+        One no-retry ping on a fresh short-timeout client per candidate:
+        the shard's regular client keeps its backoff budget for real
+        work, and a still-dead shard costs ``probe_timeout``, not a
+        retry storm.  A failed probe restarts the cooldown.
+        """
+        if self.readmit_after is None or not self._dead_since:
+            return
+        now = time.monotonic()
+        for shard, died_at in list(self._dead_since.items()):
+            if now - died_at < self.readmit_after:
+                continue
+            probe = ServiceClient(
+                shard[0],
+                shard[1],
+                connect_timeout=self.probe_timeout,
+                request_timeout=self.probe_timeout,
+                retries=0,
+            )
+            try:
+                probe.ping()
+            except (ServiceError, OSError, protocol.ProtocolError):
+                self._dead_since[shard] = time.monotonic()
+                continue
+            finally:
+                probe.close()
+            del self._dead_since[shard]
+            self._live.add(shard)
+            self.readmissions += 1
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -185,6 +244,7 @@ class ShardedClient:
             raise ValueError(
                 f"on_failure must be 'raise' or 'return', got {on_failure!r}"
             )
+        self._maybe_readmit()
         requests = [self._as_request(problem) for problem in problems]
         keys = [int(signature_key(r.signature()), 16) for r in requests]
         outcomes: list[CountResult | CountFailure | None] = [None] * len(requests)
@@ -249,6 +309,7 @@ class ShardedClient:
 
     def _with_failover(self, key: int, call):
         """Run ``call(client)`` on the key's owner, failing over on death."""
+        self._maybe_readmit()
         while True:
             shard = self._owner(key)
             try:
@@ -283,6 +344,7 @@ class ShardedClient:
 
     def ping(self) -> dict:
         """Ping every live shard; dead shards report their status inline."""
+        self._maybe_readmit()
         shards = {}
         for shard in self.shards:
             label = f"{shard[0]}:{shard[1]}"
@@ -294,7 +356,11 @@ class ShardedClient:
             except (ServiceUnavailable, ServiceOverloaded):
                 self._mark_dead(shard)
                 shards[label] = {"status": "dead"}
-        return {"shards": shards, "live": len(self._live)}
+        return {
+            "shards": shards,
+            "live": len(self._live),
+            "readmissions": self.readmissions,
+        }
 
     def stats(self) -> dict:
         """Per-shard stats plus cluster aggregation.
@@ -304,7 +370,10 @@ class ShardedClient:
         ``aggregated`` sums the integer engine counters and service
         request counters across live shards — the cluster-wide view of
         ``backend_calls``, ``store_hits``, admission rejections, etc.
+        The engine sum also rides at the top-level ``engine`` key, the
+        :class:`~repro.counting.api.CountingSurface` ``stats()`` shape.
         """
+        self._maybe_readmit()
         shards: dict[str, dict] = {}
         engine_totals: dict[str, int] = {}
         service_totals: dict[str, int] = {}
@@ -329,9 +398,11 @@ class ShardedClient:
                     service_totals[field] = service_totals.get(field, 0) + value
         return {
             "shards": shards,
+            "engine": engine_totals,
             "aggregated": {"engine": engine_totals, "service": service_totals},
             "live": len(self._live),
             "failovers": self.failovers,
+            "readmissions": self.readmissions,
             "failed_shards": [f"{h}:{p}" for h, p in self.failed_shards],
         }
 
@@ -344,5 +415,6 @@ class ShardedClient:
     def __repr__(self) -> str:
         return (
             f"ShardedClient(shards={len(self.shards)}, live={len(self._live)}, "
-            f"replicas={self.replicas}, failovers={self.failovers})"
+            f"replicas={self.replicas}, failovers={self.failovers}, "
+            f"readmissions={self.readmissions})"
         )

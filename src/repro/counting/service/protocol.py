@@ -257,9 +257,9 @@ def tree_from_wire(payload: dict) -> WireTree:
 
 def engine_stats_payload(session) -> dict:
     """The engine-side stats block, shared by ``mcml --stats`` and the
-    daemon's ``stats`` verb — one rendering, two transports."""
-    return {
-        "backend": session.backend_name,
-        "capabilities": session.capabilities.as_dict(),
-        "engine": session.stats.as_dict(),
-    }
+    daemon's ``stats`` verb — one rendering, two transports.
+
+    Delegates to the session's :class:`~repro.counting.api.CountingSurface`
+    ``stats()`` verb, so the two spellings can never drift apart.
+    """
+    return session.stats()

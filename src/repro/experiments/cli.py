@@ -103,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1; 0 = one per core)",
     )
     parser.add_argument(
+        "--fanout-min-vars", type=int, default=None, metavar="N",
+        help="intra-problem component fan-out: with --workers > 1 and a "
+        "decomposing backend, one hard problem whose component split has "
+        ">= 2 components of >= N variables is counted through the worker "
+        "pool and the sub-counts multiplied (default: off)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist model counts and compilations to DIR so re-runs "
         "skip the work (default: off)",
@@ -180,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 8)",
     )
     serve.add_argument(
+        "--solver-threads", type=int, default=1, metavar="N",
+        help="solver lanes draining the daemon's queue, each owning its "
+        "own engine clone over the shared cache-dir tiers, so distinct "
+        "formulas count concurrently (identical ones still coalesce); "
+        "mcml cluster gives every shard this many lanes (default 1)",
+    )
+    serve.add_argument(
         "--read-timeout", type=float, default=300.0, metavar="SECONDS",
         help="idle-connection deadline; a client that stalls mid-line "
         "(slow loris) is dropped past it (default 300)",
@@ -228,6 +242,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         deadline=args.deadline,
         budget=args.budget,
         region_strategy=args.region_strategy,
+        fanout_min_vars=args.fanout_min_vars,
     )
     if args.properties:
         kwargs["properties"] = tuple(args.properties)
@@ -243,6 +258,7 @@ _CAPABILITY_COLUMNS = {
     "owns_component_cache": "components",
     "conditions_cubes": "cubes",
     "routes": "routes",
+    "decomposes": "decomposes",
 }
 
 
@@ -350,10 +366,12 @@ def serve(args: argparse.Namespace, config: ExperimentConfig) -> int:
     with config.session() as session:
         server = CountingServer(
             session,
+            session_factory=config.session,
             host=args.host,
             port=args.port,
             max_queue=args.max_queue,
             max_inflight_per_client=args.max_inflight,
+            solver_threads=args.solver_threads,
             read_timeout=args.read_timeout,
             default_deadline=args.deadline,
             default_budget=args.budget,
@@ -419,10 +437,12 @@ def cluster(args: argparse.Namespace, config: ExperimentConfig) -> int:
             )
             server = CountingServer(
                 shard_config.session(),
+                session_factory=shard_config.session,
                 host=args.host,
                 port=(args.port + i) if args.port else 0,
                 max_queue=args.max_queue,
                 max_inflight_per_client=args.max_inflight,
+                solver_threads=args.solver_threads,
                 read_timeout=args.read_timeout,
                 default_deadline=args.deadline,
                 default_budget=args.budget,

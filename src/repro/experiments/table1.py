@@ -102,8 +102,11 @@ def _table1_rows(engine, config: ExperimentConfig, paper_scopes: bool) -> list[T
         problem_plain = engine.translate(prop, scope)
         approx = ApproxMCCounter(seed=config.seed)
         try:
-            exact_symbr, exact_plain = engine.count_many(
-                [problem_symbr.cnf, problem_plain.cnf]
+            exact_symbr, exact_plain = (
+                result.value
+                for result in engine.solve_many(
+                    [problem_symbr.cnf, problem_plain.cnf]
+                )
             )
         except CounterBudgetExceeded:
             exact_symbr = exact_plain = None

@@ -189,6 +189,31 @@ class TestCapabilityFlagsMatchBehaviour:
             assert circuit.condition(()) == ExactCounter().count(region)
 
     @pytest.mark.parametrize("name", BACKENDS)
+    def test_decomposes_flag(self, name):
+        """Flag on: ``decompose`` returns a split whose counts multiply
+        back to the whole bit-exactly.  Off: no ``decompose`` surface."""
+        backend = make_backend(name)
+        caps = backend.capabilities
+        decompose_attr = getattr(backend, "decompose", _MISSING)
+        assert caps.decomposes == (decompose_attr is not _MISSING)
+        if not caps.decomposes:
+            return
+        assert caps.exact  # fan-out multiplies sub-counts: exact only
+        # Antisymmetry at scope 4: C(4,2) independent 2-variable components.
+        problem = translate(get_property("Antisymmetric"), 4)
+        split = backend.decompose(problem.cnf)
+        assert split is not None
+        multiplier, subs = split
+        assert len(subs) >= 2
+        product = multiplier
+        for sub in subs:
+            product *= backend.count(sub)
+        assert product == backend.count(problem.cnf)
+        # A connected problem declines: callers fall through to count().
+        connected = translate(get_property("PartialOrder"), 3)
+        assert backend.decompose(connected.cnf) is None
+
+    @pytest.mark.parametrize("name", BACKENDS)
     def test_owns_component_cache_flag(self, name):
         backend = make_backend(name)
         has_attr = getattr(backend, "component_cache", _MISSING) is not _MISSING

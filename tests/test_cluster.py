@@ -212,6 +212,85 @@ class TestFailover:
                 assert cluster.ping()["live"] == 2
 
 
+class TestReadmission:
+    def test_restarted_shard_rejoins_after_cooldown(self, tmp_path):
+        requests = property_requests()
+        truths = [ExactCounter().count(r.cnf()) for r in requests]
+        with running_shards(tmp_path, 2) as (servers, shards):
+            with ShardedClient(
+                shards, retries=1, backoff_base=0.01, readmit_after=0.05
+            ) as cluster:
+                assert cluster.count_many(requests) == truths
+                victim = cluster.shard_for(requests[0])
+                victim_index = shards.index(victim)
+                servers[victim_index].close()  # abrupt: no drain
+                assert cluster.count_many(requests) == truths
+                assert cluster.ping()["live"] == 1
+                # Restart the shard on its old address, wait out the
+                # cooldown: the next verb probes, readmits, and ownership
+                # snaps back to the original ring.
+                config = ExperimentConfig(
+                    cache_dir=str(tmp_path / f"shard-{victim_index}")
+                )
+                revived = CountingServer(
+                    config.session(), host=victim[0], port=victim[1]
+                )
+                revived.start()
+                runner = threading.Thread(
+                    target=revived.serve_until_drained, daemon=True
+                )
+                runner.start()
+                try:
+                    time.sleep(0.06)
+                    assert cluster.count_many(requests) == truths
+                    assert cluster.readmissions == 1
+                    assert cluster.ping()["live"] == 2
+                    assert cluster.shard_for(requests[0]) == victim
+                    # failed_shards is a history log, not live membership.
+                    assert cluster.failed_shards == [victim]
+                finally:
+                    revived.initiate_drain("test teardown")
+                    runner.join(timeout=30)
+                    revived.close()
+
+    def test_failed_probe_restarts_the_cooldown(self, tmp_path):
+        requests = property_requests()[:2]
+        with running_shards(tmp_path, 2) as (servers, shards):
+            with ShardedClient(
+                shards,
+                retries=0,
+                backoff_base=0.01,
+                readmit_after=0.05,
+                probe_timeout=0.2,
+            ) as cluster:
+                cluster.count_many(requests)
+                victim = cluster.shard_for(requests[0])
+                servers[shards.index(victim)].close()
+                cluster.count_many(requests)  # failover marks it dead
+                time.sleep(0.06)
+                # Past the cooldown but the shard is still down: the probe
+                # fails, nothing is readmitted, and the cluster keeps
+                # serving on the survivor.
+                assert cluster.count_many(requests) == [
+                    ExactCounter().count(r.cnf()) for r in requests
+                ]
+                assert cluster.readmissions == 0
+                assert cluster.ping()["live"] == 1
+
+    def test_no_cooldown_means_dead_shards_stay_dead(self, tmp_path):
+        requests = property_requests()[:2]
+        with running_shards(tmp_path, 2) as (servers, shards):
+            with ShardedClient(shards, retries=0, backoff_base=0.01) as cluster:
+                cluster.count_many(requests)
+                victim = cluster.shard_for(requests[0])
+                servers[shards.index(victim)].close()
+                cluster.count_many(requests)
+                time.sleep(0.06)
+                cluster.ping()
+                assert cluster.readmissions == 0
+                assert cluster.ping()["live"] == 1
+
+
 class TestAggregation:
     def test_stats_sum_engine_counters_across_shards(self, tmp_path):
         requests = property_requests()
@@ -239,6 +318,10 @@ class TestAggregation:
                 assert set(payload["shards"]) == {
                     f"{host}:{port}" for host, port in shards
                 }
+                # The CountingSurface shape: summed engine counters are
+                # also the top-level "engine" block, like every surface.
+                assert payload["engine"] == payload["aggregated"]["engine"]
+                assert payload["readmissions"] == 0
 
 
 class TestClientChunking:

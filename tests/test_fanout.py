@@ -1,0 +1,214 @@
+"""Intra-problem component fan-out (PR 10).
+
+Covers the second tentpole leg: a *single* hard problem whose component
+split yields two or more nontrivial components ships through the engine's
+worker pool and the sub-counts multiply back together:
+
+* ``ExactCounter.decompose`` — the split invariant
+  ``count(cnf) == multiplier * prod(count(sub))`` holds bit-exactly, the
+  sub-CNFs come back canonically renumbered (structurally identical
+  components share one signature), and non-decomposable inputs return
+  ``None`` so callers fall through to a plain count;
+* the engine's fan-out — bit-identical to the serial count, observable in
+  ``EngineStats.component_fanouts`` / ``fanout_subproblems``, off by
+  default, and confined to capability-eligible backends;
+* robustness — a SIGKILLed worker mid-fan-out neither hangs nor drifts:
+  the pool respawns, retries the lost component, and the merged product
+  still equals the serial count.
+"""
+
+import signal as _signal
+from contextlib import contextmanager
+
+import pytest
+
+from repro.counting import CountingEngine, EngineConfig, ExactCounter
+from repro.counting import faults
+from repro.counting.api import make_backend
+from repro.logic import CNF
+from repro.spec import SymmetryBreaking, get_property, translate
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+
+
+@contextmanager
+def hard_timeout(seconds: int):
+    """A SIGALRM backstop: a hang is a loud failure, not a stuck CI job."""
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded {seconds}s hard timeout")
+
+    previous = _signal.signal(_signal.SIGALRM, on_alarm)
+    _signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        _signal.alarm(0)
+        _signal.signal(_signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def antisymmetric(scope: int) -> CNF:
+    """The canonical fan-out donor: C(scope, 2) independent 2-var components."""
+    return translate(get_property("Antisymmetric"), scope).cnf
+
+
+class TestDecompose:
+    def test_split_invariant_holds_bit_exactly(self):
+        counter = ExactCounter()
+        for scope in (3, 4, 5):
+            cnf = antisymmetric(scope)
+            split = counter.decompose(cnf)
+            assert split is not None
+            multiplier, subs = split
+            assert len(subs) >= 2
+            product = multiplier
+            for sub in subs:
+                product *= counter.count(sub)
+            assert product == counter.count(cnf)
+
+    def test_identical_components_share_one_canonical_form(self):
+        # Antisymmetry is the same 2-var constraint over every index pair;
+        # canonical renumbering must collapse them onto one signature.
+        _, subs = ExactCounter().decompose(antisymmetric(4))
+        first = subs[0]
+        assert all(
+            (sub.num_vars, tuple(sub.clauses)) == (first.num_vars, tuple(first.clauses))
+            for sub in subs
+        )
+
+    def test_connected_problems_do_not_split(self):
+        # PartialOrder couples every variable through transitivity: one
+        # component, so decompose declines and the caller counts plainly.
+        counter = ExactCounter()
+        cnf = translate(
+            get_property("PartialOrder"), 3, symmetry=SymmetryBreaking()
+        ).cnf
+        assert counter.decompose(cnf) is None
+
+    def test_trivial_and_solved_problems_do_not_split(self):
+        counter = ExactCounter()
+        assert counter.decompose(CNF(num_vars=2, clauses=[()])) is None
+        # Unit propagation solves this outright — nothing left to ship.
+        assert counter.decompose(CNF(num_vars=2, clauses=[(1,), (2,)])) is None
+
+    def test_min_component_vars_gates_the_split(self):
+        cnf = antisymmetric(4)
+        counter = ExactCounter()
+        assert counter.decompose(cnf, min_component_vars=2) is not None
+        # Every component has exactly 2 variables; demanding 3 finds no
+        # nontrivial component, so the split is not worth shipping.
+        assert counter.decompose(cnf, min_component_vars=3) is None
+
+
+class TestEngineFanout:
+    def test_fanout_bit_identical_to_serial_with_stats(self):
+        cnf = antisymmetric(5)
+        serial = ExactCounter().count(cnf)
+        with CountingEngine(
+            ExactCounter(), config=EngineConfig(workers=2, fanout_min_vars=2)
+        ) as engine:
+            with hard_timeout(120):
+                result = engine.solve(cnf)
+            assert result.value == serial
+            assert engine.stats.component_fanouts == 1
+            # C(5, 2) = 10 antisymmetry pairs, each its own component.
+            assert engine.stats.fanout_subproblems == 10
+
+    def test_fanout_off_by_default(self):
+        cnf = antisymmetric(4)
+        with CountingEngine(
+            ExactCounter(), config=EngineConfig(workers=2)
+        ) as engine:
+            engine.solve(cnf)
+            assert engine.stats.component_fanouts == 0
+
+    def test_fanout_requires_workers(self):
+        # fanout_min_vars without a pool is a no-op, not an error: the
+        # knob means "ship components to workers", and there are none.
+        cnf = antisymmetric(4)
+        serial = ExactCounter().count(cnf)
+        with CountingEngine(
+            ExactCounter(), config=EngineConfig(workers=1, fanout_min_vars=2)
+        ) as engine:
+            assert engine.solve(cnf).value == serial
+            assert engine.stats.component_fanouts == 0
+
+    def test_memo_hits_suppress_refanout(self):
+        cnf = antisymmetric(4)
+        with CountingEngine(
+            ExactCounter(), config=EngineConfig(workers=2, fanout_min_vars=2)
+        ) as engine:
+            first = engine.solve(cnf).value
+            again = engine.solve(cnf).value
+            assert first == again
+            # The second solve is a memo hit; no second split happens.
+            assert engine.stats.component_fanouts == 1
+
+    def test_routing_backends_do_not_fan_out(self):
+        # The composite router routes whole problems; the split belongs to
+        # the routed target, so the engine must not ask the router.
+        cnf = antisymmetric(4)
+        serial = ExactCounter().count(cnf)
+        with CountingEngine(
+            make_backend("composite"),
+            config=EngineConfig(workers=2, fanout_min_vars=2),
+        ) as engine:
+            assert engine.solve(cnf).value == serial
+            assert engine.stats.component_fanouts == 0
+
+
+def three_distinct_components() -> CNF:
+    """Three structurally *different* independent components.
+
+    Antisymmetry's components all collapse onto one canonical signature
+    (one backend call serves them), so they never keep two workers busy.
+    These three stay distinct, which is what ships a real multi-task
+    batch through the pool: vars 1-2 count 3, vars 3-5 count 5, vars 6-7
+    count 2 — the product is 30.
+    """
+    return CNF(
+        num_vars=7,
+        clauses=[(-1, -2), (3, 4, 5), (-3, -4), (6, 7), (-6, -7)],
+    )
+
+
+class TestFanoutRobustness:
+    def test_distinct_components_ship_through_the_pool(self):
+        cnf = three_distinct_components()
+        serial = ExactCounter().count(cnf)
+        assert serial == 30
+        with CountingEngine(
+            ExactCounter(), config=EngineConfig(workers=2, fanout_min_vars=2)
+        ) as engine:
+            with hard_timeout(120):
+                assert engine.solve(cnf).value == serial
+            assert engine.stats.component_fanouts == 1
+            assert engine.stats.fanout_subproblems == 3
+
+    def test_sigkilled_worker_mid_fanout_matches_serial(self, tmp_path):
+        """The acceptance path: SIGKILL one worker mid-fan-out, no drift."""
+        cnf = three_distinct_components()
+        serial = ExactCounter().count(cnf)
+        engine = CountingEngine(
+            ExactCounter(), config=EngineConfig(workers=2, fanout_min_vars=2)
+        )
+        faults.inject("worker-kill", 2)
+        faults.inject("worker-kill-marker", str(tmp_path / "killed-once"))
+        try:
+            with hard_timeout(120):
+                result = engine.solve(cnf)
+        finally:
+            faults.clear()
+            engine.close()
+        assert result.value == serial
+        assert engine.stats.component_fanouts == 1
+        assert engine.stats.worker_respawns >= 1

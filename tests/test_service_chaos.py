@@ -117,7 +117,7 @@ class TestNetworkFaults:
                     result = clean.solve(cnf)
                     clean.close()
                     assert result.cached
-                    assert session.stats.backend_calls == 1
+                    assert session.engine.stats.backend_calls == 1
 
     def test_slow_loris_is_dropped_by_the_read_deadline(self):
         tiny = CNF(num_vars=2, clauses=[(1,), (2,)])
